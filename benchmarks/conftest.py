@@ -1,0 +1,42 @@
+"""Session fixtures for the benchmark suite.
+
+The synthetic world, its polished forums and the derived datasets are
+built once per pytest session (they are by far the dominant cost) and
+shared read-only across every bench.  ``REPRO_SCALE=paper`` switches to
+paper-sized worlds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import experiments as ex
+from repro.synth.world import DM, REDDIT, TMG
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The scaled synthetic world shared by every bench."""
+    return ex.get_world()
+
+
+@pytest.fixture(scope="session")
+def reddit_dataset(world):
+    """Reddit alter egos at the paper's 1,500-word budget."""
+    return ex.get_alter_egos(world, REDDIT)
+
+
+@pytest.fixture(scope="session")
+def tmg_dataset(world):
+    return ex.get_alter_egos(world, TMG)
+
+
+@pytest.fixture(scope="session")
+def dm_dataset(world):
+    return ex.get_alter_egos(world, DM)
+
+
+@pytest.fixture(scope="session")
+def threshold(world):
+    """The calibrated Section IV-E acceptance threshold."""
+    return ex.calibrated_threshold(world)

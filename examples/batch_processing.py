@@ -1,0 +1,83 @@
+"""RAM-bounded batched linking (Section IV-J).
+
+Run with::
+
+    python examples/batch_processing.py
+
+When the known-alias corpus does not fit in memory, the paper splits it
+into batches of B aliases, runs 10-attribution inside each batch, pools
+the survivors, and repeats until one batch remains — then applies the
+usual final stage.  This example runs the unbatched and the batched
+pipeline side by side and shows that the outputs (and the
+precision/recall at the same threshold) barely differ, while the
+batched variant never holds more than B known aliases at once.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.batch import BatchedLinker
+from repro.core.linker import AliasLinker
+from repro.core.threshold import ThresholdCalibrator, matches_to_curve
+from repro.eval.alterego import build_alter_ego_dataset
+from repro.synth import ForumLoad, WorldConfig, build_world
+from repro.textproc.cleaning import polish_forum
+
+BATCH_SIZE = 40
+
+
+def main() -> None:
+    print("building and polishing a Reddit-like world ...")
+    world = build_world(WorldConfig(
+        seed=31, reddit_users=110, tmg_users=0, dm_users=0,
+        tmg_dm_overlap=0, reddit_dark_overlap=0,
+        reddit_load=ForumLoad(heavy_fraction=0.9,
+                              heavy_messages=(110, 170),
+                              light_messages=(5, 30)),
+    ))
+    polished, _ = polish_forum(world.forums["reddit"])
+    dataset = build_alter_ego_dataset(polished, seed=3,
+                                      words_per_alias=700)
+    unknowns = dataset.alter_egos
+    print(f"  {dataset.n_originals} known aliases, "
+          f"{len(unknowns)} unknowns")
+
+    # calibrate a threshold once, on the unbatched pipeline
+    t0 = time.perf_counter()
+    plain = AliasLinker(threshold=0.0)
+    plain.fit(dataset.originals)
+    plain_matches = plain.link(unknowns).matches
+    plain_seconds = time.perf_counter() - t0
+    calibration = ThresholdCalibrator(target_recall=0.8).calibrate(
+        plain_matches, dataset.truth)
+    threshold = calibration.threshold
+    print(f"\ncalibrated threshold: {threshold:.4f}")
+
+    t0 = time.perf_counter()
+    batched = BatchedLinker(batch_size=BATCH_SIZE, threshold=threshold)
+    batched.fit(dataset.originals)
+    batched_matches = batched.link(unknowns).matches
+    batched_seconds = time.perf_counter() - t0
+
+    plain_curve = matches_to_curve(plain_matches, dataset.truth)
+    batched_curve = matches_to_curve(batched_matches, dataset.truth)
+    plain_p, plain_r = plain_curve.at_threshold(threshold)
+    batch_p, batch_r = batched_curve.at_threshold(threshold)
+
+    print(f"\nunbatched: precision {plain_p:.1%}, recall "
+          f"{plain_r:.1%}  ({plain_seconds:.1f}s)   "
+          "(paper: 94% / 80%)")
+    print(f"batched (B={BATCH_SIZE}): precision {batch_p:.1%}, "
+          f"recall {batch_r:.1%}  ({batched_seconds:.1f}s)   "
+          "(paper: 91% / 81%)")
+
+    agree = sum(
+        1 for a, b in zip(plain_matches, batched_matches)
+        if a.candidate_id == b.candidate_id)
+    print(f"\nbest-candidate agreement between the two pipelines: "
+          f"{agree}/{len(plain_matches)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: generate a synthetic world and link dark aliases.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a small three-forum world (Reddit + two dark-web forums with a
+few personas active on both sides), runs the paper's full two-stage
+pipeline, and prints the alias pairs it links together with the ground
+truth the generator planted.
+"""
+
+from __future__ import annotations
+
+from repro import LinkingPipeline, PipelineConfig
+from repro.synth import ForumLoad, WorldConfig, build_world
+
+
+def main() -> None:
+    print("building synthetic world ...")
+    world = build_world(WorldConfig(
+        seed=42,
+        reddit_users=40,
+        tmg_users=20,
+        dm_users=14,
+        tmg_dm_overlap=6,
+        reddit_dark_overlap=8,
+        tmg_load=ForumLoad(heavy_fraction=0.9,
+                           heavy_messages=(110, 160),
+                           light_messages=(5, 25)),
+        dm_load=ForumLoad(heavy_fraction=0.9,
+                          heavy_messages=(110, 160),
+                          light_messages=(5, 25)),
+    ))
+    for name, forum in world.forums.items():
+        print(f"  {name}: {forum.n_users} users, "
+              f"{forum.n_messages} messages")
+
+    # Link The Majestic Garden aliases against the Dream Market forum.
+    # A lower word budget than the paper's 1,500 keeps this example
+    # fast; threshold 0.97 suits the synthetic score scale — synthetic
+    # cosines run much higher than the paper's 0.4190 because the
+    # generated vocabulary is smaller than natural English (see
+    # EXPERIMENTS.md).  examples/threshold_calibration.py shows how to
+    # derive this value instead of guessing it.
+    pipeline = LinkingPipeline(PipelineConfig(words_per_alias=600,
+                                              threshold=0.97))
+    result = pipeline.link_forums(world.forums["dm"],
+                                  world.forums["tmg"])
+
+    truth = world.linked_aliases("tmg", "dm")
+    print(f"\nrefined aliases: {pipeline.report.refined_known} known "
+          f"(DM), {pipeline.report.refined_unknown} unknown (TMG)")
+    print(f"planted TMG<->DM links: {len(truth)}\n")
+    print("pairs above threshold:")
+    for match in sorted(result.accepted(), key=lambda m: -m.score):
+        tmg_alias = match.unknown_id.split("/", 1)[1]
+        dm_alias = match.candidate_id.split("/", 1)[1]
+        verdict = "CORRECT" if truth.get(tmg_alias) == dm_alias \
+            else ("WRONG" if tmg_alias in truth else "unplanted")
+        print(f"  tmg/{tmg_alias:24s} -> dm/{dm_alias:24s} "
+              f"score {match.score:.4f}  [{verdict}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Threshold calibration walk-through (Section IV-E).
+
+Run with::
+
+    python examples/threshold_calibration.py
+
+Reproduces the paper's calibration protocol end to end:
+
+1. generate a Reddit-like forum and polish it (Section III-C);
+2. split eligible users into original + alter-ego halves (IV-D);
+3. split the alter egos into W1 and W2;
+4. run the two-stage pipeline for W1, sweep the scores as candidate
+   thresholds, and pick the one reaching 80% recall;
+5. apply the *same* threshold to W2 and report how it transfers.
+"""
+
+from __future__ import annotations
+
+from repro.core.linker import AliasLinker
+from repro.core.threshold import ThresholdCalibrator
+from repro.eval.alterego import build_alter_ego_dataset
+from repro.eval.experiments import split_w1_w2
+from repro.synth import ForumLoad, WorldConfig, build_world
+from repro.textproc.cleaning import polish_forum
+
+
+def main() -> None:
+    print("building and polishing a Reddit-like world ...")
+    world = build_world(WorldConfig(
+        seed=11, reddit_users=120, tmg_users=0, dm_users=0,
+        tmg_dm_overlap=0, reddit_dark_overlap=0,
+        reddit_load=ForumLoad(heavy_fraction=0.9,
+                              heavy_messages=(110, 180),
+                              light_messages=(5, 30)),
+    ))
+    polished, report = polish_forum(world.forums["reddit"])
+    print(f"  polished: kept {report.kept_messages} of "
+          f"{report.input_messages} messages, "
+          f"{report.kept_users} users")
+
+    dataset = build_alter_ego_dataset(polished, seed=3,
+                                      words_per_alias=800)
+    print(f"  refined: {dataset.n_originals} known aliases, "
+          f"{dataset.n_alter_egos} alter egos")
+
+    w1, w2 = split_w1_w2(dataset, n_each=500, seed=1)
+    print(f"  W1: {len(w1.alter_egos)} unknowns, "
+          f"W2: {len(w2.alter_egos)} unknowns")
+
+    linker = AliasLinker(threshold=0.0)
+    linker.fit(dataset.originals)
+    calibrator = ThresholdCalibrator(target_recall=0.80)
+
+    calibration = calibrator.calibrate(
+        linker.link(w1.alter_egos).matches, w1.truth)
+    print(f"\nchosen threshold t = {calibration.threshold:.4f} "
+          "(paper found 0.4190 on its data)")
+    print(f"W1 at t: precision {calibration.precision:.1%}, "
+          f"recall {calibration.recall:.1%}  (paper: 94% / 80%)")
+
+    precision, recall, _ = calibrator.validate(
+        calibration, linker.link(w2.alter_egos).matches, w2.truth)
+    print(f"W2 at t: precision {precision:.1%}, recall {recall:.1%}  "
+          "(paper: 87% / 82%)")
+    print("\nthe threshold found on W1 transfers to W2 — the paper's "
+          "core calibration claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through pyproject.toml; this file exists so
+fully offline environments (no ``wheel`` package available, so PEP 517
+editable installs fail) can still do ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,181 @@
+"""Command-line interface: ``darklight``.
+
+Five subcommands cover the end-to-end workflow of the paper:
+
+* ``generate`` — build a synthetic world and save its forums as JSONL;
+* ``polish`` — run the 12-step cleaning pipeline on a stored forum;
+* ``calibrate`` — find the acceptance threshold on a forum's alter
+  egos (Section IV-E);
+* ``link`` — link the aliases of one forum against another
+  (Sections IV-I/IV-J);
+* ``profile`` — extract the §V-D personal profile of one alias.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.config import PAPER_THRESHOLD, PipelineConfig
+from repro.core.threshold import ThresholdCalibrator
+from repro.errors import ReproError
+from repro.forums.storage import load_forum, save_forum, save_world
+from repro.pipeline import LinkingPipeline
+from repro.profiling.extractor import ProfileExtractor
+from repro.profiling.report import render_report
+from repro.synth.world import WorldConfig, build_world
+from repro.textproc.cleaning import CleaningConfig, polish_forum
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = WorldConfig(
+        seed=args.seed,
+        reddit_users=args.reddit_users,
+        tmg_users=args.tmg_users,
+        dm_users=args.dm_users,
+        tmg_dm_overlap=args.tmg_dm_overlap,
+        reddit_dark_overlap=args.reddit_dark_overlap,
+    )
+    world = build_world(config)
+    paths = save_world(list(world.forums.values()), args.out)
+    for path in paths:
+        forum = world.forums[path.stem]
+        print(f"wrote {path} ({forum.n_users} users, "
+              f"{forum.n_messages} messages)")
+    print(f"ground-truth links: {len(world.links)}")
+    return 0
+
+
+def _cmd_polish(args: argparse.Namespace) -> int:
+    forum = load_forum(args.input)
+    polished, report = polish_forum(forum, CleaningConfig())
+    save_forum(polished, args.output)
+    print(f"wrote {args.output}")
+    for key, value in report.as_dict().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.eval.alterego import build_alter_ego_dataset
+
+    forum = load_forum(args.forum)
+    polished, _ = polish_forum(forum, CleaningConfig())
+    dataset = build_alter_ego_dataset(polished, seed=args.seed)
+    if not dataset.alter_egos:
+        print("no users eligible for alter-ego generation",
+              file=sys.stderr)
+        return 1
+    pipeline = LinkingPipeline(PipelineConfig(threshold=0.0))
+    result = pipeline.link_documents(dataset.originals,
+                                     dataset.alter_egos)
+    calibration = ThresholdCalibrator(
+        target_recall=args.target_recall).calibrate(
+        result.matches, dataset.truth)
+    print(f"aliases: {dataset.n_originals} known, "
+          f"{dataset.n_alter_egos} alter egos")
+    print(f"threshold: {calibration.threshold:.4f}")
+    print(f"precision: {calibration.precision:.2%}")
+    print(f"recall:    {calibration.recall:.2%}")
+    print(f"AUC:       {calibration.curve.auc():.3f}")
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    known = load_forum(args.known)
+    unknown = load_forum(args.unknown)
+    pipeline = LinkingPipeline(
+        PipelineConfig(threshold=args.threshold),
+        batch_size=args.batch_size,
+    )
+    result = pipeline.link_forums(known, unknown)
+    accepted = result.accepted()
+    print(f"known aliases after refinement:   "
+          f"{pipeline.report.refined_known}")
+    print(f"unknown aliases after refinement: "
+          f"{pipeline.report.refined_unknown}")
+    print(f"pairs above threshold {args.threshold}: {len(accepted)}")
+    for match in sorted(accepted, key=lambda m: -m.score):
+        print(f"  {match.unknown_id} -> {match.candidate_id} "
+              f"(score {match.score:.4f})")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    forum = load_forum(args.forum)
+    record = forum.users.get(args.alias)
+    if record is None:
+        print(f"alias {args.alias!r} not found in {args.forum}",
+              file=sys.stderr)
+        return 1
+    profile = ProfileExtractor().extract(record)
+    print(render_report(profile, dark_alias=args.dark_alias))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="darklight",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate",
+                         help="build a synthetic world (JSONL output)")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--reddit-users", type=int, default=400)
+    gen.add_argument("--tmg-users", type=int, default=120)
+    gen.add_argument("--dm-users", type=int, default=80)
+    gen.add_argument("--tmg-dm-overlap", type=int, default=20)
+    gen.add_argument("--reddit-dark-overlap", type=int, default=30)
+    gen.set_defaults(func=_cmd_generate)
+
+    pol = sub.add_parser("polish",
+                         help="run the 12-step cleaning pipeline")
+    pol.add_argument("--input", required=True)
+    pol.add_argument("--output", required=True)
+    pol.set_defaults(func=_cmd_polish)
+
+    cal = sub.add_parser("calibrate",
+                         help="find the threshold on alter egos (IV-E)")
+    cal.add_argument("--forum", required=True)
+    cal.add_argument("--seed", type=int, default=0)
+    cal.add_argument("--target-recall", type=float, default=0.80)
+    cal.set_defaults(func=_cmd_calibrate)
+
+    link = sub.add_parser("link",
+                          help="link unknown forum aliases to known ones")
+    link.add_argument("--known", required=True)
+    link.add_argument("--unknown", required=True)
+    link.add_argument("--threshold", type=float,
+                      default=PAPER_THRESHOLD)
+    link.add_argument("--batch-size", type=int, default=None,
+                      help="enable the IV-J batched pipeline")
+    link.set_defaults(func=_cmd_link)
+
+    prof = sub.add_parser("profile",
+                          help="extract a personal profile (V-D)")
+    prof.add_argument("--forum", required=True)
+    prof.add_argument("--alias", required=True)
+    prof.add_argument("--dark-alias", default=None,
+                      help="linked dark alias to name in the report")
+    prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Central configuration objects for the reproduction pipeline.
+
+The paper fixes a number of constants across its experiments; they are
+gathered here so that every module reads the same values and so that
+benchmarks can sweep them explicitly.  Table and section references below
+point at the ICDCS 2020 paper.
+
+The two feature budgets of Table II are exposed as the module-level
+constants :data:`SPACE_REDUCTION_FEATURES` and :data:`FINAL_FEATURES`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+# --- Paper-wide constants (Sections III-C, IV-B, IV-C, IV-D, IV-E) ---
+
+#: Minimum words for a message to be kept during polishing (step 5).
+MIN_MESSAGE_WORDS = 10
+
+#: Minimum ratio of distinct words to total words (polishing step 6).
+MIN_DISTINCT_WORD_RATIO = 0.5
+
+#: Words longer than this are dropped as non-words (polishing step 12).
+MAX_WORD_LENGTH = 34
+
+#: Minimum number of usable timestamps to build a daily activity profile.
+MIN_TIMESTAMPS = 30
+
+#: Words of polished text required per alias in the refined datasets.
+WORDS_PER_ALIAS = 1500
+
+#: Requirements to generate an alter-ego from a user (Section IV-D).
+ALTER_EGO_MIN_WORDS = 3000
+ALTER_EGO_MIN_TIMESTAMPS = 60
+
+#: Search-space reduction keeps this many candidates (Section IV-C).
+DEFAULT_K = 10
+
+#: The cosine-similarity threshold calibrated in Section IV-E.
+PAPER_THRESHOLD = 0.4190
+
+#: Default batch size for the RAM-bounded procedure of Section IV-J.
+DEFAULT_BATCH_SIZE = 100
+
+
+@dataclass(frozen=True)
+class FeatureBudget:
+    """How many features of each family to keep (one column of Table II).
+
+    Attributes
+    ----------
+    word_ngrams:
+        Number of word 1-3-grams kept, ordered by corpus frequency.
+    char_ngrams:
+        Number of character 1-5-grams kept, ordered by corpus frequency.
+    punctuation:
+        Number of punctuation-frequency features (fixed inventory).
+    digits:
+        Number of digit-frequency features ('0'..'9').
+    special_chars:
+        Number of special-character-frequency features.
+    activity_bins:
+        Number of daily-activity histogram bins (24 hours).
+    """
+
+    word_ngrams: int = 50_000
+    char_ngrams: int = 15_000
+    punctuation: int = 11
+    digits: int = 10
+    special_chars: int = 21
+    activity_bins: int = 24
+
+    def __post_init__(self) -> None:
+        for name in ("word_ngrams", "char_ngrams", "punctuation", "digits",
+                     "special_chars", "activity_bins"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+
+    @property
+    def text_total(self) -> int:
+        """Total number of text features (everything but the activity)."""
+        return (self.word_ngrams + self.char_ngrams + self.punctuation
+                + self.digits + self.special_chars)
+
+    @property
+    def total(self) -> int:
+        """Total feature-vector length including the activity profile."""
+        return self.text_total + self.activity_bins
+
+
+#: Feature budget for the search-space-reduction stage (Table II, middle).
+SPACE_REDUCTION_FEATURES = FeatureBudget(word_ngrams=60_000, char_ngrams=30_000)
+
+#: Feature budget for the final classification stage (Table II, right).
+FINAL_FEATURES = FeatureBudget(word_ngrams=50_000, char_ngrams=15_000)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """End-to-end configuration of the two-stage linking pipeline.
+
+    The defaults reproduce the configuration the paper settles on:
+    ``k = 10`` candidates, 1,500 words per alias, daily activity profile
+    enabled, lemmatization enabled, and the Table II feature budgets.
+    """
+
+    k: int = DEFAULT_K
+    words_per_alias: int = WORDS_PER_ALIAS
+    threshold: float = PAPER_THRESHOLD
+    use_activity: bool = True
+    use_lemmatization: bool = True
+    reduction_budget: FeatureBudget = field(default=SPACE_REDUCTION_FEATURES)
+    final_budget: FeatureBudget = field(default=FINAL_FEATURES)
+    min_timestamps: int = MIN_TIMESTAMPS
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.words_per_alias < 1:
+            raise ConfigurationError(
+                f"words_per_alias must be >= 1, got {self.words_per_alias}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {self.threshold}")
+        if self.min_timestamps < 0:
+            raise ConfigurationError(
+                f"min_timestamps must be >= 0, got {self.min_timestamps}")
+
+
+def bench_scale() -> str:
+    """Return the benchmark scale requested through ``REPRO_SCALE``.
+
+    ``"small"`` (the default) keeps benchmark worlds laptop-sized;
+    ``"paper"`` uses the paper's dataset sizes (slow).
+    """
+    scale = os.environ.get("REPRO_SCALE", "small").lower()
+    if scale not in {"small", "paper"}:
+        raise ConfigurationError(
+            f"REPRO_SCALE must be 'small' or 'paper', got {scale!r}")
+    return scale

@@ -1,0 +1,124 @@
+"""RAM-bounded batched attribution (Section IV-J).
+
+With tens of thousands of aliases and ~10^5 features, the full
+known-aliases matrix may not fit in memory.  The paper's remedy: split
+the known aliases into batches of *B* (the largest candidate count the
+hardware can handle), run 10-attribution inside each batch, pool the
+per-batch survivors, and repeat until at most *B* candidates remain;
+then run the usual final stage on that pool.
+
+The paper validates the procedure with B = 100 on the baseline-
+comparison dataset and reports precision 91% / recall 81% at the global
+threshold — nearly identical to the unbatched run, which is the claim
+the batch bench reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_K,
+    FINAL_FEATURES,
+    PAPER_THRESHOLD,
+    SPACE_REDUCTION_FEATURES,
+    FeatureBudget,
+)
+from repro.core.documents import AliasDocument
+from repro.core.features import DocumentEncoder, FeatureWeights
+from repro.core.kattribution import KAttributor
+from repro.core.linker import AliasLinker, LinkResult, Match
+from repro.errors import ConfigurationError
+
+
+class BatchedLinker:
+    """The iterative batched variant of :class:`AliasLinker`.
+
+    Parameters
+    ----------
+    batch_size:
+        *B*: the largest number of known aliases processed at once.
+    k:
+        Candidate-set size inside each batch (paper: 10).
+    threshold:
+        Final acceptance threshold.
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
+                 k: int = DEFAULT_K,
+                 threshold: float = PAPER_THRESHOLD,
+                 reduction_budget: FeatureBudget = SPACE_REDUCTION_FEATURES,
+                 final_budget: FeatureBudget = FINAL_FEATURES,
+                 weights: FeatureWeights | None = None,
+                 use_activity: bool = True) -> None:
+        if batch_size < 2:
+            raise ConfigurationError(
+                f"batch_size must be >= 2, got {batch_size}")
+        if k >= batch_size:
+            raise ConfigurationError(
+                f"k ({k}) must be smaller than batch_size ({batch_size})")
+        self.batch_size = batch_size
+        self.k = k
+        self.threshold = threshold
+        self.reduction_budget = reduction_budget
+        self.final_budget = final_budget
+        self.weights = weights or FeatureWeights()
+        self.use_activity = use_activity
+        self._known: Optional[List[AliasDocument]] = None
+
+    def fit(self, known: Sequence[AliasDocument]) -> "BatchedLinker":
+        """Register the known aliases (no global index is built)."""
+        if not known:
+            raise ConfigurationError("known corpus must not be empty")
+        self._known = list(known)
+        return self
+
+    def _reduce_pool(self, pool: Sequence[AliasDocument],
+                     unknowns: Sequence[AliasDocument],
+                     ) -> List[List[AliasDocument]]:
+        """One round: batch the pool, keep the top-k of each batch.
+
+        Returns the surviving candidate list for every unknown.
+        """
+        survivors: List[List[AliasDocument]] = [[] for _ in unknowns]
+        for start in range(0, len(pool), self.batch_size):
+            batch = list(pool[start:start + self.batch_size])
+            reducer = KAttributor(
+                k=min(self.k, len(batch)),
+                budget=self.reduction_budget,
+                weights=self.weights,
+                use_activity=self.use_activity,
+                encoder=DocumentEncoder(),
+            )
+            reducer.fit(batch)
+            for i, candidates in enumerate(reducer.reduce(unknowns)):
+                survivors[i].extend(candidates.documents)
+        return survivors
+
+    def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
+        """Run the batched pipeline for a set of unknown aliases."""
+        if self._known is None:
+            raise ConfigurationError("BatchedLinker.fit has not been called")
+        # Round 1 is shared: every unknown faces the same batches.
+        pools = self._reduce_pool(self._known, unknowns)
+        matches: List[Match] = []
+        candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
+        for unknown, pool in zip(unknowns, pools):
+            # Subsequent rounds shrink each unknown's private pool.
+            while len(pool) > self.batch_size:
+                pool = self._reduce_pool(pool, [unknown])[0]
+            linker = AliasLinker(
+                k=min(self.k, len(pool)),
+                threshold=self.threshold,
+                reduction_budget=self.reduction_budget,
+                final_budget=self.final_budget,
+                weights=self.weights,
+                use_activity=self.use_activity,
+            )
+            linker.fit(pool)
+            result = linker.link([unknown])
+            matches.extend(result.matches)
+            candidate_scores.update(result.candidate_scores)
+        return LinkResult(matches=matches,
+                          candidate_scores=candidate_scores)

@@ -1,0 +1,106 @@
+"""Weekend and holiday calendar arithmetic on epoch timestamps.
+
+The daily activity profile (Section IV-B) is built "without considering
+the weekend and the holidays, since in these days users typically change
+their habits".  This module decides, for a Unix timestamp, whether it
+falls on a weekend or on a holiday.
+
+Holidays follow the paper's Western-forum population: the fixed-date
+holidays observed across North America and Europe, Easter (computed with
+the anonymous Gregorian algorithm) plus Good Friday and Easter Monday,
+and US Thanksgiving (fourth Thursday of November) with the following
+Friday.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from functools import lru_cache
+from typing import FrozenSet, Tuple
+
+from repro.forums.models import DAY
+
+#: Fixed-date holidays as (month, day).
+FIXED_HOLIDAYS: Tuple[Tuple[int, int], ...] = (
+    (1, 1),    # New Year's Day
+    (2, 14),   # Valentine's Day (posting habits shift measurably)
+    (5, 1),    # May Day / Labour Day (Europe)
+    (7, 4),    # Independence Day (US)
+    (10, 31),  # Halloween
+    (12, 24),  # Christmas Eve
+    (12, 25),  # Christmas
+    (12, 26),  # Boxing Day
+    (12, 31),  # New Year's Eve
+)
+
+
+def easter_sunday(year: int) -> _dt.date:
+    """Date of Easter Sunday for *year* (Gregorian, anonymous algorithm)."""
+    a = year % 19
+    b, c = divmod(year, 100)
+    d, e = divmod(b, 4)
+    f = (b + 8) // 25
+    g = (b - f + 1) // 3
+    h = (19 * a + b - d - g + 15) % 30
+    i, k = divmod(c, 4)
+    l = (32 + 2 * e + 2 * i - h - k) % 7
+    m = (a + 11 * h + 22 * l) // 451
+    month, day = divmod(h + l - 7 * m + 114, 31)
+    return _dt.date(year, month, day + 1)
+
+
+def thanksgiving(year: int) -> _dt.date:
+    """US Thanksgiving: the fourth Thursday of November."""
+    november_first = _dt.date(year, 11, 1)
+    # weekday(): Monday=0 ... Thursday=3
+    offset = (3 - november_first.weekday()) % 7
+    return november_first + _dt.timedelta(days=offset + 21)
+
+
+@lru_cache(maxsize=64)
+def holidays_for_year(year: int) -> FrozenSet[_dt.date]:
+    """Every observed holiday date in *year*."""
+    dates = {_dt.date(year, month, day) for month, day in FIXED_HOLIDAYS}
+    easter = easter_sunday(year)
+    dates.add(easter)
+    dates.add(easter - _dt.timedelta(days=2))   # Good Friday
+    dates.add(easter + _dt.timedelta(days=1))   # Easter Monday
+    tg = thanksgiving(year)
+    dates.add(tg)
+    dates.add(tg + _dt.timedelta(days=1))       # Black Friday
+    return frozenset(dates)
+
+
+def date_of_timestamp(timestamp: int) -> _dt.date:
+    """UTC calendar date of a Unix *timestamp*."""
+    return _dt.datetime.fromtimestamp(
+        timestamp, tz=_dt.timezone.utc).date()
+
+
+def is_weekend(timestamp: int) -> bool:
+    """True when *timestamp* falls on Saturday or Sunday (UTC)."""
+    # Jan 1 1970 was a Thursday (weekday 3, Monday = 0).
+    weekday = ((timestamp // DAY) + 3) % 7
+    return weekday >= 5
+
+
+def is_holiday(timestamp: int) -> bool:
+    """True when *timestamp* falls on an observed holiday (UTC)."""
+    date = date_of_timestamp(timestamp)
+    return date in holidays_for_year(date.year)
+
+
+def is_excluded(timestamp: int) -> bool:
+    """True when the activity profile must skip this timestamp.
+
+    Combines the weekend and holiday rules of Section IV-B.
+    """
+    return is_weekend(timestamp) or is_holiday(timestamp)
+
+
+def timestamp_at(year: int, month: int, day: int, hour: int = 0,
+                 minute: int = 0, second: int = 0) -> int:
+    """Unix timestamp of a UTC wall-clock moment (test/data helper)."""
+    moment = _dt.datetime(year, month, day, hour, minute, second,
+                          tzinfo=_dt.timezone.utc)
+    return int(moment.timestamp())

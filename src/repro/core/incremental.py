@@ -1,0 +1,145 @@
+"""Incremental linking: grow the known-alias index without refitting.
+
+A deployment that monitors forums does not re-scrape the world every
+night; new aliases trickle in.  Refitting the full pipeline per new
+alias is wasteful — feature *selection* barely moves when one document
+joins a corpus of hundreds — so :class:`IncrementalLinker` freezes the
+selected n-gram space at the first fit and only:
+
+* appends the new documents' rows to the count matrix, and
+* refreshes the Idf (document frequencies are cheap to update).
+
+This is an approximation: genuinely novel n-grams introduced by new
+aliases are invisible until :meth:`refit` is called.  The approximation
+error is measurable (see ``tests/core/test_incremental.py``) and a
+``staleness`` counter tells callers when a refit is due.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.config import (
+    DEFAULT_K,
+    FINAL_FEATURES,
+    PAPER_THRESHOLD,
+    SPACE_REDUCTION_FEATURES,
+    FeatureBudget,
+)
+from repro.core.documents import AliasDocument
+from repro.core.features import DocumentEncoder, FeatureWeights
+from repro.core.linker import AliasLinker, LinkResult
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class IncrementalLinker:
+    """An :class:`~repro.core.linker.AliasLinker` that accepts new
+    known aliases cheaply.
+
+    Parameters
+    ----------
+    refit_after:
+        After this many incrementally added documents, ``stale``
+        becomes ``True`` to signal that a full :meth:`refit` is
+        advisable (the frozen feature space is drifting away from the
+        corpus).
+    """
+
+    def __init__(self, k: int = DEFAULT_K,
+                 threshold: float = PAPER_THRESHOLD,
+                 reduction_budget: FeatureBudget = SPACE_REDUCTION_FEATURES,
+                 final_budget: FeatureBudget = FINAL_FEATURES,
+                 weights: FeatureWeights | None = None,
+                 use_activity: bool = True,
+                 refit_after: int = 100) -> None:
+        if refit_after < 1:
+            raise ConfigurationError("refit_after must be >= 1")
+        self._make_linker = lambda: AliasLinker(
+            k=k, threshold=threshold,
+            reduction_budget=reduction_budget,
+            final_budget=final_budget,
+            weights=weights, use_activity=use_activity)
+        self.refit_after = refit_after
+        self._linker: Optional[AliasLinker] = None
+        self._known: List[AliasDocument] = []
+        self._added_since_fit = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def n_known(self) -> int:
+        return len(self._known)
+
+    @property
+    def added_since_fit(self) -> int:
+        """Documents appended since the last full (re)fit."""
+        return self._added_since_fit
+
+    @property
+    def stale(self) -> bool:
+        """Whether enough documents accumulated to warrant a refit."""
+        return self._added_since_fit >= self.refit_after
+
+    def fit(self, known: Sequence[AliasDocument]) -> "IncrementalLinker":
+        """Full fit on the initial corpus."""
+        if not known:
+            raise ConfigurationError("known corpus must not be empty")
+        self._known = list(known)
+        self._linker = self._make_linker()
+        self._linker.fit(self._known)
+        self._added_since_fit = 0
+        return self
+
+    def refit(self) -> "IncrementalLinker":
+        """Rebuild the feature space over everything accumulated."""
+        if not self._known:
+            raise NotFittedError("IncrementalLinker.fit not called")
+        self._linker = self._make_linker()
+        self._linker.fit(self._known)
+        self._added_since_fit = 0
+        return self
+
+    # -- incremental growth ---------------------------------------------------
+
+    def add_known(self, documents: Sequence[AliasDocument]) -> None:
+        """Append new known aliases inside the frozen feature space.
+
+        The new rows are vectorized with the *existing* selection, the
+        Idf is refreshed over the grown corpus, and the reduction index
+        is extended — no re-selection happens until :meth:`refit`.
+        """
+        if self._linker is None:
+            raise NotFittedError("IncrementalLinker.fit not called")
+        documents = list(documents)
+        if not documents:
+            return
+        existing = {d.doc_id for d in self._known}
+        for document in documents:
+            if document.doc_id in existing:
+                raise ConfigurationError(
+                    f"duplicate known alias {document.doc_id!r}")
+            existing.add(document.doc_id)
+        self._known.extend(documents)
+        self._added_since_fit += len(documents)
+        reducer = self._linker.reducer
+        # extend the fitted reducer in place: recompute counts for the
+        # grown corpus in the frozen space, refresh the Idf
+        extractor = reducer.extractor
+        counts = extractor._text_counts(self._known)
+        from repro.core.tfidf import TfidfModel
+
+        extractor._tfidf = TfidfModel().fit(counts)
+        reducer._known = self._known
+        reducer._known_matrix = extractor.transform(self._known)
+        self._linker._known = self._known
+
+    # -- querying --------------------------------------------------------------
+
+    def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
+        """Link unknowns against everything known so far."""
+        if self._linker is None:
+            raise NotFittedError("IncrementalLinker.fit not called")
+        return self._linker.link(list(unknowns))

@@ -1,0 +1,27 @@
+"""Countermeasures against the linking attack (Section VI).
+
+The paper closes with a discussion of how a user could defend herself:
+adversarial stylometry for the text features and schedule discipline
+for the daily activity profile.  This package implements both so the
+mitigation claims can be measured (see
+``benchmarks/bench_defense_countermeasures.py``).
+"""
+
+from repro.defense.obfuscation import (
+    ObfuscationConfig,
+    SLANG_EXPANSIONS,
+    SYNONYM_CANON,
+    StyleObfuscator,
+    TYPO_FIXES,
+)
+from repro.defense.scheduling import ScheduleJitterer, ScheduleShifter
+
+__all__ = [
+    "ObfuscationConfig",
+    "SLANG_EXPANSIONS",
+    "SYNONYM_CANON",
+    "StyleObfuscator",
+    "TYPO_FIXES",
+    "ScheduleJitterer",
+    "ScheduleShifter",
+]

@@ -1,0 +1,112 @@
+"""Posting-schedule countermeasures (Section VI).
+
+"The best way to protect themselves against daily activity profiles
+attack on different platforms is to post on a completely different
+time, for example on one forum in the morning and the other in the
+evening."  The paper argues this is *almost impractical* for a human —
+but a defense tool can do it mechanically.  Two strategies:
+
+* :class:`ScheduleShifter` — move every post to a fixed target window
+  (the paper's morning-vs-evening advice), destroying the cross-forum
+  profile correlation while keeping the user's day structure plausible;
+* :class:`ScheduleJitterer` — spread posts uniformly over the day,
+  flattening the profile entirely (a delay-posting queue bot).
+
+Both operate on timestamps only; text is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.forums.models import DAY, HOUR, Forum, Message, UserRecord
+
+
+def _retime_record(record: UserRecord, new_hour_of) -> UserRecord:
+    """Rebuild a record with per-message hours from *new_hour_of*."""
+    out = UserRecord(alias=record.alias, forum=record.forum,
+                     metadata=dict(record.metadata))
+    for message in record.messages:
+        day_start = message.timestamp - (message.timestamp % DAY)
+        hour, minute_seconds = new_hour_of(message)
+        from dataclasses import replace
+
+        out.messages.append(replace(
+            message, timestamp=day_start + hour * HOUR + minute_seconds))
+    return out
+
+
+@dataclass(frozen=True)
+class ScheduleShifter:
+    """Move every post into a fixed daily window.
+
+    Parameters
+    ----------
+    target_hour:
+        Start of the posting window (0..23, UTC).
+    window_hours:
+        Width of the window posts are spread over.
+    seed:
+        Randomness for the position inside the window.
+    """
+
+    target_hour: int = 8
+    window_hours: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.target_hour < 24:
+            raise ConfigurationError("target_hour must be in 0..23")
+        if not 1 <= self.window_hours <= 24:
+            raise ConfigurationError("window_hours must be in 1..24")
+
+    def apply_record(self, record: UserRecord) -> UserRecord:
+        rng = np.random.default_rng(self.seed)
+
+        def new_hour(message: Message):
+            offset = int(rng.integers(self.window_hours))
+            hour = (self.target_hour + offset) % 24
+            return hour, int(rng.integers(HOUR))
+
+        return _retime_record(record, new_hour)
+
+    def apply_forum(self, forum: Forum) -> Forum:
+        out = Forum(name=forum.name,
+                    utc_offset_hours=forum.utc_offset_hours,
+                    sections=list(forum.sections))
+        for alias, record in forum.users.items():
+            out.users[alias] = self.apply_record(record)
+        out.threads = dict(forum.threads)
+        return out
+
+
+@dataclass(frozen=True)
+class ScheduleJitterer:
+    """Spread posts uniformly over the 24 hours (a queue bot).
+
+    A flat profile carries no information: every candidate looks the
+    same to the activity feature, reducing the attack to pure
+    stylometry.
+    """
+
+    seed: int = 0
+
+    def apply_record(self, record: UserRecord) -> UserRecord:
+        rng = np.random.default_rng(self.seed)
+
+        def new_hour(message: Message):
+            return int(rng.integers(24)), int(rng.integers(HOUR))
+
+        return _retime_record(record, new_hour)
+
+    def apply_forum(self, forum: Forum) -> Forum:
+        out = Forum(name=forum.name,
+                    utc_offset_hours=forum.utc_offset_hours,
+                    sections=list(forum.sections))
+        for alias, record in forum.users.items():
+            out.users[alias] = self.apply_record(record)
+        out.threads = dict(forum.threads)
+        return out

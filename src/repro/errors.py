@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (e.g. a negative n-gram order, a
+    ``k`` of zero for k-attribution, an empty feature budget) so that
+    misconfigurations fail before any expensive computation starts.
+    """
+
+
+class InsufficientDataError(ReproError):
+    """A user or dataset does not meet the minimum data requirements.
+
+    The paper requires at least 30 usable timestamps to build a daily
+    activity profile and at least 1,500 words of polished text per alias
+    (Section IV-D).  Operations that cannot proceed below these floors
+    raise this error instead of silently producing unreliable profiles.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset file or in-memory dataset is malformed or inconsistent."""
+
+
+class ScrapeError(ReproError):
+    """The simulated scraper could not complete a collection run."""
+
+
+class NotFittedError(ReproError):
+    """A model-like object was used before being fitted.
+
+    Mirrors the scikit-learn convention: vectorizers and linkers must be
+    fitted on a corpus of known aliases before they can score unknowns.
+    """
+
+
+class LanguageDetectionError(ReproError):
+    """The language detector could not produce a usable verdict."""

@@ -1,0 +1,53 @@
+"""Evaluation: metrics, alter-ego dataset generation, the simulated
+manual-inspection protocol of Section V-A, and experiment orchestration.
+"""
+
+from repro.eval.alterego import (
+    AlterEgoDataset,
+    build_alter_ego_dataset,
+    prune_trivial_pairs,
+    split_record,
+)
+from repro.eval.groundtruth import (
+    FALSE,
+    PROBABLY_TRUE,
+    TRUE,
+    UNCLEAR,
+    VERDICTS,
+    EvaluationReport,
+    PairEvidence,
+    classify_pair,
+    disclosed_facts,
+    evaluate_matches,
+    ground_truth_verdicts,
+)
+from repro.eval.metrics import (
+    PRCurve,
+    accuracy_at_k,
+    curve_table,
+    pr_curve,
+    precision_recall_f1,
+)
+
+__all__ = [
+    "AlterEgoDataset",
+    "build_alter_ego_dataset",
+    "prune_trivial_pairs",
+    "split_record",
+    "FALSE",
+    "PROBABLY_TRUE",
+    "TRUE",
+    "UNCLEAR",
+    "VERDICTS",
+    "EvaluationReport",
+    "PairEvidence",
+    "classify_pair",
+    "disclosed_facts",
+    "evaluate_matches",
+    "ground_truth_verdicts",
+    "PRCurve",
+    "accuracy_at_k",
+    "curve_table",
+    "pr_curve",
+    "precision_recall_f1",
+]

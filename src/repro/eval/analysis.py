@@ -1,0 +1,246 @@
+"""Statistical analysis utilities for the experiments.
+
+The paper reports point estimates (accuracy, precision, recall) without
+uncertainty.  On a synthetic reproduction, where experiments are cheap
+to repeat, we can do better; this module provides:
+
+* :func:`bootstrap_ci` — percentile bootstrap confidence intervals for
+  any per-query statistic (accuracy@k, precision at a threshold);
+* :func:`mcnemar` — McNemar's paired test for "does configuration A
+  really beat configuration B on the same queries?" (used to check the
+  Fig. 4 activity-feature claim);
+* :func:`compare_accuracy` — the convenience wrapper the ablation
+  benches use, combining both;
+* :class:`ForumStatistics` — descriptive statistics of a forum
+  (message/word distributions, vocabulary richness, posting-hour
+  histogram) for dataset reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.forums.models import DAY, HOUR, Forum
+from repro.textproc.tokenizer import count_words, word_tokens
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A bootstrap interval for a statistic.
+
+    Attributes
+    ----------
+    estimate:
+        The point estimate on the full sample.
+    low / high:
+        Percentile bootstrap bounds.
+    level:
+        Coverage level (e.g. 0.95).
+    """
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+
+    def __str__(self) -> str:
+        return (f"{self.estimate:.3f} "
+                f"[{self.low:.3f}, {self.high:.3f}]@{self.level:.0%}")
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_ci(values: Sequence[float],
+                 statistic: Callable[[np.ndarray], float] = np.mean,
+                 n_resamples: int = 2000,
+                 level: float = 0.95,
+                 seed: int = 0) -> ConfidenceInterval:
+    """Percentile bootstrap CI for *statistic* over *values*.
+
+    Parameters
+    ----------
+    values:
+        Per-query outcomes (e.g. 0/1 correctness indicators).
+    statistic:
+        Function mapping a sample to a scalar (default: mean).
+    n_resamples:
+        Bootstrap resamples.
+    level:
+        Interval coverage.
+    seed:
+        Resampling seed (results are deterministic given it).
+    """
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples)
+    n = data.size
+    for i in range(n_resamples):
+        sample = data[rng.integers(0, n, size=n)]
+        estimates[i] = statistic(sample)
+    alpha = (1.0 - level) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(data)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        level=level,
+    )
+
+
+@dataclass(frozen=True)
+class McNemarResult:
+    """Outcome of McNemar's paired test.
+
+    ``b`` counts queries A got right and B wrong; ``c`` the reverse.
+    The exact binomial p-value tests the null that both configurations
+    are equally accurate.
+    """
+
+    b: int
+    c: int
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < 0.05
+
+
+def mcnemar(correct_a: Sequence[bool],
+            correct_b: Sequence[bool]) -> McNemarResult:
+    """Exact McNemar test on paired per-query correctness vectors."""
+    if len(correct_a) != len(correct_b):
+        raise ValueError("paired vectors must have equal length")
+    b = sum(1 for x, y in zip(correct_a, correct_b) if x and not y)
+    c = sum(1 for x, y in zip(correct_a, correct_b) if y and not x)
+    n = b + c
+    if n == 0:
+        return McNemarResult(b=0, c=0, p_value=1.0)
+    # two-sided exact binomial test with p = 0.5
+    k = min(b, c)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / (2.0 ** n)
+    p_value = min(1.0, 2.0 * tail)
+    return McNemarResult(b=b, c=c, p_value=p_value)
+
+
+@dataclass(frozen=True)
+class AccuracyComparison:
+    """A full paired comparison of two configurations."""
+
+    ci_a: ConfidenceInterval
+    ci_b: ConfidenceInterval
+    test: McNemarResult
+
+    def summary(self, name_a: str = "A", name_b: str = "B") -> str:
+        verdict = ("significant"
+                   if self.test.significant else "not significant")
+        return (f"{name_a}: {self.ci_a}  {name_b}: {self.ci_b}  "
+                f"McNemar b={self.test.b} c={self.test.c} "
+                f"p={self.test.p_value:.4f} ({verdict})")
+
+
+def compare_accuracy(correct_a: Sequence[bool],
+                     correct_b: Sequence[bool],
+                     seed: int = 0) -> AccuracyComparison:
+    """Bootstrap both accuracies and McNemar-test the difference."""
+    return AccuracyComparison(
+        ci_a=bootstrap_ci([float(x) for x in correct_a], seed=seed),
+        ci_b=bootstrap_ci([float(x) for x in correct_b], seed=seed),
+        test=mcnemar(correct_a, correct_b),
+    )
+
+
+@dataclass
+class ForumStatistics:
+    """Descriptive statistics of one forum.
+
+    Attributes
+    ----------
+    n_users / n_messages / n_words:
+        Corpus sizes.
+    words_per_user:
+        Percentiles of the per-user word counts (the Fig. 1 data).
+    messages_per_user:
+        Percentiles of per-user message counts.
+    vocabulary_size:
+        Distinct (casefolded) word types in the corpus.
+    type_token_ratio:
+        Vocabulary richness: types / tokens.
+    hour_histogram:
+        Fraction of messages per UTC hour (24 bins).
+    """
+
+    n_users: int
+    n_messages: int
+    n_words: int
+    words_per_user: Dict[int, float]
+    messages_per_user: Dict[int, float]
+    vocabulary_size: int
+    type_token_ratio: float
+    hour_histogram: np.ndarray
+
+    PERCENTILES = (10, 25, 50, 75, 90)
+
+    @classmethod
+    def of(cls, forum: Forum) -> "ForumStatistics":
+        """Compute the statistics of *forum*."""
+        words_per_user: List[int] = []
+        messages_per_user: List[int] = []
+        vocabulary: set = set()
+        total_words = 0
+        hours = np.zeros(24, dtype=np.float64)
+        for record in forum.users.values():
+            user_words = 0
+            for message in record.messages:
+                tokens = word_tokens(message.text)
+                user_words += len(tokens)
+                vocabulary.update(tokens)
+                hours[(message.timestamp % DAY) // HOUR] += 1
+            words_per_user.append(user_words)
+            messages_per_user.append(len(record.messages))
+            total_words += user_words
+        words_arr = np.asarray(words_per_user, dtype=np.float64)
+        msgs_arr = np.asarray(messages_per_user, dtype=np.float64)
+        total_messages = int(msgs_arr.sum()) if msgs_arr.size else 0
+        return cls(
+            n_users=forum.n_users,
+            n_messages=total_messages,
+            n_words=total_words,
+            words_per_user={
+                p: float(np.percentile(words_arr, p))
+                for p in cls.PERCENTILES
+            } if words_arr.size else {},
+            messages_per_user={
+                p: float(np.percentile(msgs_arr, p))
+                for p in cls.PERCENTILES
+            } if msgs_arr.size else {},
+            vocabulary_size=len(vocabulary),
+            type_token_ratio=(len(vocabulary) / total_words
+                              if total_words else 0.0),
+            hour_histogram=(hours / hours.sum()
+                            if hours.sum() else hours),
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary."""
+        lines = [
+            f"users: {self.n_users}  messages: {self.n_messages}  "
+            f"words: {self.n_words}",
+            f"vocabulary: {self.vocabulary_size} types "
+            f"(TTR {self.type_token_ratio:.4f})",
+        ]
+        if self.words_per_user:
+            per = "  ".join(f"p{p}={v:.0f}"
+                            for p, v in self.words_per_user.items())
+            lines.append(f"words/user: {per}")
+        peak = int(np.argmax(self.hour_histogram))
+        lines.append(f"busiest UTC hour: {peak:02d}:00 "
+                     f"({self.hour_histogram[peak]:.1%} of messages)")
+        return lines

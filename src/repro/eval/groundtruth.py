@@ -1,0 +1,216 @@
+"""Simulated manual evaluation (Section V-A).
+
+The paper has no ground truth for its real experiments, so every output
+pair was inspected by hand and classified:
+
+* **True** — "clear evidence that the two aliases belong to the same
+  user", e.g. the user declares her username on the other forum, or
+  leaks unique data (same e-mail, same referral link with her nickname
+  in the URL);
+* **Probably True** — strong but not unique overlaps (same country,
+  same vendor, same drugs, same hobbies);
+* **Unclear** — no exploitable information on either side;
+* **False** — contradictory disclosures (one alias is 20, the other 34;
+  Christian vs Atheist; Poland vs USA...).
+
+The synthetic world records every disclosure in message metadata, so
+this module can replay exactly that protocol automatically — both over
+the algorithm's output pairs (benches for §V-B and §V-C) and over
+arbitrary alias pairs in tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.documents import AliasDocument
+from repro.core.linker import Match
+from repro.synth import evidence as ev
+
+#: The four verdicts of Section V-A.
+TRUE = "True"
+PROBABLY_TRUE = "Probably True"
+UNCLEAR = "Unclear"
+FALSE = "False"
+
+VERDICTS = (TRUE, PROBABLY_TRUE, UNCLEAR, FALSE)
+
+#: Minimum number of agreeing soft facts for a Probably-True verdict.
+MIN_SOFT_AGREEMENTS = 2
+
+
+def disclosed_facts(document: AliasDocument) -> Dict[str, Set[str]]:
+    """All facts an alias disclosed, grouped by kind.
+
+    Reads the structured ``disclosures`` metadata that
+    :func:`repro.core.documents.build_document` aggregates from message
+    metadata.  A kind can hold several values (a user may mention two
+    hobbies).
+    """
+    raw = document.metadata.get("disclosures", {})
+    return {kind: set(values) for kind, values in raw.items()}
+
+
+@dataclass(frozen=True)
+class PairEvidence:
+    """The evidence supporting one verdict.
+
+    Attributes
+    ----------
+    verdict:
+        One of :data:`VERDICTS`.
+    unique_matches:
+        Unique-identifier kinds that matched (alias refs, e-mails,
+        referral links) — the paper's True-grade evidence.
+    agreements:
+        Soft kinds where both aliases disclosed the same value.
+    contradictions:
+        Kinds where both aliases disclosed *different* values.
+    """
+
+    verdict: str
+    unique_matches: Tuple[str, ...] = ()
+    agreements: Tuple[str, ...] = ()
+    contradictions: Tuple[str, ...] = ()
+
+
+def _alias_ref_hits(facts_a: Mapping[str, Set[str]],
+                    doc_b: AliasDocument) -> bool:
+    """Did alias A declare alias B (``forum:alias`` reference)?"""
+    for ref in facts_a.get(ev.ALIAS_REF, ()):
+        _, _, referred = ref.partition(":")
+        if referred and (referred == doc_b.alias
+                         or doc_b.alias.endswith("/" + referred)
+                         or referred == doc_b.alias.split("/")[-1]):
+            return True
+    return False
+
+
+def classify_pair(doc_a: AliasDocument,
+                  doc_b: AliasDocument) -> PairEvidence:
+    """Classify an alias pair exactly as the paper's human protocol.
+
+    Priority: unique identity leaks make the pair **True** regardless of
+    anything else (the paper trusts an explicit self-declaration over
+    inconsistent chatter); otherwise any contradiction makes it
+    **False**; otherwise enough soft agreements make it **Probably
+    True**; otherwise **Unclear**.
+    """
+    facts_a = disclosed_facts(doc_a)
+    facts_b = disclosed_facts(doc_b)
+
+    unique: List[str] = []
+    bare_a = doc_a.alias.split("/")[-1].lower()
+    bare_b = doc_b.alias.split("/")[-1].lower()
+    if bare_a == bare_b:
+        # vendors "use their name as a brand" across forums (§V-C):
+        # an identical nickname is the strongest possible evidence.
+        unique.append("same_alias")
+    if _alias_ref_hits(facts_a, doc_b) or _alias_ref_hits(facts_b, doc_a):
+        unique.append(ev.ALIAS_REF)
+    for kind in (ev.REFERRAL_LINK, ev.EMAIL):
+        if facts_a.get(kind) and facts_a.get(kind) == facts_b.get(kind):
+            unique.append(kind)
+
+    agreements: List[str] = []
+    contradictions: List[str] = []
+    shared_kinds = set(facts_a) & set(facts_b)
+    for kind in sorted(shared_kinds):
+        if kind in ev.UNIQUE_KINDS:
+            continue
+        values_a, values_b = facts_a[kind], facts_b[kind]
+        if values_a & values_b:
+            agreements.append(kind)
+        elif kind in ev.CONTRADICTION_KINDS:
+            contradictions.append(kind)
+
+    if unique:
+        verdict = TRUE
+    elif contradictions:
+        verdict = FALSE
+    elif len(agreements) >= MIN_SOFT_AGREEMENTS:
+        verdict = PROBABLY_TRUE
+    else:
+        verdict = UNCLEAR
+    return PairEvidence(
+        verdict=verdict,
+        unique_matches=tuple(unique),
+        agreements=tuple(agreements),
+        contradictions=tuple(contradictions),
+    )
+
+
+@dataclass
+class EvaluationReport:
+    """Outcome of evaluating a set of output pairs (§V-B / §V-C style).
+
+    Attributes
+    ----------
+    classified:
+        ``(match, evidence)`` for every accepted pair.
+    counts:
+        Verdict histogram, e.g. ``{"True": 7, "Unclear": 1, "False": 3}``.
+    """
+
+    classified: List[Tuple[Match, PairEvidence]] = field(
+        default_factory=list)
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.classified)
+
+    def summary_rows(self) -> List[Tuple[str, int]]:
+        """Rows for printing: one per verdict, Table-like."""
+        return [(verdict, self.counts.get(verdict, 0))
+                for verdict in VERDICTS]
+
+
+def evaluate_matches(matches: Sequence[Match],
+                     documents: Mapping[str, AliasDocument],
+                     accepted_only: bool = True) -> EvaluationReport:
+    """Run the §V-A protocol over a linker's output.
+
+    Parameters
+    ----------
+    matches:
+        Output of :meth:`repro.core.linker.AliasLinker.link`.
+    documents:
+        ``doc_id -> document`` covering both sides of every match.
+    accepted_only:
+        Evaluate only pairs above the threshold (the paper inspects the
+        algorithm's actual output).
+    """
+    report = EvaluationReport()
+    for match in matches:
+        if accepted_only and not match.accepted:
+            continue
+        doc_a = documents[match.unknown_id]
+        doc_b = documents[match.candidate_id]
+        evidence = classify_pair(doc_a, doc_b)
+        report.classified.append((match, evidence))
+        report.counts[evidence.verdict] += 1
+    return report
+
+
+def ground_truth_verdicts(matches: Sequence[Match],
+                          truth: Mapping[str, str]) -> Dict[str, int]:
+    """Exact correctness counts when real ground truth *is* available.
+
+    The synthetic world knows the links, so benches can report both the
+    paper-style evidence verdicts and the exact confusion counts.
+    """
+    correct = wrong = no_truth = 0
+    for match in matches:
+        if not match.accepted:
+            continue
+        expected = truth.get(match.unknown_id)
+        if expected is None:
+            no_truth += 1
+        elif expected == match.candidate_id:
+            correct += 1
+        else:
+            wrong += 1
+    return {"correct": correct, "wrong": wrong, "no_truth": no_truth}

@@ -1,0 +1,158 @@
+"""Evaluation metrics: precision-recall curves, AUC, accuracy@k.
+
+The paper evaluates its matcher with precision-recall curves swept over
+the second-stage cosine score (Figs. 2, 3, 5), the area under those
+curves (Table VI), and reduction accuracy at k (Table III, Fig. 4).
+
+Conventions (matching Section IV-E):
+
+* every unknown alias contributes at most one *output pair* — its best
+  candidate;
+* a pair is **correct** when the candidate is the unknown's true alias;
+* **recall** divides by the number of unknowns that truly have a match
+  among the known aliases (an unknown with no alter ego in the corpus
+  can only hurt precision, never recall);
+* **precision** divides by the number of pairs output at the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PRCurve:
+    """A precision-recall curve swept over score thresholds.
+
+    Attributes
+    ----------
+    thresholds:
+        Candidate thresholds, descending (every distinct score).
+    precisions / recalls:
+        Metrics of the output set at each threshold.
+    n_positive:
+        The recall denominator (unknowns with a true match).
+    """
+
+    thresholds: np.ndarray
+    precisions: np.ndarray
+    recalls: np.ndarray
+    n_positive: int
+
+    def auc(self) -> float:
+        """Area under the precision-recall curve.
+
+        Computed with the trapezoid rule over recall after anchoring
+        the curve at recall 0 (with the first precision value).  The
+        result is in [0, 1]; higher is better (Table VI).
+        """
+        if len(self.recalls) == 0:
+            return 0.0
+        recalls = np.concatenate([[0.0], self.recalls])
+        precisions = np.concatenate([[self.precisions[0]],
+                                     self.precisions])
+        order = np.argsort(recalls, kind="stable")
+        return float(np.trapezoid(precisions[order], recalls[order]))
+
+    def at_threshold(self, threshold: float) -> Tuple[float, float]:
+        """(precision, recall) of the output set at *threshold*."""
+        mask = self.thresholds >= threshold
+        if not mask.any():
+            return 1.0, 0.0
+        idx = int(np.flatnonzero(mask)[-1])
+        return float(self.precisions[idx]), float(self.recalls[idx])
+
+    def threshold_for_recall(self, target_recall: float) -> float:
+        """Smallest threshold whose recall reaches *target_recall*.
+
+        This is how Table V picks per-forum thresholds ("the thresholds
+        associated with 80% recall").  When the target is unreachable,
+        the lowest available threshold is returned.
+        """
+        mask = self.recalls >= target_recall
+        if not mask.any():
+            return float(self.thresholds[-1])
+        idx = int(np.flatnonzero(mask)[0])
+        return float(self.thresholds[idx])
+
+
+def pr_curve(scores: Sequence[float], labels: Sequence[bool],
+             n_positive: Optional[int] = None) -> PRCurve:
+    """Build a :class:`PRCurve` from per-pair scores and correctness.
+
+    Parameters
+    ----------
+    scores:
+        Best-candidate score of each unknown alias.
+    labels:
+        Whether that best candidate is the true match.
+    n_positive:
+        Recall denominator; defaults to ``sum(labels)`` (i.e. assumes
+        every true match that exists was ranked first by someone).
+        Experiments that know the real number of linked aliases should
+        pass it explicitly.
+    """
+    score_array = np.asarray(scores, dtype=np.float64)
+    label_array = np.asarray(labels, dtype=bool)
+    if score_array.shape != label_array.shape:
+        raise ValueError("scores and labels must have the same length")
+    if n_positive is None:
+        n_positive = int(label_array.sum())
+    if score_array.size == 0 or n_positive == 0:
+        return PRCurve(thresholds=np.empty(0), precisions=np.empty(0),
+                       recalls=np.empty(0), n_positive=n_positive)
+    order = np.argsort(-score_array, kind="stable")
+    sorted_scores = score_array[order]
+    sorted_labels = label_array[order]
+    tp = np.cumsum(sorted_labels)
+    output = np.arange(1, len(sorted_labels) + 1)
+    precision = tp / output
+    recall = tp / n_positive
+    # Collapse ties: keep the last entry of every distinct score.
+    distinct = np.ones(len(sorted_scores), dtype=bool)
+    distinct[:-1] = sorted_scores[1:] != sorted_scores[:-1]
+    return PRCurve(
+        thresholds=sorted_scores[distinct],
+        precisions=precision[distinct],
+        recalls=recall[distinct],
+        n_positive=n_positive,
+    )
+
+
+def precision_recall_f1(n_correct: int, n_output: int,
+                        n_positive: int) -> Tuple[float, float, float]:
+    """Point metrics from raw counts (used by the §V result tables)."""
+    precision = n_correct / n_output if n_output else 0.0
+    recall = n_correct / n_positive if n_positive else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def accuracy_at_k(ranks: Sequence[int], k: int) -> float:
+    """Fraction of queries whose true match ranked within the top k."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rank_array = np.asarray(ranks)
+    if rank_array.size == 0:
+        return 0.0
+    return float(np.mean(rank_array <= k))
+
+
+def curve_table(curve: PRCurve, points: int = 20) -> List[Dict[str, float]]:
+    """Downsample a curve into printable rows (for the benches)."""
+    if len(curve.thresholds) == 0:
+        return []
+    idx = np.linspace(0, len(curve.thresholds) - 1,
+                      min(points, len(curve.thresholds))).astype(int)
+    return [
+        {
+            "threshold": float(curve.thresholds[i]),
+            "precision": float(curve.precisions[i]),
+            "recall": float(curve.recalls[i]),
+        }
+        for i in idx
+    ]

@@ -1,0 +1,108 @@
+"""Aggregate benchmark result files into a single report.
+
+Every bench writes its measured table under ``benchmarks/results/``;
+this module collects those files into one markdown document so
+EXPERIMENTS.md's "measured" sections can be regenerated after a bench
+run instead of being copied by hand:
+
+    python -m repro.eval.reporting benchmarks/results > report.md
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+#: Preferred ordering of result sections (paper order); anything not
+#: listed is appended alphabetically.
+SECTION_ORDER = (
+    "table1_reddit_composition",
+    "fig1_word_cdf",
+    "table2_feature_config",
+    "table3_kattribution_words",
+    "table4_dataset_sizes",
+    "fig2_threshold_calibration",
+    "fig3_baseline_comparison",
+    "table5_threshold_transfer",
+    "table6_auc_reduction",
+    "fig4_activity_impact_reddit",
+    "fig4_activity_impact_darkweb",
+    "batch_processing",
+    "results_tmg_vs_dm",
+    "results_reddit_vs_darkweb",
+    "profile_extraction",
+    "ablation_restage",
+    "ablation_lemmatization",
+    "ablation_polishing",
+    "defense_countermeasures",
+    "time_range_sensitivity",
+)
+
+
+@dataclass(frozen=True)
+class ResultSection:
+    """One bench's persisted output."""
+
+    name: str
+    body: str
+
+    @property
+    def title(self) -> str:
+        return self.name.replace("_", " ")
+
+
+def load_sections(results_dir: Path) -> List[ResultSection]:
+    """Read every ``*.txt`` result file in paper order."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"{results_dir} is not a directory")
+    available = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    ordered: List[ResultSection] = []
+    for name in SECTION_ORDER:
+        path = available.pop(name, None)
+        if path is not None:
+            ordered.append(ResultSection(
+                name=name, body=path.read_text(encoding="utf-8")))
+    for name in sorted(available):
+        ordered.append(ResultSection(
+            name=name,
+            body=available[name].read_text(encoding="utf-8")))
+    return ordered
+
+
+def render_markdown(sections: Sequence[ResultSection],
+                    heading: str = "Measured benchmark results",
+                    ) -> str:
+    """Render the sections as one markdown document."""
+    lines: List[str] = [f"# {heading}", ""]
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(section.body.rstrip("\n"))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.eval.reporting <results-dir>",
+              file=sys.stderr)
+        return 2
+    try:
+        sections = load_sections(Path(args[0]))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not sections:
+        print("error: no result files found", file=sys.stderr)
+        return 1
+    print(render_markdown(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Forum substrate: data model, storage, topic taxonomy and simulated
+scrapers for Reddit, The Majestic Garden, and the Dream Market forum.
+"""
+
+from repro.forums.models import (
+    DAY,
+    HOUR,
+    Forum,
+    Message,
+    Thread,
+    UserRecord,
+    merge_forums,
+)
+from repro.forums.storage import (
+    iter_user_records,
+    load_forum,
+    load_world,
+    save_forum,
+    save_world,
+)
+from repro.forums.topics import (
+    TABLE_I,
+    TOPICS_BY_NAME,
+    TopicSpec,
+    topic_names,
+)
+
+__all__ = [
+    "DAY",
+    "HOUR",
+    "Forum",
+    "Message",
+    "Thread",
+    "UserRecord",
+    "merge_forums",
+    "iter_user_records",
+    "load_forum",
+    "load_world",
+    "save_forum",
+    "save_world",
+    "TABLE_I",
+    "TOPICS_BY_NAME",
+    "TopicSpec",
+    "topic_names",
+]

@@ -1,0 +1,65 @@
+"""Simulated dark-web forum collection (Section III-B).
+
+The Majestic Garden and the Dream Market forum are hidden services:
+slow Tor circuits, no API, occasional circuit failures.  The simulated
+scraper models those conditions (higher latency, higher transient
+failure rate) on top of the generic pagination machinery, and — like
+the paper — collects every accessible section.
+
+On The Majestic Garden each vendor has their own thread whose first
+post is the showcase; :meth:`DarkWebScraper.vendor_threads` exposes
+them, since the §V-C analysis leans on vendors using their alias as a
+brand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.forums.models import Forum, Thread
+from repro.forums.scraper import ForumScraper, ScrapeSession
+
+#: Hidden services answer slowly and fail more often than the clearnet.
+TOR_MEAN_LATENCY = 2.5
+TOR_FAILURE_RATE = 0.05
+
+
+def tor_session(seed: int = 0) -> ScrapeSession:
+    """A scrape session parameterized like a Tor circuit."""
+    return ScrapeSession(
+        seed=seed,
+        min_interval=2.0,
+        failure_rate=TOR_FAILURE_RATE,
+        mean_latency=TOR_MEAN_LATENCY,
+        max_retries=5,
+    )
+
+
+class DarkWebScraper(ForumScraper):
+    """Crawl a hidden-service forum over a simulated Tor session."""
+
+    def __init__(self, source: Forum,
+                 session: Optional[ScrapeSession] = None,
+                 seed: int = 0) -> None:
+        super().__init__(source, session or tor_session(seed))
+
+    def vendor_threads(self) -> List[Thread]:
+        """Threads whose opener looks like a vendor showcase.
+
+        Heuristic matching the synthetic generator (and the real TMG
+        convention): the first post introduces an "official ... thread".
+        """
+        index = self._message_index()
+        vendors: List[Thread] = []
+        for thread in self.source.threads.values():
+            if not thread.message_ids:
+                continue
+            first = index.get(thread.message_ids[0])
+            if first is not None and "official" in first.text.lower() \
+                    and "thread" in first.text.lower():
+                vendors.append(thread)
+        return vendors
+
+    def collect(self) -> Forum:
+        """Scrape every accessible section (Section III-B)."""
+        return super().collect()

@@ -1,0 +1,327 @@
+"""Data model for forums, users, threads, and messages.
+
+Every dataset in the reproduction — the synthetic Reddit world, The
+Majestic Garden, the Dream Market forum — is represented with the same
+small set of immutable records.  Timestamps are stored as Unix epoch
+seconds in UTC; each :class:`Forum` additionally records the UTC offset
+its *displayed* times use, because the paper must re-align per-forum
+local times to UTC before comparing daily activity profiles
+(Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import DatasetError
+
+#: Seconds in an hour/day, used throughout timestamp arithmetic.
+HOUR = 3600
+DAY = 24 * HOUR
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single forum post.
+
+    Attributes
+    ----------
+    message_id:
+        Identifier unique within its forum.
+    author:
+        The alias (nickname) that posted the message.
+    text:
+        Raw message text as collected; polishing happens later.
+    timestamp:
+        Posting time, Unix epoch seconds, always UTC.
+    forum:
+        Name of the forum the message was collected from.
+    section:
+        Sub-community: a subreddit on Reddit, a board section on the
+        dark-web forums.
+    parent_id:
+        The message this one replies to, if any.
+    metadata:
+        Free-form extras (e.g. synthetic ground-truth annotations).
+    """
+
+    message_id: str
+    author: str
+    text: str
+    timestamp: int
+    forum: str
+    section: str = ""
+    parent_id: Optional[str] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def with_text(self, text: str) -> "Message":
+        """Return a copy of this message with *text* replaced."""
+        return replace(self, text=text)
+
+    @property
+    def hour_utc(self) -> int:
+        """Hour of day (0..23) of the posting time in UTC."""
+        return (self.timestamp % DAY) // HOUR
+
+    @property
+    def day_index(self) -> int:
+        """Number of whole days since the epoch (UTC)."""
+        return self.timestamp // DAY
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-compatible dict."""
+        data: Dict[str, Any] = {
+            "message_id": self.message_id,
+            "author": self.author,
+            "text": self.text,
+            "timestamp": self.timestamp,
+            "forum": self.forum,
+            "section": self.section,
+        }
+        if self.parent_id is not None:
+            data["parent_id"] = self.parent_id
+        if self.metadata:
+            data["metadata"] = dict(self.metadata)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Message":
+        """Deserialize from :meth:`to_dict` output."""
+        try:
+            return cls(
+                message_id=str(data["message_id"]),
+                author=str(data["author"]),
+                text=str(data["text"]),
+                timestamp=int(data["timestamp"]),
+                forum=str(data["forum"]),
+                section=str(data.get("section", "")),
+                parent_id=data.get("parent_id"),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed message record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A discussion thread: an ordered sequence of message ids.
+
+    Threads matter to the simulated scrapers (topics are collected from
+    most- to least-upvoted, Section III-A) and to vendor showcases on
+    The Majestic Garden, where the first post is the vendor's ad and the
+    replies are customer reviews.
+    """
+
+    thread_id: str
+    forum: str
+    section: str
+    title: str
+    author: str
+    message_ids: Tuple[str, ...] = ()
+    upvotes: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "thread_id": self.thread_id,
+            "forum": self.forum,
+            "section": self.section,
+            "title": self.title,
+            "author": self.author,
+            "message_ids": list(self.message_ids),
+            "upvotes": self.upvotes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Thread":
+        try:
+            return cls(
+                thread_id=str(data["thread_id"]),
+                forum=str(data["forum"]),
+                section=str(data["section"]),
+                title=str(data.get("title", "")),
+                author=str(data.get("author", "")),
+                message_ids=tuple(data.get("message_ids", ())),
+                upvotes=int(data.get("upvotes", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed thread record: {exc}") from exc
+
+
+@dataclass
+class UserRecord:
+    """An alias on one forum together with everything it posted.
+
+    This is the unit the whole pipeline operates on: polishing filters
+    its messages, the refinement step checks its word/timestamp floors,
+    the feature extractor turns it into a vector.
+    """
+
+    alias: str
+    forum: str
+    messages: List[Message] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, message: Message) -> None:
+        """Append a message; the author must match this alias."""
+        if message.author != self.alias:
+            raise DatasetError(
+                f"message author {message.author!r} does not match "
+                f"user record alias {self.alias!r}")
+        self.messages.append(message)
+
+    @property
+    def timestamps(self) -> List[int]:
+        """All posting timestamps (epoch seconds, UTC)."""
+        return [m.timestamp for m in self.messages]
+
+    def total_words(self) -> int:
+        """Total word-token count over all messages (lazy import)."""
+        from repro.textproc.tokenizer import count_words
+
+        return sum(count_words(m.text) for m in self.messages)
+
+    def sections(self) -> Dict[str, int]:
+        """Message counts per section (subreddit / board)."""
+        counts: Dict[str, int] = {}
+        for m in self.messages:
+            counts[m.section] = counts.get(m.section, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "alias": self.alias,
+            "forum": self.forum,
+            "messages": [m.to_dict() for m in self.messages],
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UserRecord":
+        try:
+            record = cls(
+                alias=str(data["alias"]),
+                forum=str(data["forum"]),
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise DatasetError(f"malformed user record: {exc}") from exc
+        for raw in data.get("messages", ()):
+            record.messages.append(Message.from_dict(raw))
+        return record
+
+
+@dataclass
+class Forum:
+    """A forum: a named collection of users, messages and threads.
+
+    Attributes
+    ----------
+    name:
+        Forum name, e.g. ``"reddit"``, ``"tmg"``, ``"dm"``.
+    utc_offset_hours:
+        The UTC offset of timestamps as *displayed* by the forum
+        software.  Raw scraped timestamps arrive in this local time and
+        must be shifted back to UTC (Section IV-B); the simulated
+        scrapers reproduce this quirk.
+    sections:
+        Known sections (subreddits / boards).
+    """
+
+    name: str
+    utc_offset_hours: int = 0
+    sections: List[str] = field(default_factory=list)
+    users: Dict[str, UserRecord] = field(default_factory=dict)
+    threads: Dict[str, Thread] = field(default_factory=dict)
+
+    def user(self, alias: str) -> UserRecord:
+        """Get (or lazily create) the record for *alias*."""
+        if alias not in self.users:
+            self.users[alias] = UserRecord(alias=alias, forum=self.name)
+        return self.users[alias]
+
+    def add_message(self, message: Message) -> None:
+        """Insert a message, creating the author record if needed."""
+        if message.forum != self.name:
+            raise DatasetError(
+                f"message forum {message.forum!r} does not match "
+                f"forum {self.name!r}")
+        self.user(message.author).add(message)
+        if message.section and message.section not in self.sections:
+            self.sections.append(message.section)
+
+    def add_thread(self, thread: Thread) -> None:
+        if thread.forum != self.name:
+            raise DatasetError(
+                f"thread forum {thread.forum!r} does not match "
+                f"forum {self.name!r}")
+        self.threads[thread.thread_id] = thread
+
+    def iter_messages(self) -> Iterator[Message]:
+        """Iterate over every message of every user."""
+        for record in self.users.values():
+            yield from record.messages
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_messages(self) -> int:
+        return sum(len(u.messages) for u in self.users.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "utc_offset_hours": self.utc_offset_hours,
+            "sections": list(self.sections),
+            "users": [u.to_dict() for u in self.users.values()],
+            "threads": [t.to_dict() for t in self.threads.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Forum":
+        try:
+            forum = cls(
+                name=str(data["name"]),
+                utc_offset_hours=int(data.get("utc_offset_hours", 0)),
+                sections=list(data.get("sections", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DatasetError(f"malformed forum record: {exc}") from exc
+        for raw in data.get("users", ()):
+            record = UserRecord.from_dict(raw)
+            forum.users[record.alias] = record
+        for raw in data.get("threads", ()):
+            thread = Thread.from_dict(raw)
+            forum.threads[thread.thread_id] = thread
+        return forum
+
+
+def merge_forums(name: str, forums: Iterable[Forum]) -> Forum:
+    """Merge several forums into one (used for the DarkWeb = TMG + DM set).
+
+    Aliases are namespaced with their source forum (``tmg/gardenlover``)
+    so that identically-named users on different forums never collide.
+    Messages keep their original ``forum`` field; only the container and
+    the author alias change.
+    """
+    merged = Forum(name=name)
+    for forum in forums:
+        for record in forum.users.values():
+            qualified = f"{forum.name}/{record.alias}"
+            new_record = UserRecord(alias=qualified, forum=name,
+                                    metadata=dict(record.metadata))
+            new_record.metadata.setdefault("source_forum", forum.name)
+            new_record.metadata.setdefault("source_alias", record.alias)
+            for message in record.messages:
+                new_record.messages.append(
+                    replace(message, author=qualified, forum=name))
+            if qualified in merged.users:
+                raise DatasetError(f"duplicate qualified alias {qualified!r}")
+            merged.users[qualified] = new_record
+        for section in forum.sections:
+            qualified_section = f"{forum.name}/{section}"
+            if qualified_section not in merged.sections:
+                merged.sections.append(qualified_section)
+    return merged

@@ -1,0 +1,164 @@
+"""JSONL persistence for forum datasets.
+
+Forums are stored as one JSON object per line: a header line describing
+the forum, followed by one line per user record.  JSONL keeps memory
+bounded on load (users stream one at a time) and diffs well under
+version control.  A whole-directory layout maps one forum per file.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.errors import DatasetError
+from repro.forums.models import Forum, Thread, UserRecord
+
+PathLike = Union[str, os.PathLike]
+
+#: Schema version written in every header; bumped on breaking changes.
+SCHEMA_VERSION = 1
+
+
+def _open(path: Path, mode: str):
+    """Open *path*, transparently handling ``.gz`` suffixes."""
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def save_forum(forum: Forum, path: PathLike) -> None:
+    """Write *forum* to *path* in JSONL format.
+
+    The first line is a header with the forum name, UTC offset, sections
+    and threads; each following line is one user record.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "schema": SCHEMA_VERSION,
+        "kind": "forum-header",
+        "name": forum.name,
+        "utc_offset_hours": forum.utc_offset_hours,
+        "sections": list(forum.sections),
+        "threads": [t.to_dict() for t in forum.threads.values()],
+        "n_users": forum.n_users,
+    }
+    with _open(path, "w") as fh:
+        fh.write(json.dumps(header, ensure_ascii=False) + "\n")
+        for record in forum.users.values():
+            fh.write(json.dumps(record.to_dict(), ensure_ascii=False) + "\n")
+
+
+def iter_user_records(path: PathLike) -> Iterator[UserRecord]:
+    """Stream the user records of a stored forum without loading it all."""
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetError(f"{path}: empty dataset file")
+        header = _parse_header(path, header_line)
+        del header  # header validated; users follow
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{lineno}: invalid JSON") from exc
+            yield UserRecord.from_dict(data)
+
+
+def load_forum(path: PathLike,
+               keep: Optional[Callable[[UserRecord], bool]] = None) -> Forum:
+    """Load a forum from *path*.
+
+    Parameters
+    ----------
+    path:
+        JSONL file written by :func:`save_forum` (optionally ``.gz``).
+    keep:
+        Optional predicate; user records for which it returns ``False``
+        are skipped at load time (useful to subsample huge datasets).
+    """
+    path = Path(path)
+    with _open(path, "r") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise DatasetError(f"{path}: empty dataset file")
+        header = _parse_header(path, header_line)
+        forum = Forum(
+            name=str(header["name"]),
+            utc_offset_hours=int(header.get("utc_offset_hours", 0)),
+            sections=list(header.get("sections", [])),
+        )
+        for raw in header.get("threads", ()):
+            thread = Thread.from_dict(raw)
+            forum.threads[thread.thread_id] = thread
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{lineno}: invalid JSON") from exc
+            record = UserRecord.from_dict(data)
+            if keep is not None and not keep(record):
+                continue
+            if record.alias in forum.users:
+                raise DatasetError(
+                    f"{path}:{lineno}: duplicate alias {record.alias!r}")
+            forum.users[record.alias] = record
+    return forum
+
+
+def _parse_header(path: Path, line: str) -> Dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}: invalid header line") from exc
+    if not isinstance(header, dict) or header.get("kind") != "forum-header":
+        raise DatasetError(f"{path}: missing forum header")
+    schema = header.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise DatasetError(
+            f"{path}: unsupported schema version {schema!r} "
+            f"(expected {SCHEMA_VERSION})")
+    if "name" not in header:
+        raise DatasetError(f"{path}: header lacks forum name")
+    return header
+
+
+def save_world(forums: List[Forum], directory: PathLike) -> List[Path]:
+    """Save several forums, one file per forum, into *directory*.
+
+    Returns the written paths.  File names are ``<forum-name>.jsonl``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for forum in forums:
+        path = directory / f"{forum.name}.jsonl"
+        save_forum(forum, path)
+        paths.append(path)
+    return paths
+
+
+def load_world(directory: PathLike) -> Dict[str, Forum]:
+    """Load every ``*.jsonl`` / ``*.jsonl.gz`` forum file in *directory*."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(f"{directory} is not a directory")
+    forums: Dict[str, Forum] = {}
+    for path in sorted(directory.iterdir()):
+        if path.suffix == ".jsonl" or path.name.endswith(".jsonl.gz"):
+            forum = load_forum(path)
+            forums[forum.name] = forum
+    if not forums:
+        raise DatasetError(f"no forum files found in {directory}")
+    return forums

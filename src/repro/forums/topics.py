@@ -1,0 +1,139 @@
+"""The subreddit topic taxonomy of Table I.
+
+The paper labels 656 subreddits with 12 topics and reports, per topic,
+the number of subreddits, the share of user subscriptions, the share of
+messages, and the most popular subreddit.  This module encodes that
+taxonomy; the synthetic Reddit world samples subreddits and message
+volume from it, and the Table I benchmark prints the same rows back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """One row of Table I.
+
+    Attributes
+    ----------
+    name:
+        Topic label ("Drugs", "Entertainment", ...).
+    n_subreddits:
+        How many of the 656 labelled subreddits carry this topic.
+    subscription_share:
+        Fraction of user subscriptions falling in the topic (Table I's
+        ``subscriptions(%)`` column, as a fraction of 1).
+    message_share:
+        Fraction of collected messages in the topic.
+    flagship:
+        The most popular subreddit of the topic.
+    flagship_messages:
+        Message count of the flagship subreddit in the paper's dataset.
+    keywords:
+        Topical content words used by the synthetic text generator to
+        give each topic a recognizable vocabulary.
+    """
+
+    name: str
+    n_subreddits: int
+    subscription_share: float
+    message_share: float
+    flagship: str
+    flagship_messages: int
+    keywords: Tuple[str, ...]
+
+
+#: Table I, row by row.  Shares are fractions (paper reports percents).
+TABLE_I: Tuple[TopicSpec, ...] = (
+    TopicSpec("Culture", 18, 0.047, 0.020, "r/science", 17_442,
+              ("science", "study", "history", "book", "art", "research",
+               "theory", "culture", "museum", "paper")),
+    TopicSpec("Cryptocurrencies", 39, 0.032, 0.060, "r/bitcoin", 96_407,
+              ("bitcoin", "wallet", "blockchain", "monero", "exchange",
+               "coin", "crypto", "mining", "ledger", "satoshi")),
+    TopicSpec("Drugs", 117, 0.156, 0.337, "r/DarkNetMarkets", 670_483,
+              ("vendor", "shipping", "stealth", "mdma", "lsd", "dose",
+               "gram", "quality", "escrow", "market", "order", "package",
+               "tabs", "molly", "review")),
+    TopicSpec("Entertainment", 166, 0.391, 0.224, "r/pics", 75_454,
+              ("movie", "song", "show", "episode", "album", "meme",
+               "picture", "actor", "season", "trailer")),
+    TopicSpec("Financial", 15, 0.016, 0.009, "r/personalfinance", 11_590,
+              ("money", "budget", "savings", "credit", "debt", "loan",
+               "invest", "salary", "account", "tax")),
+    TopicSpec("Lifestyle/Sports", 72, 0.099, 0.095, "r/LifeProTips", 12_109,
+              ("workout", "recipe", "team", "game", "training", "advice",
+               "habit", "fitness", "coach", "league")),
+    TopicSpec("News", 18, 0.048, 0.045, "r/worldnews", 89_189,
+              ("breaking", "report", "government", "country", "minister",
+               "crisis", "election", "statement", "attack", "press")),
+    TopicSpec("Places", 43, 0.014, 0.030, "r/canada", 11_291,
+              ("city", "downtown", "province", "weather", "bus", "rent",
+               "neighborhood", "local", "visit", "street")),
+    TopicSpec("Politics", 24, 0.040, 0.059, "r/politics", 119_238,
+              ("senate", "president", "vote", "policy", "campaign",
+               "congress", "bill", "party", "debate", "candidate")),
+    TopicSpec("R18+", 12, 0.016, 0.045, "r/sex", 10_676,
+              ("relationship", "partner", "dating", "nsfw", "adult",
+               "intimacy", "couple", "attraction", "consent", "romance")),
+    TopicSpec("Psychological help", 11, 0.017, 0.005, "r/GetMotivated",
+              3_733,
+              ("anxiety", "therapy", "depression", "motivation", "mindset",
+               "support", "healing", "stress", "recovery", "selfcare")),
+    TopicSpec("Tech/Tor", 52, 0.054, 0.036, "r/technology", 26_919,
+              ("tor", "vpn", "encryption", "linux", "privacy", "server",
+               "browser", "software", "opsec", "protocol")),
+    TopicSpec("Videogame", 61, 0.070, 0.073, "r/gaming", 41_183,
+              ("console", "fps", "rpg", "quest", "server", "loot",
+               "patch", "multiplayer", "steam", "controller")),
+)
+
+#: Number of distinct labelled subreddits in the paper (after dropping
+#: subreddits with fewer than 10 messages).
+TOTAL_SUBREDDITS = 656
+
+#: Lookup by topic name.
+TOPICS_BY_NAME: Dict[str, TopicSpec] = {t.name: t for t in TABLE_I}
+
+
+def topic_names() -> List[str]:
+    """All topic names, in Table I order."""
+    return [t.name for t in TABLE_I]
+
+
+def subreddit_names(topic: TopicSpec, count: int | None = None) -> List[str]:
+    """Deterministic subreddit names for *topic*.
+
+    The first name is always the topic's flagship subreddit; the rest
+    are synthetic ``r/<topic><i>`` fillers.  *count* defaults to the
+    paper's per-topic subreddit count.
+    """
+    count = topic.n_subreddits if count is None else count
+    if count < 1:
+        return []
+    base = topic.name.lower().replace("/", "_").replace(" ", "_").replace(
+        "+", "plus")
+    names = [topic.flagship]
+    for i in range(1, count):
+        names.append(f"r/{base}_{i}")
+    return names
+
+
+def message_share_weights(specs: Sequence[TopicSpec] = TABLE_I,
+                          ) -> List[float]:
+    """Normalized per-topic message-volume weights.
+
+    Table I's shares do not sum exactly to 1 (rounding in the paper), so
+    they are renormalized here before the generator samples from them.
+    """
+    raw = [t.message_share for t in specs]
+    total = sum(raw)
+    return [r / total for r in raw]
+
+
+def darknet_topic() -> TopicSpec:
+    """The Drugs topic — the domain shared by the Dark Web forums."""
+    return TOPICS_BY_NAME["Drugs"]

@@ -1,0 +1,18 @@
+"""De-anonymization profiling: extracting personal information from an
+open alias's posting history (Section V-D).
+"""
+
+from repro.profiling.extractor import (
+    Fact,
+    ProfileExtractor,
+    UserProfile,
+)
+from repro.profiling.report import render_report, summary_line
+
+__all__ = [
+    "Fact",
+    "ProfileExtractor",
+    "UserProfile",
+    "render_report",
+    "summary_line",
+]

@@ -1,0 +1,247 @@
+"""Personal-information extraction from open-web posts (Section V-D).
+
+Once a dark alias is linked to an open alias, the open alias's posting
+history is a goldmine: the paper reconstructs a user's age, city,
+family situation, job loss, relationship length, video-game accounts,
+phone model and travel habits purely from his Reddit comments.
+
+This module implements that final step as a rule-based extractor: a
+battery of compiled patterns over the raw (pre-polishing) messages,
+each yielding a typed :class:`Fact` with the message that evidences it.
+Patterns are deliberately high-precision — a wrong fact in a profile is
+worse than a missing one in an investigation support tool.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Pattern, Sequence, Tuple
+
+from repro.forums.models import Message, UserRecord
+from repro.synth import wordlists
+
+#: Fact kinds the extractor produces.
+AGE = "age"
+CITY = "city"
+COUNTRY = "country"
+OCCUPATION = "occupation"
+PHONE = "phone"
+GAME = "game"
+HOBBY = "hobby"
+RELIGION = "religion"
+POLITICS = "politics"
+DRUG = "drug"
+VENDOR = "vendor"
+RELATIONSHIP = "relationship"
+TRAVEL = "travel"
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One extracted fact with its supporting evidence.
+
+    Attributes
+    ----------
+    kind:
+        One of the module-level fact kinds.
+    value:
+        The extracted value, normalized (e.g. ``"27"`` for age).
+    message_id:
+        Where the fact was found.
+    snippet:
+        A short excerpt evidencing the extraction.
+    """
+
+    kind: str
+    value: str
+    message_id: str
+    snippet: str
+
+
+def _snippet(text: str, start: int, end: int, radius: int = 40) -> str:
+    lo = max(0, start - radius)
+    hi = min(len(text), end + radius)
+    prefix = "..." if lo > 0 else ""
+    suffix = "..." if hi < len(text) else ""
+    return prefix + text[lo:hi].strip() + suffix
+
+
+class _PatternRule:
+    """A compiled regex + normalization producing facts of one kind.
+
+    Rules are case-insensitive by default; rules whose captured value
+    relies on capitalization (city names, travel destinations) compile
+    case-sensitively and mark their trigger phrase ``(?i:...)``.
+    """
+
+    def __init__(self, kind: str, pattern: str,
+                 group: str = "value",
+                 case_sensitive: bool = False) -> None:
+        self.kind = kind
+        flags = 0 if case_sensitive else re.IGNORECASE
+        self.regex: Pattern[str] = re.compile(pattern, flags)
+        self.group = group
+
+    def extract(self, message: Message) -> Iterable[Fact]:
+        for match in self.regex.finditer(message.text):
+            value = match.group(self.group).strip()
+            if not value:
+                continue
+            yield Fact(
+                kind=self.kind,
+                value=value,
+                message_id=message.message_id,
+                snippet=_snippet(message.text, match.start(),
+                                 match.end()),
+            )
+
+
+def _alternatives(values: Sequence[str]) -> str:
+    """Regex alternation over literal values, longest first."""
+    ordered = sorted(values, key=len, reverse=True)
+    return "|".join(re.escape(v) for v in ordered)
+
+
+#: Rules over free text (value captured from the message itself).
+_RULES: Tuple[_PatternRule, ...] = (
+    _PatternRule(AGE,
+                 r"\b(?:i am|i'm|as a)\s+(?P<value>1[89]|[2-6]\d)\s*"
+                 r"(?:years? old|year old|yo\b|m\b|f\b)"),
+    _PatternRule(CITY,
+                 r"\b(?i:i live in|greetings from|i'm from|i am from)"
+                 r"\s+(?P<value>[A-Z][a-z]+(?:\s[A-Z][a-z]+)?)",
+                 case_sensitive=True),
+    _PatternRule(RELATIONSHIP,
+                 r"\b(?:my (?:girlfriend|boyfriend|wife|husband|partner))"
+                 r"\b(?P<value>)"),
+    _PatternRule(TRAVEL,
+                 r"\b(?i:flying|travelling|traveling|heading|trip)\s+"
+                 r"(?i:to)\s+"
+                 r"(?P<value>[A-Z][a-z]+(?:\s[A-Z][a-z]+)?)",
+                 case_sensitive=True),
+)
+
+#: Rules over closed vocabularies (value from a known inventory).
+_COUNTRIES = tuple(sorted({country for _, country in wordlists.CITIES}))
+_COUNTRY_RULE = _PatternRule(
+    COUNTRY, r"\b(?:here in|shipping to|live in)\s+"
+             rf"(?P<value>{_alternatives(_COUNTRIES)})\b")
+_OCCUPATION_RULE = _PatternRule(
+    OCCUPATION, r"\b(?:i work as a|being a|my job as a)\s+"
+                rf"(?P<value>{_alternatives(wordlists.OCCUPATIONS)})\b")
+_PHONE_RULE = _PatternRule(
+    PHONE, r"\b(?:my|from my|typing this from my)\s+"
+           rf"(?P<value>{_alternatives(wordlists.PHONES)})")
+_GAME_RULE = _PatternRule(
+    GAME, rf"\b(?:playing|play|add me on|squad up[^.]*?on)\s+"
+          rf"(?P<value>{_alternatives(wordlists.VIDEO_GAMES)})")
+_HOBBY_RULE = _PatternRule(
+    HOBBY, rf"\b(?:into|love|started|hooked on)\s+"
+           rf"(?P<value>{_alternatives(wordlists.HOBBIES)})")
+_RELIGION_RULE = _PatternRule(
+    RELIGION, rf"\b(?:as a|i was raised|i am|i'm)\s+"
+              rf"(?P<value>{_alternatives(wordlists.RELIGIONS)})\b")
+_POLITICS_RULE = _PatternRule(
+    POLITICS, r"\b(?:politically[^.]*?|my views are pretty\s+)"
+              r"(?P<value>progressive|conservative|libertarian|"
+              r"apolitical)\b")
+_DRUG_RULE = _PatternRule(
+    DRUG, rf"\b(?:for me|i mostly stick to|batch of|quality)\s+"
+          rf"(?P<value>{_alternatives(wordlists.DRUGS)})\b")
+_VENDOR_RULE = _PatternRule(
+    VENDOR, rf"\b(?:avoid|disappointed,?)\s+"
+            rf"(?P<value>{_alternatives(wordlists.VENDOR_NAMES)})\b")
+
+ALL_RULES: Tuple[_PatternRule, ...] = _RULES + (
+    _COUNTRY_RULE, _OCCUPATION_RULE, _PHONE_RULE, _GAME_RULE,
+    _HOBBY_RULE, _RELIGION_RULE, _POLITICS_RULE, _DRUG_RULE,
+    _VENDOR_RULE,
+)
+
+#: Kinds where one value is expected: the most-evidenced wins.
+_SINGLE_VALUED = (AGE, CITY, OCCUPATION, PHONE, RELIGION, POLITICS)
+
+
+@dataclass
+class UserProfile:
+    """Everything extracted about one alias.
+
+    Single-valued kinds (age, city, phone...) expose convenience
+    accessors returning the best-evidenced value; multi-valued kinds
+    (games, hobbies, travels) return ranked lists.
+    """
+
+    alias: str
+    forum: str
+    facts: List[Fact] = field(default_factory=list)
+
+    def values(self, kind: str) -> List[Tuple[str, int]]:
+        """(value, evidence count) for *kind*, most evidenced first."""
+        counts = Counter(f.value for f in self.facts if f.kind == kind)
+        return counts.most_common()
+
+    def best(self, kind: str) -> Optional[str]:
+        """The single most-evidenced value for *kind*, if any."""
+        ranked = self.values(kind)
+        return ranked[0][0] if ranked else None
+
+    @property
+    def age(self) -> Optional[str]:
+        return self.best(AGE)
+
+    @property
+    def city(self) -> Optional[str]:
+        return self.best(CITY)
+
+    @property
+    def phone(self) -> Optional[str]:
+        return self.best(PHONE)
+
+    @property
+    def occupation(self) -> Optional[str]:
+        return self.best(OCCUPATION)
+
+    @property
+    def games(self) -> List[str]:
+        return [v for v, _ in self.values(GAME)]
+
+    @property
+    def hobbies(self) -> List[str]:
+        return [v for v, _ in self.values(HOBBY)]
+
+    @property
+    def travels(self) -> List[str]:
+        return [v for v, _ in self.values(TRAVEL)]
+
+    def evidence_for(self, kind: str, value: str) -> List[Fact]:
+        """All facts supporting a (kind, value) claim."""
+        return [f for f in self.facts
+                if f.kind == kind and f.value == value]
+
+    def completeness(self) -> float:
+        """Fraction of single-valued kinds with at least one value."""
+        found = sum(1 for kind in _SINGLE_VALUED if self.best(kind))
+        return found / len(_SINGLE_VALUED)
+
+
+class ProfileExtractor:
+    """Run every extraction rule over a user's messages."""
+
+    def __init__(self, rules: Sequence[_PatternRule] = ALL_RULES) -> None:
+        self.rules = tuple(rules)
+
+    def extract_message(self, message: Message) -> List[Fact]:
+        """All facts found in one message."""
+        facts: List[Fact] = []
+        for rule in self.rules:
+            facts.extend(rule.extract(message))
+        return facts
+
+    def extract(self, record: UserRecord) -> UserProfile:
+        """Build the full profile of one alias."""
+        profile = UserProfile(alias=record.alias, forum=record.forum)
+        for message in record.messages:
+            profile.facts.extend(self.extract_message(message))
+        return profile

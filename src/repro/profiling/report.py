@@ -1,0 +1,100 @@
+"""Render extracted profiles as investigator-style reports (§V-D).
+
+The paper closes its results with a narrative profile of "John Doe" — a
+27-year-old from Edmonton with a Samsung Galaxy S4 who plays Fallout
+and travels to New York.  :func:`render_report` produces the same kind
+of dossier from a :class:`~repro.profiling.extractor.UserProfile`,
+always citing the message each claim rests on, because an investigation
+support tool that cannot show its evidence is useless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.profiling.extractor import (
+    AGE,
+    CITY,
+    DRUG,
+    GAME,
+    HOBBY,
+    OCCUPATION,
+    PHONE,
+    POLITICS,
+    RELIGION,
+    TRAVEL,
+    VENDOR,
+    UserProfile,
+)
+
+#: Kind -> human-readable label, in report order.
+_SECTIONS = (
+    (AGE, "Age"),
+    (CITY, "Location"),
+    (OCCUPATION, "Occupation"),
+    (PHONE, "Phone"),
+    (RELIGION, "Religion"),
+    (POLITICS, "Politics"),
+    (GAME, "Video games"),
+    (HOBBY, "Hobbies"),
+    (TRAVEL, "Travel"),
+    (DRUG, "Substances mentioned"),
+    (VENDOR, "Vendors complained about"),
+)
+
+
+def summary_line(profile: UserProfile) -> str:
+    """One-sentence summary in the style of the paper's John Doe."""
+    parts: List[str] = [profile.alias]
+    if profile.age:
+        parts.append(f"is a {profile.age} year old")
+    if profile.city:
+        parts.append(f"from {profile.city}")
+    if profile.occupation:
+        parts.append(f"working as a {profile.occupation}")
+    if profile.phone:
+        parts.append(f"posting from a {profile.phone}")
+    if len(parts) == 1:
+        return f"{profile.alias}: no personal facts extracted."
+    return " ".join(parts) + "."
+
+
+def render_report(profile: UserProfile,
+                  max_evidence: int = 2,
+                  dark_alias: Optional[str] = None) -> str:
+    """Full plain-text dossier with per-claim evidence snippets.
+
+    Parameters
+    ----------
+    profile:
+        The extracted profile of the *open* alias.
+    max_evidence:
+        How many supporting snippets to quote per claim.
+    dark_alias:
+        When the open alias has been linked to a dark one, name it —
+        the paper's point is precisely that this line can be written.
+    """
+    lines: List[str] = []
+    lines.append("=" * 64)
+    lines.append(f"PROFILE: {profile.alias} ({profile.forum})")
+    if dark_alias:
+        lines.append(f"LINKED DARK ALIAS: {dark_alias}")
+    lines.append("=" * 64)
+    lines.append(summary_line(profile))
+    lines.append("")
+    for kind, label in _SECTIONS:
+        ranked = profile.values(kind)
+        if not ranked:
+            continue
+        rendered = ", ".join(
+            f"{value} (x{count})" if count > 1 else value
+            for value, count in ranked
+        )
+        lines.append(f"{label}: {rendered}")
+        top_value = ranked[0][0]
+        for fact in profile.evidence_for(kind, top_value)[:max_evidence]:
+            lines.append(f'    [{fact.message_id}] "{fact.snippet}"')
+    lines.append("")
+    lines.append(f"Profile completeness: {profile.completeness():.0%} "
+                 f"({len(profile.facts)} facts extracted)")
+    return "\n".join(lines)

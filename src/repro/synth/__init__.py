@@ -1,0 +1,60 @@
+"""Synthetic world generation: the substitute for the paper's scraped
+Reddit and dark-web datasets (see DESIGN.md, section 2).
+"""
+
+from repro.synth.evidence import (
+    disclosure_message,
+    sample_disclosures,
+)
+from repro.synth.noise import NoiseConfig, NoiseInjector
+from repro.synth.personas import (
+    ActivityHabits,
+    Persona,
+    PersonaAttributes,
+    StyleProfile,
+    generate_persona,
+    sample_attributes,
+    sample_habits,
+    sample_style,
+)
+from repro.synth.textgen import MessageGenerator
+from repro.synth.timegen import SamplingWindow, TimestampSampler, YEAR_2017
+from repro.synth.world import (
+    DM,
+    REDDIT,
+    TMG,
+    ForumLoad,
+    LinkedPair,
+    World,
+    WorldConfig,
+    build_world,
+    small_world,
+)
+
+__all__ = [
+    "disclosure_message",
+    "sample_disclosures",
+    "NoiseConfig",
+    "NoiseInjector",
+    "ActivityHabits",
+    "Persona",
+    "PersonaAttributes",
+    "StyleProfile",
+    "generate_persona",
+    "sample_attributes",
+    "sample_habits",
+    "sample_style",
+    "MessageGenerator",
+    "SamplingWindow",
+    "TimestampSampler",
+    "YEAR_2017",
+    "DM",
+    "REDDIT",
+    "TMG",
+    "ForumLoad",
+    "LinkedPair",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "small_world",
+]

@@ -1,0 +1,259 @@
+"""Identity disclosures: the evidence the paper's manual evaluation uses.
+
+Section V-A classifies each matched pair by hand: **True** when a user
+declares the other alias or leaks unique data (same e-mail, same
+referral link), **Probably True** on strong-but-not-unique overlaps
+(same country + same vendor + same drugs), **Unclear** when nothing is
+leaked, **False** when the two aliases contradict each other (different
+ages, religions, politics, countries).
+
+The synthetic world reproduces the raw material for that protocol:
+personas occasionally post *disclosure messages* that embed a personal
+fact both as natural-language text (for the §V-D profile extractor) and
+as structured metadata under the ``disclosures`` key (for the
+ground-truth classifier).  Dark-web aliases disclose rarely; open
+aliases are careless — exactly the asymmetry the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.synth.personas import Persona
+
+# Disclosure kinds.  The values double as metadata keys.
+AGE = "age"
+CITY = "city"
+COUNTRY = "country"
+OCCUPATION = "occupation"
+RELIGION = "religion"
+POLITICS = "politics"
+PHONE = "phone"
+HOBBY = "hobby"
+GAME = "game"
+DRUG = "drug"
+VENDOR_COMPLAINT = "vendor_complaint"
+PHILOSOPHER = "philosopher"
+ALIAS_REF = "alias_ref"
+REFERRAL_LINK = "referral_link"
+EMAIL = "email"
+
+#: Kinds that identify a person uniquely (True-grade evidence).
+UNIQUE_KINDS = (ALIAS_REF, REFERRAL_LINK, EMAIL)
+
+#: Kinds that support a Probably-True verdict when several agree.
+SOFT_KINDS = (CITY, COUNTRY, DRUG, VENDOR_COMPLAINT, HOBBY, GAME,
+              PHILOSOPHER, OCCUPATION)
+
+#: Kinds whose disagreement marks a pair as False.
+CONTRADICTION_KINDS = (AGE, RELIGION, POLITICS, COUNTRY, CITY, DRUG)
+
+#: Kinds ordinarily disclosed on the open web (careless behaviour).
+OPEN_KINDS = (AGE, CITY, COUNTRY, OCCUPATION, RELIGION, POLITICS, PHONE,
+              HOBBY, GAME, DRUG, VENDOR_COMPLAINT, PHILOSOPHER)
+
+#: Kinds a cautious dark-web alias might still reveal.
+DARK_KINDS = (DRUG, VENDOR_COMPLAINT, CITY, COUNTRY, AGE, PHILOSOPHER)
+
+
+def _fact_value(persona: Persona, kind: str,
+                rng: np.random.Generator) -> Optional[str]:
+    """The persona's value for a disclosure *kind* (None if absent)."""
+    attrs = persona.attributes
+    if kind == AGE:
+        return str(attrs.age)
+    if kind == CITY:
+        return attrs.city
+    if kind == COUNTRY:
+        return attrs.country
+    if kind == OCCUPATION:
+        return attrs.occupation
+    if kind == RELIGION:
+        return attrs.religion
+    if kind == POLITICS:
+        return attrs.politics
+    if kind == PHONE:
+        return attrs.phone
+    if kind == HOBBY:
+        if not attrs.hobbies:
+            return None
+        return attrs.hobbies[int(rng.integers(len(attrs.hobbies)))]
+    if kind == GAME:
+        if not attrs.games:
+            return None
+        return attrs.games[int(rng.integers(len(attrs.games)))]
+    if kind == DRUG:
+        return attrs.favorite_drug
+    if kind == VENDOR_COMPLAINT:
+        return f"{attrs.trusted_vendor}|{attrs.favorite_drug}"
+    if kind == PHILOSOPHER:
+        return attrs.philosopher
+    raise ValueError(f"unknown disclosure kind {kind!r}")
+
+
+def _render_text(persona: Persona, kind: str, value: str,
+                 rng: np.random.Generator) -> str:
+    """Natural-language sentence carrying the disclosed fact."""
+    attrs = persona.attributes
+    templates: Dict[str, Tuple[str, ...]] = {
+        AGE: (
+            f"I am {value} years old and honestly it shows some days.",
+            f"As a {value} year old I have seen this happen before.",
+        ),
+        CITY: (
+            f"I live in {value} and the scene here is pretty small.",
+            f"Greetings from {value}, the weather is terrible as usual.",
+        ),
+        COUNTRY: (
+            f"Here in {value} things work very differently.",
+            f"Shipping to {value} always takes at least two weeks.",
+        ),
+        OCCUPATION: (
+            f"I work as a {value} so my schedule is all over the place.",
+            f"Being a {value} does not pay enough for this hobby.",
+        ),
+        RELIGION: (
+            f"As a {value} I try not to judge anyone here.",
+            f"I was raised {value} and it still shapes how I think.",
+        ),
+        POLITICS: (
+            f"Politically I would call myself {value} these days.",
+            f"My views are pretty {value}, not that it matters here.",
+        ),
+        PHONE: (
+            f"Typing this from my {value} so excuse the typos.",
+            f"My {value} battery dies before lunch every single day.",
+        ),
+        HOBBY: (
+            f"Been really into {value} lately, it keeps me sane.",
+            f"Anyone else here into {value}? Best decision I ever made.",
+        ),
+        GAME: (
+            f"Mostly playing {value} these nights instead of sleeping.",
+            f"Add me on {value} if you want to squad up sometime.",
+        ),
+        DRUG: (
+            f"For me {value} is still the most reliable experience.",
+            f"I mostly stick to {value}, everything else is a gamble.",
+        ),
+        PHILOSOPHER: (
+            f"Reading {value} again, that man understood everything.",
+            f"As {value} wrote, the obstacle becomes the way forward.",
+        ),
+    }
+    if kind == VENDOR_COMPLAINT:
+        vendor, drug = value.split("|", 1)
+        options = (
+            f"Really disappointed, {vendor} sold me poor quality {drug} "
+            "and refused any kind of refund.",
+            f"Avoid {vendor} right now, the last batch of {drug} was "
+            "nothing like the samples.",
+        )
+    else:
+        options = templates[kind]
+    del attrs
+    return options[int(rng.integers(len(options)))]
+
+
+def disclosure_message(persona: Persona, kind: str,
+                       rng: np.random.Generator,
+                       ) -> Optional[Tuple[str, Dict[str, str]]]:
+    """Build one disclosure for *persona*.
+
+    Returns ``(sentence, {kind: value})`` or ``None`` when the persona
+    has no value for that kind (e.g. no games, no philosopher).
+    """
+    value = _fact_value(persona, kind, rng)
+    if value is None:
+        return None
+    text = _render_text(persona, kind, value, rng)
+    return text, {kind: value}
+
+
+def alias_reference(persona: Persona, this_forum: str, other_forum: str,
+                    rng: np.random.Generator,
+                    ) -> Optional[Tuple[str, Dict[str, str]]]:
+    """A True-grade leak: the user names their alias on another forum."""
+    other_alias = persona.alias_on(other_forum)
+    if other_alias is None:
+        return None
+    templates = (
+        f"For anyone who knows me from {other_forum}, I post there as "
+        f"{other_alias}, same person here.",
+        f"You might have seen my reviews on {other_forum} under "
+        f"{other_alias}, happy to vouch.",
+    )
+    text = templates[int(rng.integers(len(templates)))]
+    return text, {ALIAS_REF: f"{other_forum}:{other_alias}"}
+
+
+def referral_link(persona: Persona, rng: np.random.Generator,
+                  ) -> Tuple[str, Dict[str, str]]:
+    """A True-grade leak: a referral URL embedding the user's nickname.
+
+    The paper catches a user who posted the same referral link (with her
+    nickname in the URL) on Reddit and in the Dark Web.
+    """
+    base_alias = next(iter(persona.aliases.values()), f"p{persona.persona_id}")
+    token = base_alias.lower()
+    url = f"https://dealwatcher.io/ref/{token}{persona.persona_id}"
+    text = (f"If you sign up through my link {url} we both get credit, "
+            "been using the platform for months.")
+    return text, {REFERRAL_LINK: url}
+
+
+def email_leak(persona: Persona, rng: np.random.Generator,
+               ) -> Tuple[str, Dict[str, str]]:
+    """A True-grade leak: the same contact address on both forums."""
+    base_alias = next(iter(persona.aliases.values()), f"p{persona.persona_id}")
+    address = f"{base_alias.lower()}{persona.persona_id}@protonmail.com"
+    text = f"Fastest way to reach me is {address}, I check it daily."
+    return text, {EMAIL: address}
+
+
+def sample_disclosures(persona: Persona, forum: str,
+                       other_forums: List[str],
+                       rng: np.random.Generator,
+                       count: int,
+                       careless: bool,
+                       unique_leak_rate: float = 0.0,
+                       ) -> List[Tuple[str, Dict[str, str]]]:
+    """Draw *count* disclosure messages for an alias.
+
+    Parameters
+    ----------
+    persona:
+        The person behind the alias.
+    forum:
+        Forum being posted to.
+    other_forums:
+        The persona's other forums (for alias references).
+    careless:
+        Open-web behaviour — the full :data:`OPEN_KINDS` menu.  Cautious
+        (dark-web) aliases restrict themselves to :data:`DARK_KINDS`.
+    unique_leak_rate:
+        Probability that a disclosure is a unique True-grade leak
+        (alias reference, referral link, shared e-mail).
+    """
+    kinds = OPEN_KINDS if careless else DARK_KINDS
+    output: List[Tuple[str, Dict[str, str]]] = []
+    for _ in range(count):
+        if other_forums and rng.random() < unique_leak_rate:
+            pick = rng.random()
+            if pick < 0.5:
+                other = other_forums[int(rng.integers(len(other_forums)))]
+                leak = alias_reference(persona, forum, other, rng)
+            elif pick < 0.8:
+                leak = referral_link(persona, rng)
+            else:
+                leak = email_leak(persona, rng)
+            if leak is not None:
+                output.append(leak)
+                continue
+        kind = kinds[int(rng.integers(len(kinds)))]
+        disclosure = disclosure_message(persona, kind, rng)
+        if disclosure is not None:
+            output.append(disclosure)
+    return output

@@ -1,0 +1,185 @@
+"""Dirt injection: everything the polishing pipeline exists to remove.
+
+Real forum dumps contain emojis, URLs with tracking junk, quoted
+replies, PGP key blocks, e-mail addresses, "Edit by" markers,
+non-English messages, ASCII art, and one-liner noise.  The world
+generator sprinkles this module's output over clean messages so that
+the Section III-C pipeline has genuine work to do and its effect can be
+measured (the polishing ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.textproc.lang_profiles import SEED_TEXTS
+
+_EMOJIS = ("😀", "😂", "🔥", "👍", "💯", "🙏", "😅", "🤔", "🚀", "🍄",
+           "🌿", "❤️", "✌️", "😎", "🎉")
+
+_URL_HOSTS = (
+    "www.reddit.com", "imgur.com", "youtube.com", "pastebin.com",
+    "blockchain.info", "torproject.org", "duckduckgo.com",
+    "wikipedia.org", "github.com", "twitter.com",
+)
+
+_MAIL_DOMAINS = ("protonmail.com", "tutanota.com", "gmail.com",
+                 "safe-mail.net", "riseup.net")
+
+#: Non-English filler: sentences cut from the language-profile seeds.
+_FOREIGN_SENTENCES = {
+    lang: [s.strip() + "." for s in text.split(".") if len(s.split()) >= 10]
+    for lang, text in SEED_TEXTS.items() if lang != "en"
+}
+
+_ASCII_ART = (
+    "|\\_/|\n|q p|   /}\n( 0 )\"\"\"\\\n|\"^\"`    |\n||_/=\\\\__|",
+    "____/\\\\\\\\\\\\\\\\\\____/\\\\\\\\\\\\\\\\\\\\\\\\____",
+    "(╯°□°)╯︵ ┻━┻",
+)
+
+
+def fake_pgp_block(rng: np.random.Generator) -> str:
+    """A syntactically plausible ASCII-armored PGP public key block."""
+    alphabet = ("ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                "abcdefghijklmnopqrstuvwxyz0123456789+/")
+    lines = []
+    for _ in range(int(rng.integers(4, 9))):
+        chars = rng.integers(0, len(alphabet), size=64)
+        lines.append("".join(alphabet[int(c)] for c in chars))
+    body = "\n".join(lines)
+    return ("-----BEGIN PGP PUBLIC KEY BLOCK-----\n"
+            f"{body}\n=abcd\n"
+            "-----END PGP PUBLIC KEY BLOCK-----")
+
+
+def fake_url(rng: np.random.Generator) -> str:
+    """A URL with scheme, path and query junk (step 3 fodder)."""
+    host = _URL_HOSTS[int(rng.integers(len(_URL_HOSTS)))]
+    token = int(rng.integers(10_000, 99_999))
+    return f"https://{host}/r/thread/{token}?ref=share&utm_source=forum"
+
+
+def fake_email(rng: np.random.Generator, alias: str) -> str:
+    """An e-mail address embedding the alias (step 10 fodder)."""
+    domain = _MAIL_DOMAINS[int(rng.integers(len(_MAIL_DOMAINS)))]
+    return f"{alias.lower()}{int(rng.integers(1, 99))}@{domain}"
+
+
+def foreign_message(rng: np.random.Generator,
+                    language: Optional[str] = None) -> str:
+    """A non-English message (polishing step 7 fodder).
+
+    Draws 1–3 sentences of the requested (or random) non-English seed
+    language.
+    """
+    languages = sorted(_FOREIGN_SENTENCES)
+    if language is None:
+        language = languages[int(rng.integers(len(languages)))]
+    sentences = _FOREIGN_SENTENCES[language]
+    count = int(rng.integers(1, 4))
+    picks = [sentences[int(rng.integers(len(sentences)))]
+             for _ in range(count)]
+    return " ".join(picks)
+
+
+def short_reaction(rng: np.random.Generator) -> str:
+    """A sub-10-word agreement/disagreement message (step 5 fodder)."""
+    reactions = (
+        "this", "lol same", "agreed", "so true", "yeah exactly",
+        "no way", "came here to say this", "underrated comment",
+        "thanks for sharing", "what a time to be alive", "based",
+        "big if true", "nice one mate",
+    )
+    return reactions[int(rng.integers(len(reactions)))]
+
+
+def quote_wrap(rng: np.random.Generator, quoted: str, reply: str,
+               quoted_author: str = "") -> str:
+    """Embed *quoted* (another user's text) above *reply*.
+
+    Alternates between Reddit's ``>`` markdown style and the BBCode
+    ``[quote]`` style used by the dark-web forum software.
+    """
+    if rng.random() < 0.5:
+        quoted_lines = "\n".join("> " + line
+                                 for line in quoted.splitlines() or [quoted])
+        return f"{quoted_lines}\n{reply}"
+    attribution = f"={quoted_author}" if quoted_author else ""
+    return f"[quote{attribution}]{quoted}[/quote]\n{reply}"
+
+
+@dataclass
+class NoiseConfig:
+    """Per-message dirt probabilities.
+
+    All rates are per clean message; several kinds of dirt can land on
+    the same message.  ``foreign_rate`` and ``short_rate`` instead
+    *replace* the message entirely.
+    """
+
+    emoji_rate: float = 0.10
+    url_rate: float = 0.06
+    email_rate: float = 0.01
+    pgp_rate: float = 0.01
+    quote_rate: float = 0.12
+    edit_rate: float = 0.03
+    ascii_art_rate: float = 0.005
+    foreign_rate: float = 0.03
+    short_rate: float = 0.10
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class NoiseInjector:
+    """Apply :class:`NoiseConfig` dirt to a stream of clean messages."""
+
+    def __init__(self, config: NoiseConfig, rng: np.random.Generator,
+                 alias: str) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self.alias = alias
+        #: Recently seen messages from other users, quotable.
+        self.quotable: List[str] = []
+
+    def remember_quotable(self, text: str) -> None:
+        """Offer *text* (someone else's message) as quote material."""
+        self.quotable.append(text)
+        if len(self.quotable) > 50:
+            del self.quotable[0]
+
+    def apply(self, text: str) -> str:
+        """Return *text* with dirt injected per the configured rates."""
+        rng = self.rng
+        cfg = self.config
+        if rng.random() < cfg.short_rate:
+            return short_reaction(rng)
+        if rng.random() < cfg.foreign_rate:
+            return foreign_message(rng)
+        if self.quotable and rng.random() < cfg.quote_rate:
+            quoted = self.quotable[int(rng.integers(len(self.quotable)))]
+            snippet = " ".join(quoted.split()[:25])
+            text = quote_wrap(rng, snippet, text)
+        if rng.random() < cfg.emoji_rate:
+            emoji = _EMOJIS[int(rng.integers(len(_EMOJIS)))]
+            text = f"{text} {emoji * int(rng.integers(1, 4))}"
+        if rng.random() < cfg.url_rate:
+            text = f"{text} {fake_url(rng)}"
+        if rng.random() < cfg.email_rate:
+            text = (f"{text} you can reach me at "
+                    f"{fake_email(rng, self.alias)}")
+        if rng.random() < cfg.pgp_rate:
+            text = f"{text}\nmy PGP key:\n{fake_pgp_block(rng)}"
+        if rng.random() < cfg.edit_rate:
+            text = f"{text}\nEdit by {self.alias}: typo."
+        if rng.random() < cfg.ascii_art_rate:
+            art = _ASCII_ART[int(rng.integers(len(_ASCII_ART)))]
+            text = f"{text}\n{art}"
+        return text

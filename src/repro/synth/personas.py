@@ -1,0 +1,464 @@
+"""Personas: the people behind the aliases.
+
+A persona owns everything that is *stable about a person across forums*:
+a writing-style fingerprint (:class:`StyleProfile`), daily posting
+habits (:class:`ActivityHabits`), and personal attributes (age, city,
+phone, hobbies...) that the §V-D profile extractor can later dig out of
+their open-web messages.
+
+Aliases are cheap: a persona can hold one alias per forum, and the
+*style drift* machinery lets the dark-web alias write slightly
+differently from the open-web one — the paper's central difficulty when
+moving from Dark↔Dark to Dark↔Open linking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.synth import wordlists
+from repro.synth.rng import (
+    choice,
+    dirichlet_perturbed,
+    mix_distributions,
+    sample_without_replacement,
+    substream,
+    zipf_weights,
+)
+
+@dataclass(frozen=True)
+class StyleParams:
+    """How distinguishable authors are from one another.
+
+    The Dirichlet concentrations control how far an author's personal
+    word distributions sit from the population average: *smaller* values
+    mean more idiosyncratic (easier to attribute) authors.  The marker
+    knobs bound the near-deterministic author fingerprints (phrases,
+    slang, typos, emoticons), which dominate attribution when abundant.
+
+    The defaults are calibrated so that alter-ego k-attribution accuracy
+    on the synthetic Reddit world follows the paper's Table III shape:
+    weak at 400 words per alias, strong (but not saturated) at 1,500.
+    """
+
+    function_concentration: float = 1500.0
+    content_concentration: float = 900.0
+    max_phrases: int = 3
+    max_slang: int = 2
+    max_typos: int = 1
+    max_emoticons: int = 1
+    phrase_rate_scale: float = 0.25
+    slang_rate_scale: float = 0.4
+    rate_spread: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.function_concentration <= 0 or \
+                self.content_concentration <= 0:
+            raise ValueError("concentrations must be positive")
+        for name in ("max_phrases", "max_slang", "max_typos",
+                     "max_emoticons"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 <= self.rate_spread <= 1.0:
+            raise ValueError("rate_spread must be in [0, 1]")
+
+
+#: Default style distinctiveness (see :class:`StyleParams`).
+DEFAULT_STYLE_PARAMS = StyleParams()
+
+
+@dataclass(frozen=True)
+class StyleProfile:
+    """A complete stylometric fingerprint.
+
+    Attributes
+    ----------
+    function_weights:
+        Personal multinomial over :data:`wordlists.FUNCTION_WORDS`.
+    content_weights:
+        Personal multinomial over :data:`wordlists.CONTENT_WORDS`.
+    phrases:
+        The collocations this author habitually drops into sentences.
+    slang:
+        Personal slang subset.
+    typo_words:
+        Words this author habitually misspells (keys of
+        :data:`wordlists.TYPO_MAP`).
+    emoticons:
+        Emoticons this author uses, possibly empty.
+    function_word_rate:
+        Probability that the next token is a function word (natural
+        English sits near 0.5; authors vary around it).
+    phrase_rate:
+        Probability of starting a personal phrase at a sentence slot.
+    slang_rate:
+        Probability of substituting a slang token.
+    emoticon_rate:
+        Probability of appending an emoticon to a sentence.
+    comma_rate / ellipsis_rate / exclaim_rate / question_rate:
+        Punctuation habits; the remaining probability mass ends
+        sentences with a period.
+    digit_rate:
+        Probability a sentence embeds a number token.
+    lowercase_start_rate:
+        Probability of not capitalizing a sentence start (the "never
+        uses the shift key" archetype).
+    mean_sentence_words:
+        Average sentence length in word tokens.
+    mean_message_sentences:
+        Average number of sentences per message.
+    """
+
+    function_weights: np.ndarray
+    content_weights: np.ndarray
+    phrases: Tuple[str, ...]
+    slang: Tuple[str, ...]
+    typo_words: Tuple[str, ...]
+    emoticons: Tuple[str, ...]
+    function_word_rate: float
+    phrase_rate: float
+    slang_rate: float
+    emoticon_rate: float
+    comma_rate: float
+    ellipsis_rate: float
+    exclaim_rate: float
+    question_rate: float
+    digit_rate: float
+    lowercase_start_rate: float
+    mean_sentence_words: float
+    mean_message_sentences: float
+
+    def drifted(self, rng: np.random.Generator, drift: float,
+                params: "StyleParams | None" = None) -> "StyleProfile":
+        """Return a copy with style drifted by *drift* in [0, 1].
+
+        ``drift = 0`` keeps the style identical; ``drift = 1`` replaces
+        it with a fresh random style (an unlinkable alter ego).  The
+        paper's Dark↔Open experiments correspond to small drifts: people
+        "might behave differently and use different writing styles when
+        in the standard Web", but remain recognizably themselves.
+        """
+        if not 0.0 <= drift <= 1.0:
+            raise ValueError(f"drift must be in [0, 1], got {drift}")
+        if drift == 0.0:
+            return self
+        fresh = sample_style(rng, params or DEFAULT_STYLE_PARAMS)
+        n_phr = len(self.phrases)
+        keep_phr = max(0, round(n_phr * (1.0 - drift)))
+        phrases = self.phrases[:keep_phr] + fresh.phrases[:n_phr - keep_phr]
+        n_sl = len(self.slang)
+        keep_sl = max(0, round(n_sl * (1.0 - drift)))
+        slang = self.slang[:keep_sl] + fresh.slang[:n_sl - keep_sl]
+
+        def lerp(a: float, b: float) -> float:
+            return (1.0 - drift) * a + drift * b
+
+        return StyleProfile(
+            function_weights=mix_distributions(
+                self.function_weights, fresh.function_weights, drift),
+            content_weights=mix_distributions(
+                self.content_weights, fresh.content_weights, drift),
+            phrases=phrases,
+            slang=slang,
+            typo_words=self.typo_words if drift < 0.5 else fresh.typo_words,
+            emoticons=self.emoticons if drift < 0.5 else fresh.emoticons,
+            function_word_rate=lerp(self.function_word_rate,
+                                    fresh.function_word_rate),
+            phrase_rate=lerp(self.phrase_rate, fresh.phrase_rate),
+            slang_rate=lerp(self.slang_rate, fresh.slang_rate),
+            emoticon_rate=lerp(self.emoticon_rate, fresh.emoticon_rate),
+            comma_rate=lerp(self.comma_rate, fresh.comma_rate),
+            ellipsis_rate=lerp(self.ellipsis_rate, fresh.ellipsis_rate),
+            exclaim_rate=lerp(self.exclaim_rate, fresh.exclaim_rate),
+            question_rate=lerp(self.question_rate, fresh.question_rate),
+            digit_rate=lerp(self.digit_rate, fresh.digit_rate),
+            lowercase_start_rate=lerp(self.lowercase_start_rate,
+                                      fresh.lowercase_start_rate),
+            mean_sentence_words=lerp(self.mean_sentence_words,
+                                     fresh.mean_sentence_words),
+            mean_message_sentences=lerp(self.mean_message_sentences,
+                                        fresh.mean_message_sentences),
+        )
+
+
+def sample_style(rng: np.random.Generator,
+                 params: StyleParams = DEFAULT_STYLE_PARAMS) -> StyleProfile:
+    """Draw a fresh, internally consistent style fingerprint."""
+    function_base = zipf_weights(len(wordlists.FUNCTION_WORDS))
+    content_base = zipf_weights(len(wordlists.CONTENT_WORDS))
+
+    def habit(lo: float, hi: float) -> float:
+        """Uniform draw shrunk toward the population midpoint.
+
+        ``rate_spread`` narrows how much authors differ in their
+        punctuation/length habits: 1.0 keeps the full range, 0.0 makes
+        every author identical (habits carry no signal).
+        """
+        mid = (lo + hi) / 2.0
+        return mid + (float(rng.uniform(lo, hi)) - mid) * params.rate_spread
+
+    n_phrases = int(rng.integers(0, params.max_phrases + 1))
+    n_slang = int(rng.integers(0, params.max_slang + 1))
+    n_typos = int(rng.integers(0, params.max_typos + 1))
+    n_emoticons = int(rng.integers(0, params.max_emoticons + 1))
+    typo_keys = tuple(wordlists.TYPO_MAP)
+    return StyleProfile(
+        function_weights=dirichlet_perturbed(
+            rng, function_base, params.function_concentration),
+        content_weights=dirichlet_perturbed(
+            rng, content_base, params.content_concentration),
+        phrases=tuple(sample_without_replacement(
+            rng, wordlists.PHRASES, n_phrases)),
+        slang=tuple(sample_without_replacement(
+            rng, wordlists.SLANG, n_slang)),
+        typo_words=tuple(sample_without_replacement(
+            rng, typo_keys, n_typos)),
+        emoticons=tuple(sample_without_replacement(
+            rng, wordlists.EMOTICONS, n_emoticons)),
+        function_word_rate=habit(0.42, 0.58),
+        phrase_rate=habit(0.05, 0.30) * params.phrase_rate_scale,
+        slang_rate=habit(0.0, 0.10) * params.slang_rate_scale,
+        emoticon_rate=habit(0.0, 0.25),
+        comma_rate=habit(0.02, 0.12),
+        ellipsis_rate=habit(0.0, 0.10),
+        exclaim_rate=habit(0.0, 0.20),
+        question_rate=habit(0.02, 0.15),
+        digit_rate=habit(0.0, 0.15),
+        lowercase_start_rate=float(rng.choice(
+            [0.0, 0.0, 0.1, 0.9], p=[0.4, 0.2, 0.2, 0.2]))
+        * params.rate_spread,
+        mean_sentence_words=habit(8.0, 18.0),
+        mean_message_sentences=float(rng.uniform(1.5, 5.0)),
+    )
+
+
+@dataclass(frozen=True)
+class ActivityHabits:
+    """Daily posting habits of a persona.
+
+    Attributes
+    ----------
+    timezone_offset:
+        The persona's home UTC offset in hours (-11..13).
+    peak_hours:
+        Local hours around which posting concentrates.
+    peak_widths:
+        Standard deviation (hours) of each peak.
+    peak_weights:
+        Relative mass of each peak (normalized).
+    weekend_shift:
+        Hours by which the whole profile shifts on weekends — the
+        reason the paper discards weekend/holiday timestamps.
+    night_owl_floor:
+        Baseline posting probability spread over all hours.
+    annual_drift_hours:
+        Total circular drift of the peaks over one year ("in the long
+        run, people can change their habits", §VI).  Zero by default;
+        the time-range sensitivity bench turns it on.
+    """
+
+    timezone_offset: int
+    peak_hours: Tuple[float, ...]
+    peak_widths: Tuple[float, ...]
+    peak_weights: Tuple[float, ...]
+    weekend_shift: float
+    night_owl_floor: float
+    annual_drift_hours: float = 0.0
+
+    def hourly_distribution(self, local: bool = False,
+                            shifted: float = 0.0) -> np.ndarray:
+        """The 24-bin posting-probability profile.
+
+        Parameters
+        ----------
+        local:
+            Return the profile in local hours instead of UTC.
+        shifted:
+            Extra circular shift in hours (used for weekends).
+        """
+        hours = np.arange(24, dtype=np.float64)
+        profile = np.full(24, self.night_owl_floor / 24.0)
+        for mu, sigma, w in zip(self.peak_hours, self.peak_widths,
+                                self.peak_weights):
+            center = mu + shifted
+            # circular distance on the 24-hour clock
+            delta = np.minimum(np.abs(hours - center % 24),
+                               24 - np.abs(hours - center % 24))
+            profile += w * np.exp(-0.5 * (delta / sigma) ** 2)
+        if not local:
+            profile = np.roll(profile, -self.timezone_offset)
+        return profile / profile.sum()
+
+
+def sample_habits(rng: np.random.Generator,
+                  timezone_offset: Optional[int] = None,
+                  max_annual_drift: float = 0.0) -> ActivityHabits:
+    """Draw daily posting habits, optionally pinning the timezone.
+
+    ``max_annual_drift`` bounds the per-persona habit drift over a
+    year; each persona draws its drift uniformly from that range.
+    """
+    if timezone_offset is None:
+        # Population skewed toward North America / Europe, like the
+        # forums under study.
+        timezone_offset = int(rng.choice(
+            [-8, -7, -6, -5, -4, 0, 1, 2, 3, 8, 10],
+            p=[0.12, 0.08, 0.10, 0.18, 0.05, 0.12,
+               0.14, 0.10, 0.04, 0.03, 0.04]))
+    n_peaks = int(rng.integers(1, 3))
+    peak_hours = tuple(float(rng.uniform(0, 24)) for _ in range(n_peaks))
+    peak_widths = tuple(float(rng.uniform(0.8, 2.5)) for _ in range(n_peaks))
+    raw_weights = rng.uniform(0.5, 1.0, size=n_peaks)
+    peak_weights = tuple(float(w) for w in raw_weights / raw_weights.sum())
+    return ActivityHabits(
+        timezone_offset=timezone_offset,
+        peak_hours=peak_hours,
+        peak_widths=peak_widths,
+        peak_weights=peak_weights,
+        weekend_shift=float(rng.uniform(-4.0, 4.0)),
+        night_owl_floor=float(rng.uniform(0.03, 0.25)),
+        annual_drift_hours=float(rng.uniform(-max_annual_drift,
+                                             max_annual_drift)),
+    )
+
+
+@dataclass(frozen=True)
+class PersonaAttributes:
+    """Real-world facts about the person (what §V-D digs for)."""
+
+    age: int
+    city: str
+    country: str
+    occupation: str
+    hobbies: Tuple[str, ...]
+    games: Tuple[str, ...]
+    phone: str
+    religion: str
+    politics: str
+    favorite_drug: str
+    trusted_vendor: str
+    philosopher: Optional[str] = None
+
+
+def sample_attributes(rng: np.random.Generator) -> PersonaAttributes:
+    """Draw a coherent set of personal attributes."""
+    city, country = choice(rng, wordlists.CITIES)
+    n_hobbies = int(rng.integers(1, 4))
+    n_games = int(rng.integers(0, 4))
+    return PersonaAttributes(
+        age=int(rng.integers(18, 55)),
+        city=city,
+        country=country,
+        occupation=choice(rng, wordlists.OCCUPATIONS),
+        hobbies=tuple(sample_without_replacement(
+            rng, wordlists.HOBBIES, n_hobbies)),
+        games=tuple(sample_without_replacement(
+            rng, wordlists.VIDEO_GAMES, n_games)),
+        phone=choice(rng, wordlists.PHONES),
+        religion=choice(rng, wordlists.RELIGIONS),
+        politics=choice(rng, ("progressive", "conservative", "libertarian",
+                              "apolitical")),
+        favorite_drug=choice(rng, wordlists.DRUGS),
+        trusted_vendor=choice(rng, wordlists.VENDOR_NAMES),
+        philosopher=(choice(rng, wordlists.PHILOSOPHERS)
+                     if rng.random() < 0.2 else None),
+    )
+
+
+@dataclass
+class Persona:
+    """One person, possibly holding aliases on several forums.
+
+    Attributes
+    ----------
+    persona_id:
+        Stable integer identifier within a world.
+    style:
+        The base (open-web) style fingerprint.
+    habits:
+        Daily posting habits (shared across forums; that is the point
+        of the daily-activity attack).
+    attributes:
+        Real-world facts.
+    aliases:
+        Mapping ``forum name -> alias`` for every forum this persona
+        participates in.
+    styles:
+        Mapping ``forum name -> StyleProfile``; dark-web styles may be
+        drifted copies of :attr:`style`.
+    is_vendor:
+        Vendors post showcase ads and use their alias as a brand — the
+        paper notes they are the easiest users to link.
+    is_bot:
+        Bot accounts (dropped by polishing step 1).
+    """
+
+    persona_id: int
+    style: StyleProfile
+    habits: ActivityHabits
+    attributes: PersonaAttributes
+    aliases: Dict[str, str] = field(default_factory=dict)
+    styles: Dict[str, StyleProfile] = field(default_factory=dict)
+    is_vendor: bool = False
+    is_bot: bool = False
+
+    def style_on(self, forum: str) -> StyleProfile:
+        """The style profile this persona uses on *forum*."""
+        return self.styles.get(forum, self.style)
+
+    def alias_on(self, forum: str) -> Optional[str]:
+        """The persona's alias on *forum*, if any."""
+        return self.aliases.get(forum)
+
+    def join_forum(self, rng: np.random.Generator, forum: str, alias: str,
+                   drift: float = 0.0,
+                   params: "StyleParams | None" = None) -> None:
+        """Register an alias on *forum* with the given style drift."""
+        if forum in self.aliases:
+            raise ValueError(
+                f"persona {self.persona_id} already has an alias on "
+                f"{forum!r}")
+        self.aliases[forum] = alias
+        self.styles[forum] = self.style.drifted(rng, drift, params)
+
+
+def make_alias(rng: np.random.Generator, taken: set,
+               vendor: bool = False, bot: bool = False) -> str:
+    """Generate a unique nickname.
+
+    Vendors get brand-like names; bots advertise themselves with a
+    ``bot`` prefix/suffix exactly as the polishing heuristic expects.
+    """
+    for _ in range(1000):
+        if vendor:
+            base = choice(rng, wordlists.VENDOR_NAMES)
+            name = f"{base}{int(rng.integers(1, 100))}" \
+                if rng.random() < 0.5 else base
+        else:
+            adj = choice(rng, wordlists.ALIAS_ADJECTIVES)
+            noun = choice(rng, wordlists.ALIAS_NOUNS)
+            name = f"{adj}{noun}"
+            if rng.random() < 0.5:
+                name += str(int(rng.integers(1, 1000)))
+        if bot:
+            name = name + "bot" if rng.random() < 0.5 else "bot" + name
+        if name.lower() not in taken:
+            taken.add(name.lower())
+            return name
+    raise RuntimeError("alias namespace exhausted")
+
+
+def generate_persona(seed: int, persona_id: int,
+                     params: StyleParams = DEFAULT_STYLE_PARAMS,
+                     max_annual_drift: float = 0.0) -> Persona:
+    """Deterministically generate persona number *persona_id*."""
+    rng = substream(seed, "persona", persona_id)
+    return Persona(
+        persona_id=persona_id,
+        style=sample_style(rng, params),
+        habits=sample_habits(rng, max_annual_drift=max_annual_drift),
+        attributes=sample_attributes(rng),
+    )

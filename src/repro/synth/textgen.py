@@ -1,0 +1,257 @@
+"""Generation of English-looking forum prose from a style fingerprint.
+
+The generator is a stochastic sentence assembler: each token slot is
+either a function word (drawn from the author's personal multinomial),
+a content word (personal Zipf preferences, optionally biased toward the
+topic of the section being posted in), a personal phrase, slang, a
+number, or punctuation — all governed by the :class:`StyleProfile`
+rates.  The output is not meant to fool a human; it is meant to have the
+*statistical* properties stylometry feeds on:
+
+* author-specific function-word frequencies,
+* author-specific word 2/3-gram mass (phrases),
+* author-specific punctuation/digit/special-character rates, and
+* author-specific character n-grams (typos, slang, emoticons),
+
+while remaining English enough for the char-n-gram language detector to
+keep it (real messages must pass polishing step 7).
+
+Performance note: worlds contain millions of words, so the hot path
+avoids per-token :meth:`numpy.random.Generator.choice` calls (which
+re-scan the probability vector every time).  Uniform draws are buffered
+in blocks and categorical draws use a pre-computed cumulative
+distribution with :func:`numpy.searchsorted`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.synth import wordlists
+from repro.synth.personas import StyleProfile
+
+#: Probability that a content-word slot uses a topic keyword when the
+#: message is posted in a topical section.
+TOPIC_KEYWORD_RATE = 0.25
+
+_FUNCTION_WORDS: Sequence[str] = wordlists.FUNCTION_WORDS
+_CONTENT_WORDS: Sequence[str] = wordlists.CONTENT_WORDS
+
+
+class _RandomBuffer:
+    """Amortized uniform draws: one numpy call per *size* values."""
+
+    __slots__ = ("_rng", "_size", "_buf", "_i")
+
+    def __init__(self, rng: np.random.Generator, size: int = 8192) -> None:
+        self._rng = rng
+        self._size = size
+        self._buf = rng.random(size)
+        self._i = 0
+
+    def uniform(self) -> float:
+        """Next uniform value in [0, 1)."""
+        if self._i >= self._size:
+            self._buf = self._rng.random(self._size)
+            self._i = 0
+        value = self._buf[self._i]
+        self._i += 1
+        return value
+
+    def randint(self, n: int) -> int:
+        """Uniform integer in [0, n)."""
+        return int(self.uniform() * n)
+
+
+class MessageGenerator:
+    """Generate messages in one author's voice.
+
+    Parameters
+    ----------
+    style:
+        The author's stylometric fingerprint.
+    rng:
+        Source of randomness (a dedicated substream per alias keeps the
+        world reproducible).
+    topic_keywords:
+        Topical vocabulary of the section being posted to; sampled into
+        content slots at :data:`TOPIC_KEYWORD_RATE`.
+    """
+
+    def __init__(self, style: StyleProfile, rng: np.random.Generator,
+                 topic_keywords: Sequence[str] = ()) -> None:
+        self.style = style
+        self.rng = rng
+        self.topic_keywords = tuple(topic_keywords)
+        self._typos = {w: wordlists.TYPO_MAP[w] for w in style.typo_words}
+        self._function_cum = np.cumsum(style.function_weights)
+        self._content_cum = np.cumsum(style.content_weights)
+        self._rand = _RandomBuffer(rng)
+
+    # -- token-level sampling ------------------------------------------------
+
+    def _function_word(self) -> str:
+        idx = int(np.searchsorted(self._function_cum, self._rand.uniform()))
+        word = _FUNCTION_WORDS[min(idx, len(_FUNCTION_WORDS) - 1)]
+        return self._typos.get(word, word)
+
+    def _content_word(self) -> str:
+        if self.topic_keywords and self._rand.uniform() < TOPIC_KEYWORD_RATE:
+            return self.topic_keywords[
+                self._rand.randint(len(self.topic_keywords))]
+        idx = int(np.searchsorted(self._content_cum, self._rand.uniform()))
+        word = _CONTENT_WORDS[min(idx, len(_CONTENT_WORDS) - 1)]
+        return self._typos.get(word, word)
+
+    def _end_punctuation(self) -> str:
+        s = self.style
+        r = self._rand.uniform()
+        if r < s.ellipsis_rate:
+            return "..."
+        r -= s.ellipsis_rate
+        if r < s.exclaim_rate:
+            return "!" if self._rand.uniform() < 0.7 else "!!"
+        r -= s.exclaim_rate
+        if r < s.question_rate:
+            return "?"
+        return "."
+
+    # -- sentence / message assembly ----------------------------------------
+
+    def sentence(self) -> str:
+        """Generate one sentence in the author's voice."""
+        s = self.style
+        rand = self._rand
+        n_words = max(3, int(self.rng.poisson(s.mean_sentence_words)))
+        parts: List[str] = []
+        while len(parts) < n_words:
+            if s.phrases and rand.uniform() < s.phrase_rate / 4.0:
+                phrase = s.phrases[rand.randint(len(s.phrases))]
+                parts.extend(phrase.split())
+                continue
+            if s.slang and rand.uniform() < s.slang_rate:
+                parts.append(s.slang[rand.randint(len(s.slang))])
+                continue
+            if rand.uniform() < s.function_word_rate:
+                word = self._function_word()
+            else:
+                word = self._content_word()
+            parts.append(word)
+            if (s.comma_rate and len(parts) < n_words - 1
+                    and rand.uniform() < s.comma_rate):
+                parts[-1] = parts[-1] + ","
+        if rand.uniform() < s.digit_rate:
+            number = str(1 + rand.randint(499))
+            pos = 1 + rand.randint(len(parts))
+            parts.insert(pos, number)
+        if rand.uniform() >= s.lowercase_start_rate:
+            parts[0] = parts[0][:1].upper() + parts[0][1:]
+        text = " ".join(parts) + self._end_punctuation()
+        if s.emoticons and rand.uniform() < s.emoticon_rate:
+            text += " " + s.emoticons[rand.randint(len(s.emoticons))]
+        return text
+
+    def message(self, target_words: Optional[int] = None) -> str:
+        """Generate one message.
+
+        Parameters
+        ----------
+        target_words:
+            When given, sentences accumulate until the whitespace-token
+            count reaches this target — approximately the linguistic
+            word count (punctuation-only tokens make the tokenizer's
+            word count run a few words lower).  Otherwise the author's
+            :attr:`StyleProfile.mean_message_sentences` governs length.
+        """
+        sentences: List[str] = []
+        if target_words is None:
+            n_sentences = 1 + int(self.rng.poisson(
+                max(0.0, self.style.mean_message_sentences - 1.0)))
+            for _ in range(n_sentences):
+                sentences.append(self.sentence())
+        else:
+            words = 0
+            while words < target_words:
+                sent = self.sentence()
+                sentences.append(sent)
+                words += len(sent.split())
+        return " ".join(sentences)
+
+    def messages(self, count: int,
+                 target_words: Optional[int] = None) -> List[str]:
+        """Generate *count* independent messages."""
+        return [self.message(target_words) for _ in range(count)]
+
+
+def vendor_showcase(rng: np.random.Generator, vendor_alias: str,
+                    generator: MessageGenerator) -> str:
+    """A vendor's showcase post: product list, prices, shipping blurb.
+
+    Mirrors The Majestic Garden structure, where the first post of a
+    vendor thread is the advertisement and replies are reviews.
+    Showcases embed the vendor's brand name — the self-reference that
+    makes vendors the easiest aliases to link (Section V-C).
+    """
+    n_products = int(rng.integers(2, 6))
+    lines = [
+        f"Welcome to the official {vendor_alias} thread, "
+        "please read everything before ordering."
+    ]
+    for _ in range(n_products):
+        drug = wordlists.DRUGS[int(rng.integers(len(wordlists.DRUGS)))]
+        price = int(rng.integers(10, 300))
+        grams = int(rng.integers(1, 28))
+        lines.append(
+            f"We offer top quality {drug}, {grams} grams for {price} "
+            "with tracked shipping included.")
+    lines.append(generator.sentence())
+    lines.append(
+        f"All orders ship within 2 business days, message {vendor_alias} "
+        "for bulk pricing and always use escrow for your first order.")
+    return " ".join(lines)
+
+
+def review_post(rng: np.random.Generator, vendor_alias: str,
+                generator: MessageGenerator, drug: str) -> str:
+    """A customer review in a vendor thread."""
+    rating = int(rng.integers(6, 11))
+    opener = (
+        f"Just received my order of {drug} from {vendor_alias}, "
+        f"overall {rating} out of 10.")
+    return opener + " " + generator.message()
+
+
+def spam_variants(rng: np.random.Generator, base: str,
+                  count: int) -> List[str]:
+    """Near-duplicates of *base* (vendor re-posts, crossposts).
+
+    Each variant changes at most a couple of words, reproducing the
+    spam the paper's polishing step 2 must catch via exact-duplicate
+    removal and step 6 via the distinct-word-ratio filter.
+    """
+    variants = [base]
+    words = base.split()
+    for _ in range(count - 1):
+        mutated = list(words)
+        for _ in range(int(rng.integers(0, 3))):
+            if not mutated:
+                break
+            pos = int(rng.integers(len(mutated)))
+            mutated[pos] = wordlists.CONTENT_WORDS[
+                int(rng.integers(len(wordlists.CONTENT_WORDS)))]
+        variants.append(" ".join(mutated))
+    return variants
+
+
+def repeated_sentence_spam(rng: np.random.Generator,
+                           generator: MessageGenerator) -> str:
+    """A message that repeats one sentence many times (low diversity).
+
+    These are the "single sentence written multiple times" spam messages
+    that motivate the distinct-word-ratio filter (polishing step 6).
+    """
+    sentence = generator.sentence()
+    repeats = int(rng.integers(3, 8))
+    return " ".join([sentence] * repeats)

@@ -1,0 +1,113 @@
+"""Timestamp generation from a persona's daily habits.
+
+Given :class:`~repro.synth.personas.ActivityHabits`, this module draws
+posting timestamps over a sampling window (the paper's data is almost
+entirely from 2017).  Weekday posts follow the persona's hourly profile;
+weekend posts follow the same profile shifted by the persona's
+``weekend_shift`` — exactly the bias that makes the paper discard
+weekend and holiday timestamps when building activity profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.calendars import is_weekend, timestamp_at
+from repro.forums.models import DAY, HOUR
+from repro.synth.personas import ActivityHabits
+
+
+@dataclass(frozen=True)
+class SamplingWindow:
+    """The period over which a persona's posts are spread.
+
+    Defaults to the whole of 2017, matching the paper ("almost all the
+    posts in the datasets were written in the same year, 2017").
+    """
+
+    start: int = timestamp_at(2017, 1, 1)
+    end: int = timestamp_at(2017, 12, 31, 23, 59, 59)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("window end must be after start")
+
+    @property
+    def n_days(self) -> int:
+        return max(1, (self.end - self.start) // DAY)
+
+
+#: The default 2017 window.
+YEAR_2017 = SamplingWindow()
+
+
+class TimestampSampler:
+    """Draw posting timestamps for one persona.
+
+    Parameters
+    ----------
+    habits:
+        The persona's daily activity habits.
+    rng:
+        Randomness substream for this alias.
+    window:
+        Sampling window (default: calendar year 2017).
+
+    When the habits carry a non-zero ``annual_drift_hours``, the
+    persona's peaks migrate through the year (quantized into quarters
+    so per-day profiles need not be recomputed): the §VI time-range
+    effect.
+    """
+
+    #: Number of within-window segments used to quantize annual drift.
+    DRIFT_SEGMENTS = 4
+
+    def __init__(self, habits: ActivityHabits, rng: np.random.Generator,
+                 window: SamplingWindow = YEAR_2017) -> None:
+        self.habits = habits
+        self.rng = rng
+        self.window = window
+        drift = getattr(habits, "annual_drift_hours", 0.0)
+        segments = self.DRIFT_SEGMENTS if drift else 1
+        self._weekday_cums = []
+        self._weekend_cums = []
+        for segment in range(segments):
+            # drift progresses linearly across the window
+            progress = (segment + 0.5) / segments - 0.5
+            shift = drift * progress
+            self._weekday_cums.append(np.cumsum(
+                habits.hourly_distribution(shifted=shift)))
+            self._weekend_cums.append(np.cumsum(
+                habits.hourly_distribution(
+                    shifted=shift + habits.weekend_shift)))
+        self._segments = segments
+
+    def _segment_of(self, day: int) -> int:
+        return min(self._segments - 1,
+                   int(day * self._segments / max(1, self.window.n_days)))
+
+    def sample(self, count: int) -> List[int]:
+        """Draw *count* timestamps (epoch seconds, UTC), sorted."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count == 0:
+            return []
+        days = self.rng.integers(0, self.window.n_days, size=count)
+        day_starts = self.window.start - (self.window.start % DAY) \
+            + days * DAY
+        hour_draws = self.rng.random(count)
+        seconds = self.rng.integers(0, HOUR, size=count)
+        stamps = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            base = int(day_starts[i])
+            segment = self._segment_of(int(days[i]))
+            cum = self._weekend_cums[segment] if is_weekend(base) \
+                else self._weekday_cums[segment]
+            hour = int(np.searchsorted(cum, hour_draws[i]))
+            hour = min(hour, 23)
+            stamps[i] = base + hour * HOUR + int(seconds[i])
+        stamps.sort()
+        return [int(s) for s in stamps]

@@ -1,0 +1,330 @@
+"""Word inventories for the synthetic text generator.
+
+The generator writes English-looking forum prose, so its vocabulary must
+be real English: the built-in language detector (and any stylometric
+claim about character n-grams) only behaves realistically on genuine
+English character sequences.  This module holds the shared inventories;
+per-author *preferences over* these inventories are what
+:mod:`repro.synth.personas` randomizes.
+
+Nothing here is secret sauce: function words carry most of the
+stylometric signal in short texts, content words carry topic, phrases
+feed the word-2/3-gram features, and slang/typo habits feed the
+character n-grams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+def _unique(words):
+    """Drop later duplicates, preserving order.
+
+    Some words legitimately appear in several grammatical roles while
+    drafting the inventories ("order" the noun vs the verb); keeping
+    one copy avoids silently doubling their sampling weight.
+    """
+    seen = set()
+    out = []
+    for word in words:
+        if word not in seen:
+            seen.add(word)
+            out.append(word)
+    return tuple(out)
+
+
+#: High-frequency English function words.  Authors get an individual
+#: multinomial over these — the classic stylometric fingerprint.
+FUNCTION_WORDS: Tuple[str, ...] = (
+    "the", "a", "an", "and", "or", "but", "so", "if", "then", "than",
+    "that", "this", "these", "those", "it", "its", "he", "she", "they",
+    "them", "his", "her", "their", "we", "us", "our", "you", "your",
+    "i", "me", "my", "mine", "who", "what", "which", "when", "where",
+    "why", "how", "not", "no", "yes", "all", "any", "some", "none",
+    "both", "each", "few", "many", "much", "more", "most", "other",
+    "such", "only", "own", "same", "too", "very", "just", "also",
+    "even", "still", "yet", "again", "ever", "never", "always",
+    "often", "sometimes", "usually", "maybe", "perhaps", "really",
+    "quite", "rather", "pretty", "about", "above", "after", "before",
+    "against", "between", "into", "through", "during", "under", "over",
+    "from", "to", "of", "in", "on", "at", "by", "with", "without",
+    "for", "as", "like", "until", "while", "because", "since",
+    "although", "though", "however", "therefore", "anyway", "besides",
+    "instead", "meanwhile", "otherwise", "is", "am", "are", "was",
+    "were", "be", "been", "being", "have", "has", "had", "do", "does",
+    "did", "will", "would", "can", "could", "should", "may", "might",
+    "must", "shall", "there", "here", "now", "then", "once", "twice",
+    "well", "ok", "okay", "oh", "ah", "hey", "hi", "thanks", "please",
+    "actually", "basically", "honestly", "literally", "probably",
+    "definitely", "obviously", "apparently", "seriously", "totally",
+)
+FUNCTION_WORDS = _unique(FUNCTION_WORDS)
+
+#: Common content words shared by every author.  Personal Zipf
+#: preferences over this list create distinguishable vocabularies.
+CONTENT_WORDS: Tuple[str, ...] = (
+    # everyday nouns
+    "time", "people", "way", "day", "man", "woman", "thing", "life",
+    "world", "hand", "part", "place", "week", "case", "point", "group",
+    "company", "number", "fact", "home", "water", "room", "mother",
+    "father", "money", "story", "month", "night", "job", "word", "side",
+    "kind", "head", "house", "friend", "hour", "game", "line", "end",
+    "member", "car", "city", "name", "team", "minute", "idea", "body",
+    "information", "face", "door", "reason", "history", "party",
+    "result", "change", "morning", "research", "moment", "teacher",
+    "education", "person", "year", "student", "phone", "family",
+    "experience", "music", "food", "school", "state", "system",
+    "question", "power", "price", "order", "package", "mail", "box",
+    "letter", "account", "site", "service", "address", "review",
+    "message", "post", "forum", "thread", "topic", "community",
+    "product", "quality", "seller", "buyer", "market", "deal",
+    "payment", "refund", "delivery", "tracking", "weight", "sample",
+    "batch", "supply", "stock", "brand", "label", "customer", "support",
+    "problem", "issue", "solution", "answer", "advice", "help",
+    "opinion", "choice", "option", "chance", "risk", "trust", "truth",
+    "doubt", "hope", "fear", "love", "hate", "anger", "joy", "pain",
+    "health", "doctor", "medicine", "hospital", "treatment", "effect",
+    "dose", "amount", "level", "test", "report", "record", "list",
+    "page", "book", "article", "news", "video", "movie", "song",
+    "album", "picture", "photo", "image", "screen", "computer",
+    "laptop", "keyboard", "mouse", "internet", "network", "website",
+    "browser", "software", "hardware", "update", "version", "feature",
+    "button", "window", "file", "folder", "link", "code", "password",
+    "key", "lock", "security", "privacy", "identity", "profile",
+    "country", "government", "law", "police", "court", "judge",
+    "prison", "crime", "war", "peace", "election", "president",
+    "leader", "citizen", "right", "freedom", "speech", "media",
+    "weather", "rain", "snow", "sun", "wind", "storm", "summer",
+    "winter", "spring", "autumn", "street", "road", "bridge", "train",
+    "bus", "plane", "ticket", "travel", "trip", "hotel", "beach",
+    "mountain", "river", "lake", "forest", "garden", "tree", "flower",
+    "animal", "dog", "cat", "bird", "fish", "horse",
+    # everyday verbs (base forms)
+    "make", "take", "get", "give", "go", "come", "see", "look",
+    "watch", "find", "think", "know", "believe", "feel", "want",
+    "need", "try", "ask", "tell", "say", "talk", "speak", "write",
+    "read", "hear", "listen", "play", "work", "live", "stay", "leave",
+    "move", "run", "walk", "sit", "stand", "open", "close", "start",
+    "stop", "finish", "continue", "keep", "hold", "carry", "bring",
+    "send", "receive", "buy", "sell", "pay", "cost", "spend", "save",
+    "win", "lose", "learn", "teach", "study", "remember", "forget",
+    "understand", "explain", "show", "share", "follow", "lead", "meet",
+    "join", "visit", "call", "wait", "hope", "wish", "plan", "decide",
+    "choose", "agree", "disagree", "accept", "refuse", "offer",
+    "promise", "expect", "happen", "seem", "appear", "become", "grow",
+    "build", "break", "fix", "repair", "create", "destroy", "use",
+    "waste", "add", "remove", "cut", "put", "set", "turn", "pull",
+    "push", "throw", "catch", "drop", "pick", "fill", "empty", "cook",
+    "eat", "drink", "sleep", "wake", "dream", "laugh", "cry", "smile",
+    "worry", "relax", "enjoy", "prefer", "avoid", "miss", "notice",
+    "check", "compare", "measure", "count", "order", "ship", "pack",
+    "arrive", "deliver", "return", "cancel", "confirm", "verify",
+    "recommend", "suggest", "mention", "discuss", "argue", "complain",
+    "apologize", "thank", "welcome", "trust", "doubt", "warn",
+    # everyday adjectives
+    "good", "bad", "new", "old", "great", "small", "big", "large",
+    "little", "long", "short", "high", "low", "early", "late", "young",
+    "important", "different", "similar", "easy", "hard", "difficult",
+    "simple", "complex", "possible", "impossible", "real", "fake",
+    "true", "false", "right", "wrong", "sure", "certain", "clear",
+    "strange", "weird", "normal", "common", "rare", "special", "cheap",
+    "expensive", "free", "full", "open", "closed", "fast", "slow",
+    "quick", "safe", "dangerous", "legal", "illegal", "public",
+    "private", "local", "foreign", "strong", "weak", "heavy", "light",
+    "dark", "bright", "clean", "dirty", "fresh", "dry", "wet", "hot",
+    "cold", "warm", "cool", "nice", "kind", "friendly", "rude",
+    "honest", "fair", "serious", "funny", "happy", "sad", "angry",
+    "tired", "busy", "ready", "careful", "careless", "lucky",
+    "beautiful", "ugly", "perfect", "terrible", "awful", "amazing",
+    "awesome", "incredible", "reliable", "solid", "decent", "legit",
+    "sketchy", "smooth", "rough", "soft", "loud", "quiet",
+    # everyday adverbs and misc
+    "today", "tomorrow", "yesterday", "tonight", "soon", "later",
+    "recently", "finally", "suddenly", "quickly", "slowly", "together",
+    "alone", "online", "offline", "overseas", "nearby", "everywhere",
+    "somewhere", "nowhere", "anywhere", "inside", "outside", "upstairs",
+    "downtown", "abroad", "already", "almost", "enough", "exactly",
+    "especially", "generally", "mostly", "mainly", "certainly",
+    "clearly", "simply", "directly", "easily", "hardly", "nearly",
+    "completely", "absolutely", "extremely", "highly", "fairly",
+)
+CONTENT_WORDS = _unique(CONTENT_WORDS)
+
+#: Multi-word collocations.  Each author adopts a personal subset;
+#: these feed the word-2/3-gram features with author-specific mass.
+PHRASES: Tuple[str, ...] = (
+    "to be honest", "at the end of the day", "as far as i know",
+    "in my opinion", "for what it is worth", "at this point",
+    "on the other hand", "long story short", "first of all",
+    "last but not least", "in the long run", "by the way",
+    "believe it or not", "as a matter of fact", "needless to say",
+    "for the record", "in any case", "more or less",
+    "sooner or later", "every now and then", "once in a while",
+    "better safe than sorry", "take it or leave it",
+    "i could be wrong but", "correct me if i am wrong",
+    "do your own research", "your mileage may vary",
+    "just my two cents", "hope this helps", "thanks in advance",
+    "keep up the good work", "cannot recommend enough",
+    "worth every penny", "save yourself the trouble",
+    "too good to be true", "hit or miss", "rule of thumb",
+    "a grain of salt", "the real deal", "state of the art",
+    "peace of mind", "word of mouth", "track record",
+    "red flag", "common sense", "worst case scenario",
+    "best case scenario", "no offense but", "not gonna lie",
+    "if i remember correctly", "as mentioned above",
+    "as i said before", "like i said", "in other words",
+    "that being said", "having said that", "on top of that",
+    "a couple of days", "a few weeks ago", "back in the day",
+    "out of the blue", "off the top of my head",
+    "from my experience", "in my experience", "speaking of which",
+    "as usual", "so far so good", "fingers crossed",
+    "touch wood", "good luck with that", "no worries at all",
+    "fair enough", "makes sense to me", "sounds about right",
+    "i beg to differ", "agree to disagree", "case in point",
+    "point taken", "lesson learned", "you get what you pay for",
+    "quality over quantity", "slow and steady", "better late than never",
+    "stay safe out there", "happy to help", "feel free to ask",
+    "drop me a line", "keep me posted", "let me know",
+    "see what i mean", "know what i mean", "if that makes sense",
+    "it goes without saying", "to make a long story short",
+    "when it comes to", "with all due respect", "at first glance",
+    "on a side note", "for future reference", "in a nutshell",
+    "the bottom line is", "all things considered", "time will tell",
+    "easier said than done", "it is what it is", "no big deal",
+    "big picture", "deal breaker", "game changer", "eye opener",
+    "in the meantime", "over the moon", "under the weather",
+    "down the road", "around the corner", "behind the scenes",
+)
+
+#: Internet slang and abbreviations; a personal subset per author.
+SLANG: Tuple[str, ...] = (
+    "lol", "lmao", "rofl", "imo", "imho", "tbh", "ngl", "smh", "idk",
+    "iirc", "afaik", "btw", "fyi", "tl;dr", "nvm", "omg", "wtf",
+    "brb", "gtg", "thx", "pls", "plz", "u", "ur", "r", "y", "ppl",
+    "bc", "cuz", "tho", "rn", "af", "fr", "lowkey", "highkey",
+    "legit", "sus", "hella", "kinda", "sorta", "gonna", "wanna",
+    "gotta", "dunno", "lemme", "gimme", "ya", "yea", "yeah", "yep",
+    "nope", "nah", "meh", "welp", "yikes", "oof", "bruh", "dude",
+    "mate", "fam", "bro", "noob", "newb", "op", "mod", "admin",
+)
+
+#: Common misspellings an author may habitually produce.
+TYPO_MAP: Dict[str, str] = {
+    "definitely": "definately",
+    "separate": "seperate",
+    "receive": "recieve",
+    "believe": "beleive",
+    "weird": "wierd",
+    "until": "untill",
+    "tomorrow": "tommorow",
+    "beginning": "begining",
+    "occurred": "occured",
+    "a lot": "alot",
+    "really": "realy",
+    "because": "becuase",
+    "probably": "probly",
+    "government": "goverment",
+    "experience": "experiance",
+    "recommend": "reccomend",
+    "address": "adress",
+    "business": "buisness",
+    "interesting": "intresting",
+    "immediately": "immediatly",
+}
+
+#: ASCII emoticons (kept distinct from Unicode emoji, which the
+#: polishing pipeline strips).
+EMOTICONS: Tuple[str, ...] = (
+    ":)", ":(", ":D", ";)", ":P", ":/", ":|", ":O", "xD", "^^",
+    ":-)", ":-(", "=)", "=D", "<3", "o_O",
+)
+
+#: Nickname parts for alias generation.
+ALIAS_ADJECTIVES: Tuple[str, ...] = (
+    "dark", "silent", "crypto", "shadow", "magic", "electric", "cosmic",
+    "toxic", "frozen", "golden", "hidden", "lucid", "mellow", "neon",
+    "wild", "stealth", "phantom", "velvet", "digital", "lunar", "solar",
+    "iron", "silver", "mystic", "rapid", "lazy", "happy", "grumpy",
+    "sneaky", "quiet", "loud", "smooth", "spicy", "salty", "sour",
+)
+
+ALIAS_NOUNS: Tuple[str, ...] = (
+    "fox", "wolf", "raven", "tiger", "panda", "otter", "falcon",
+    "dragon", "ghost", "wizard", "monk", "sailor", "pirate", "ninja",
+    "samurai", "knight", "baron", "duke", "nomad", "wanderer", "rider",
+    "runner", "dreamer", "thinker", "gardener", "chemist", "farmer",
+    "painter", "poet", "drifter", "hermit", "oracle", "prophet",
+    "voyager", "pilgrim", "smuggler", "trader", "merchant", "courier",
+)
+
+#: Personal attributes used by the persona generator and the §V-D
+#: profile extractor.
+CITIES: Tuple[Tuple[str, str], ...] = (
+    ("Edmonton", "Canada"), ("Toronto", "Canada"), ("Vancouver", "Canada"),
+    ("Miami", "USA"), ("New York", "USA"), ("Seattle", "USA"),
+    ("Austin", "USA"), ("Denver", "USA"), ("Portland", "USA"),
+    ("Chicago", "USA"), ("London", "UK"), ("Manchester", "UK"),
+    ("Berlin", "Germany"), ("Hamburg", "Germany"), ("Amsterdam",
+    "Netherlands"), ("Rotterdam", "Netherlands"), ("Sydney", "Australia"),
+    ("Melbourne", "Australia"), ("Warsaw", "Poland"), ("Krakow", "Poland"),
+    ("Dublin", "Ireland"), ("Stockholm", "Sweden"), ("Oslo", "Norway"),
+    ("Madrid", "Spain"), ("Barcelona", "Spain"), ("Rome", "Italy"),
+    ("Milan", "Italy"), ("Paris", "France"), ("Lyon", "France"),
+    ("Zurich", "Switzerland"),
+)
+
+OCCUPATIONS: Tuple[str, ...] = (
+    "warehouse worker", "line cook", "bartender", "barista",
+    "delivery driver", "software developer", "sysadmin", "electrician",
+    "plumber", "carpenter", "graphic designer", "photographer",
+    "student", "nurse", "paramedic", "teacher", "tutor", "accountant",
+    "mechanic", "welder", "security guard", "sales rep", "cashier",
+    "landscaper", "painter", "freelancer", "musician", "chef",
+)
+
+HOBBIES: Tuple[str, ...] = (
+    "hiking", "fishing", "cooking", "baking", "yoga", "meditation",
+    "gaming", "streaming", "photography", "painting", "drawing",
+    "skateboarding", "snowboarding", "cycling", "climbing", "camping",
+    "gardening", "reading", "chess", "poker", "guitar", "drums",
+    "home brewing", "woodworking", "running", "swimming", "surfing",
+)
+
+VIDEO_GAMES: Tuple[str, ...] = (
+    "Fallout", "League of Legends", "COD4", "Counter Strike", "Skyrim",
+    "Minecraft", "World of Warcraft", "Overwatch", "Rocket League",
+    "Dark Souls", "The Witcher", "GTA V", "Destiny", "Dota 2",
+    "Rainbow Six", "Stardew Valley",
+)
+
+PHONES: Tuple[str, ...] = (
+    "Samsung Galaxy S4", "Samsung Galaxy S7", "iPhone 6", "iPhone 7",
+    "Google Pixel", "OnePlus 3", "LG G5", "Moto G", "Nexus 5X",
+    "HTC One", "Sony Xperia Z5", "Huawei P9",
+)
+
+RELIGIONS: Tuple[str, ...] = (
+    "Christian", "Atheist", "Agnostic", "Buddhist", "Jewish", "Muslim",
+    "Hindu", "Pagan",
+)
+
+#: Drug names used by vendor/buyer chatter and by the evidence
+#: generator ("same vendor sold her poor quality white molly").
+DRUGS: Tuple[str, ...] = (
+    "white molly", "mdma", "lsd tabs", "shrooms", "dmt", "2cb",
+    "ketamine", "hash", "weed", "xanax", "adderall", "oxy", "speed",
+    "mescaline", "changa", "kratom",
+)
+
+VENDOR_NAMES: Tuple[str, ...] = (
+    "GreenValley", "NorthernLights", "AcidQueen", "PharmaBro",
+    "SilkSurfer", "MellowYellow", "CrystalShip", "NightOwlMeds",
+    "GardenOfEden", "WhiteRabbit", "LuckyLuke", "DrFeelgood",
+    "SnowmanCo", "PurpleHaze", "MoonFlower", "TheAlchemist",
+)
+
+PHILOSOPHERS: Tuple[str, ...] = (
+    "Seneca", "Epictetus", "Diogenes", "Plato", "Spinoza", "Kant",
+    "Hume", "Nietzsche", "Laozi", "Zhuangzi",
+)

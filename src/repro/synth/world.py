@@ -1,0 +1,547 @@
+"""Cross-forum world generation.
+
+A *world* is the synthetic replacement for the paper's scraped data: a
+Reddit-like open forum plus two dark-web forums (The Majestic Garden and
+the Dream Market forum), populated by personas that may hold aliases on
+several forums at once.  The generator controls exactly the knobs the
+paper's experiments depend on:
+
+* how many personas overlap between TMG and DM (the §V-B experiment),
+* how many overlap between Reddit and the dark forums (§V-C),
+* how much an author's style drifts between their open and dark
+  aliases (the reason Dark↔Open linking is harder than Dark↔Dark),
+* how much text and how many timestamps each alias produces (the
+  refinement floors of §IV-D), and
+* how much dirt and how many identity disclosures land in the text.
+
+Everything is deterministic given ``WorldConfig.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.forums import topics as topic_mod
+from repro.forums.models import Forum, Message, Thread, UserRecord
+from repro.synth import evidence as ev
+from repro.synth.noise import NoiseConfig, NoiseInjector
+from repro.synth.personas import (
+    DEFAULT_STYLE_PARAMS,
+    Persona,
+    StyleParams,
+    generate_persona,
+    make_alias,
+)
+from repro.synth.rng import substream
+from repro.synth.textgen import (
+    MessageGenerator,
+    repeated_sentence_spam,
+    review_post,
+    spam_variants,
+    vendor_showcase,
+)
+from repro.synth.timegen import SamplingWindow, TimestampSampler, YEAR_2017
+
+REDDIT = "reddit"
+TMG = "tmg"
+DM = "dm"
+
+#: Board sections of the dark-web forums (Section III-B).
+TMG_SECTIONS = (
+    "vendor threads", "psychedelic literature", "drug cooking howtos",
+    "spiritual experiences",
+)
+DM_SECTIONS = (
+    "products and vendor reviews", "marketplace discussions",
+    "advertising and promotions", "scams",
+)
+
+
+@dataclass(frozen=True)
+class ForumLoad:
+    """Posting volume knobs for one forum.
+
+    ``heavy`` users are generated with enough messages to clear the
+    alter-ego floors of §IV-D (3,000 words / 60 timestamps); ``light``
+    users mimic the long tail that refinement discards.
+    """
+
+    heavy_fraction: float = 0.6
+    heavy_messages: Tuple[int, int] = (100, 220)
+    light_messages: Tuple[int, int] = (5, 60)
+    message_length_factor: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.heavy_fraction <= 1.0:
+            raise ConfigurationError("heavy_fraction must be in [0, 1]")
+        for lo, hi in (self.heavy_messages, self.light_messages):
+            if lo < 1 or hi < lo:
+                raise ConfigurationError(
+                    "message count ranges must satisfy 1 <= lo <= hi")
+        if self.message_length_factor <= 0:
+            raise ConfigurationError(
+                "message_length_factor must be positive")
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Full recipe for a synthetic world.
+
+    The default sizes are laptop-friendly; the paper-scale benches use
+    larger numbers.  Overlap counts must fit within the forum sizes.
+    """
+
+    seed: int = 7
+    reddit_users: int = 400
+    tmg_users: int = 120
+    dm_users: int = 80
+    tmg_dm_overlap: int = 20
+    reddit_dark_overlap: int = 30
+    dark_dark_drift: float = 0.03
+    open_dark_drift: float = 0.12
+    bot_fraction: float = 0.03
+    vendor_fraction: float = 0.10
+    disclosure_rate: float = 0.06
+    dark_disclosure_rate: float = 0.03
+    unique_leak_rate: float = 0.4
+    max_annual_drift: float = 0.0
+    style_params: StyleParams = DEFAULT_STYLE_PARAMS
+    window: SamplingWindow = YEAR_2017
+    reddit_load: ForumLoad = ForumLoad()
+    tmg_load: ForumLoad = ForumLoad(message_length_factor=1.6)
+    dm_load: ForumLoad = ForumLoad()
+    reddit_noise: NoiseConfig = field(default_factory=NoiseConfig)
+    dark_noise: NoiseConfig = field(default_factory=lambda: NoiseConfig(
+        pgp_rate=0.04, email_rate=0.02, url_rate=0.02, foreign_rate=0.02))
+
+    def __post_init__(self) -> None:
+        for name in ("reddit_users", "tmg_users", "dm_users"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.tmg_dm_overlap > min(self.tmg_users, self.dm_users):
+            raise ConfigurationError(
+                "tmg_dm_overlap exceeds the dark forum sizes")
+        dark_capacity = (self.tmg_users + self.dm_users
+                         - 2 * self.tmg_dm_overlap)
+        if self.reddit_dark_overlap > min(self.reddit_users, dark_capacity):
+            raise ConfigurationError(
+                "reddit_dark_overlap exceeds available users")
+        for name in ("dark_dark_drift", "open_dark_drift", "bot_fraction",
+                     "vendor_fraction", "disclosure_rate",
+                     "dark_disclosure_rate", "unique_leak_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        self.reddit_load.validate()
+        self.tmg_load.validate()
+        self.dm_load.validate()
+
+
+@dataclass(frozen=True)
+class LinkedPair:
+    """Ground truth: one persona's aliases on two forums."""
+
+    persona_id: int
+    forum_a: str
+    alias_a: str
+    forum_b: str
+    alias_b: str
+
+
+@dataclass
+class World:
+    """A generated world: forums plus the ground truth behind them."""
+
+    config: WorldConfig
+    personas: Dict[int, Persona]
+    forums: Dict[str, Forum]
+    links: List[LinkedPair]
+
+    def forum(self, name: str) -> Forum:
+        return self.forums[name]
+
+    def linked_aliases(self, forum_a: str, forum_b: str) -> Dict[str, str]:
+        """Ground-truth mapping ``alias on forum_a -> alias on forum_b``."""
+        mapping: Dict[str, str] = {}
+        for link in self.links:
+            if link.forum_a == forum_a and link.forum_b == forum_b:
+                mapping[link.alias_a] = link.alias_b
+            elif link.forum_a == forum_b and link.forum_b == forum_a:
+                mapping[link.alias_b] = link.alias_a
+        return mapping
+
+    def persona_of(self, forum: str, alias: str) -> Optional[Persona]:
+        """The persona behind *alias* on *forum* (None for bots etc.)."""
+        for persona in self.personas.values():
+            if persona.alias_on(forum) == alias:
+                return persona
+        return None
+
+
+# --------------------------------------------------------------------------
+# Membership planning
+# --------------------------------------------------------------------------
+
+def _plan_memberships(config: WorldConfig) -> List[Tuple[int, Tuple[str, ...]]]:
+    """Assign forums to persona ids.
+
+    Returns ``[(persona_id, (forum, ...)), ...]``; multi-forum tuples
+    are the future ground-truth links.
+    """
+    plans: List[Tuple[str, ...]] = []
+    plans.extend([(TMG, DM)] * config.tmg_dm_overlap)
+    # Alternate the dark side of Reddit↔Dark personas between TMG and DM.
+    dark_cycle = [TMG, DM]
+    tmg_left = config.tmg_users - config.tmg_dm_overlap
+    dm_left = config.dm_users - config.tmg_dm_overlap
+    reddit_left = config.reddit_users
+    for i in range(config.reddit_dark_overlap):
+        dark = dark_cycle[i % 2]
+        if dark == TMG and tmg_left == 0:
+            dark = DM
+        elif dark == DM and dm_left == 0:
+            dark = TMG
+        if dark == TMG:
+            tmg_left -= 1
+        else:
+            dm_left -= 1
+        reddit_left -= 1
+        plans.append((REDDIT, dark))
+    plans.extend([(REDDIT,)] * reddit_left)
+    plans.extend([(TMG,)] * tmg_left)
+    plans.extend([(DM,)] * dm_left)
+    return [(pid, forums) for pid, forums in enumerate(plans)]
+
+
+def _drift_for(persona_forums: Sequence[str], forum: str,
+               config: WorldConfig) -> float:
+    """Style drift applied to *forum*'s alias of a persona.
+
+    The persona's base style is their "native" voice.  Open-web aliases
+    use it unchanged.  A dark alias drifts: slightly when the persona's
+    other alias is also dark (Dark↔Dark is the easier problem), more
+    when the persona also lives on the open web (§IV: "people might
+    behave differently ... in the standard Web").
+    """
+    if forum == REDDIT:
+        return 0.0
+    if REDDIT in persona_forums:
+        return config.open_dark_drift
+    if len(persona_forums) > 1:
+        return config.dark_dark_drift / 2.0
+    return 0.0
+
+
+# --------------------------------------------------------------------------
+# Per-forum topic routing
+# --------------------------------------------------------------------------
+
+class _RedditTopicRouter:
+    """Route a Reddit user's messages to subreddits per Table I."""
+
+    def __init__(self, seed: int) -> None:
+        rng = substream(seed, "reddit-topics")
+        self.specs = topic_mod.TABLE_I
+        self.subreddits = {
+            spec.name: topic_mod.subreddit_names(
+                spec, min(spec.n_subreddits, 8))
+            for spec in self.specs
+        }
+        del rng
+
+    def user_topics(self, rng: np.random.Generator) -> List[int]:
+        """Indices of the topics this user subscribes to (Drugs always)."""
+        drugs_idx = next(i for i, s in enumerate(self.specs)
+                         if s.name == "Drugs")
+        weights = np.array([s.subscription_share for s in self.specs])
+        weights = weights / weights.sum()
+        extra = rng.choice(len(self.specs),
+                           size=int(rng.integers(2, 6)),
+                           replace=False, p=weights)
+        chosen = {drugs_idx}
+        chosen.update(int(i) for i in extra)
+        return sorted(chosen)
+
+    def pick_section(self, rng: np.random.Generator,
+                     user_topics: List[int]) -> Tuple[str, Tuple[str, ...]]:
+        """Pick (subreddit, topic keywords) for one message."""
+        weights = np.array([self.specs[i].message_share
+                            for i in user_topics])
+        weights = weights / weights.sum()
+        topic_idx = user_topics[int(rng.choice(len(user_topics), p=weights))]
+        spec = self.specs[topic_idx]
+        names = self.subreddits[spec.name]
+        # Flagship subreddit concentrates half the topic's traffic.
+        if len(names) == 1 or rng.random() < 0.5:
+            section = names[0]
+        else:
+            section = names[1 + int(rng.integers(len(names) - 1))]
+        return section, spec.keywords
+
+
+# --------------------------------------------------------------------------
+# World generation
+# --------------------------------------------------------------------------
+
+def _message_count(rng: np.random.Generator, load: ForumLoad,
+                   heavy: bool) -> int:
+    lo, hi = load.heavy_messages if heavy else load.light_messages
+    return int(rng.integers(lo, hi + 1))
+
+
+def _build_alias_messages(persona: Persona, forum_name: str, alias: str,
+                          config: WorldConfig, load: ForumLoad,
+                          router: Optional[_RedditTopicRouter],
+                          heavy: bool,
+                          msg_counter: List[int]) -> List[Message]:
+    """Generate every message one alias posts on one forum."""
+    rng = substream(config.seed, "alias", forum_name, alias)
+    style = persona.style_on(forum_name)
+    if load.message_length_factor != 1.0:
+        style = replace(style, mean_message_sentences=(
+            style.mean_message_sentences * load.message_length_factor))
+    careless = forum_name == REDDIT
+    noise_cfg = config.reddit_noise if careless else config.dark_noise
+    injector = NoiseInjector(noise_cfg, rng, alias)
+    sampler = TimestampSampler(persona.habits, rng, config.window)
+    n_messages = _message_count(rng, load, heavy)
+    timestamps = sampler.sample(n_messages)
+
+    other_forums = [f for f in persona.aliases if f != forum_name]
+    disclosure_rate = (config.disclosure_rate if careless
+                       else config.dark_disclosure_rate)
+    n_disclosures = int(np.ceil(disclosure_rate * n_messages)) \
+        if rng.random() < 0.9 else 0
+    disclosures = ev.sample_disclosures(
+        persona, forum_name, other_forums, rng,
+        count=min(n_disclosures, n_messages),
+        careless=careless,
+        unique_leak_rate=config.unique_leak_rate if other_forums else 0.0,
+    )
+    disclosure_slots = set()
+    if disclosures:
+        disclosure_slots = {
+            int(i) for i in rng.choice(n_messages, size=len(disclosures),
+                                       replace=False)
+        }
+
+    keywords: Tuple[str, ...] = topic_mod.darknet_topic().keywords
+    generator = MessageGenerator(style, rng, keywords)
+    user_topics = router.user_topics(rng) if router is not None else []
+
+    messages: List[Message] = []
+    disclosure_iter = iter(disclosures)
+    for i in range(n_messages):
+        if router is not None:
+            section, kw = router.pick_section(rng, user_topics)
+            generator.topic_keywords = kw
+        else:
+            sections = TMG_SECTIONS if forum_name == TMG else DM_SECTIONS
+            section = sections[int(rng.integers(len(sections)))]
+        metadata: Dict[str, object] = {}
+        if persona.is_vendor and i == 0:
+            text = vendor_showcase(rng, alias, generator)
+        elif persona.is_vendor and rng.random() < 0.2:
+            # vendors re-post ads: near-duplicates for step 2 to catch
+            text = spam_variants(rng, vendor_showcase(
+                rng, alias, generator), 1)[0]
+        elif not careless and rng.random() < 0.15:
+            vendor = persona.attributes.trusted_vendor
+            text = review_post(rng, vendor, generator,
+                               persona.attributes.favorite_drug)
+        else:
+            text = generator.message()
+        if i in disclosure_slots:
+            try:
+                sentence, facts = next(disclosure_iter)
+            except StopIteration:
+                sentence, facts = "", {}
+            if sentence:
+                text = f"{text} {sentence}"
+                metadata["disclosures"] = facts
+        text = injector.apply(text)
+        if rng.random() < 0.02:
+            text = repeated_sentence_spam(rng, generator)
+        msg_counter[0] += 1
+        messages.append(Message(
+            message_id=f"{forum_name}-{msg_counter[0]}",
+            author=alias,
+            text=text,
+            timestamp=timestamps[i],
+            forum=forum_name,
+            section=section,
+            metadata=metadata,
+        ))
+    return messages
+
+
+def _build_bots(forum: Forum, config: WorldConfig, count: int,
+                taken: set, msg_counter: List[int]) -> None:
+    """Add bot accounts that post templated announcements."""
+    rng = substream(config.seed, "bots", forum.name)
+    for b in range(count):
+        alias = make_alias(rng, taken, bot=True)
+        persona = generate_persona(config.seed, -1000 - b)
+        sampler = TimestampSampler(persona.habits, rng, config.window)
+        template = ("This thread has been automatically archived after "
+                    "180 days of inactivity, contact the moderators for "
+                    "any question about this removal decision.")
+        n = int(rng.integers(15, 60))
+        stamps = sampler.sample(n)
+        sections = forum.sections or ["general"]
+        for i in range(n):
+            msg_counter[0] += 1
+            forum.add_message(Message(
+                message_id=f"{forum.name}-{msg_counter[0]}",
+                author=alias,
+                text=template,
+                timestamp=stamps[i],
+                forum=forum.name,
+                section=sections[int(rng.integers(len(sections)))],
+            ))
+
+
+def _build_threads(forum: Forum, seed: int) -> None:
+    """Group messages into threads (used by the simulated scrapers)."""
+    rng = substream(seed, "threads", forum.name)
+    by_section: Dict[str, List[str]] = {}
+    authors: Dict[str, str] = {}
+    for message in forum.iter_messages():
+        by_section.setdefault(message.section, []).append(
+            message.message_id)
+        authors[message.message_id] = message.author
+    thread_no = 0
+    for section, ids in sorted(by_section.items()):
+        i = 0
+        while i < len(ids):
+            size = int(rng.integers(3, 40))
+            chunk = ids[i:i + size]
+            i += size
+            thread_no += 1
+            thread = Thread(
+                thread_id=f"{forum.name}-t{thread_no}",
+                forum=forum.name,
+                section=section,
+                title=f"{section} discussion {thread_no}",
+                author=authors[chunk[0]],
+                message_ids=tuple(chunk),
+                upvotes=int(rng.integers(0, 5000)),
+            )
+            forum.add_thread(thread)
+
+
+def build_world(config: WorldConfig | None = None) -> World:
+    """Generate a full world from *config* (deterministically).
+
+    Returns the populated :class:`World`, including the ground-truth
+    :class:`LinkedPair` list that evaluation compares against.
+    """
+    config = config or WorldConfig()
+    plan = _plan_memberships(config)
+    alias_rng = substream(config.seed, "aliases")
+    taken: set = set()
+    personas: Dict[int, Persona] = {}
+    forums = {
+        REDDIT: Forum(name=REDDIT, utc_offset_hours=0,
+                      sections=[]),
+        TMG: Forum(name=TMG, utc_offset_hours=2,
+                   sections=list(TMG_SECTIONS)),
+        DM: Forum(name=DM, utc_offset_hours=-5,
+                  sections=list(DM_SECTIONS)),
+    }
+    router = _RedditTopicRouter(config.seed)
+    links: List[LinkedPair] = []
+    msg_counter = [0]
+
+    for persona_id, member_forums in plan:
+        persona = generate_persona(config.seed, persona_id,
+                                   config.style_params,
+                                   config.max_annual_drift)
+        style_rng = substream(config.seed, "drift", persona_id)
+        vendor_roll = substream(config.seed, "vendor", persona_id).random()
+        persona.is_vendor = (vendor_roll < config.vendor_fraction
+                             and any(f != REDDIT for f in member_forums))
+        brand = None
+        if persona.is_vendor:
+            brand = make_alias(alias_rng, taken, vendor=True)
+        for forum_name in member_forums:
+            if persona.is_vendor and forum_name != REDDIT:
+                alias = brand
+            elif persona.is_vendor and forum_name == REDDIT:
+                # vendors use the brand on Reddit too ("they use their
+                # name as a brand", §V-C)
+                alias = brand
+            else:
+                alias = make_alias(alias_rng, taken)
+            drift = _drift_for(member_forums, forum_name, config)
+            persona.join_forum(style_rng, forum_name, alias, drift,
+                               config.style_params)
+        personas[persona_id] = persona
+        if len(member_forums) == 2:
+            fa, fb = member_forums
+            links.append(LinkedPair(
+                persona_id=persona_id,
+                forum_a=fa, alias_a=persona.aliases[fa],
+                forum_b=fb, alias_b=persona.aliases[fb],
+            ))
+
+    loads = {REDDIT: config.reddit_load, TMG: config.tmg_load,
+             DM: config.dm_load}
+    for persona in personas.values():
+        heavy_roll = substream(config.seed, "heavy",
+                               persona.persona_id).random()
+        for forum_name, alias in persona.aliases.items():
+            load = loads[forum_name]
+            heavy = heavy_roll < load.heavy_fraction
+            # Linked personas must be heavy on both forums, or there is
+            # nothing to evaluate.
+            if len(persona.aliases) > 1:
+                heavy = True
+            record_router = router if forum_name == REDDIT else None
+            messages = _build_alias_messages(
+                persona, forum_name, alias, config, load,
+                record_router, heavy, msg_counter)
+            record = UserRecord(alias=alias, forum=forum_name)
+            record.metadata["persona_id"] = persona.persona_id
+            record.metadata["is_vendor"] = persona.is_vendor
+            record.metadata["heavy"] = heavy
+            for message in messages:
+                record.add(message)
+            forums[forum_name].users[alias] = record
+            for section in {m.section for m in messages}:
+                if section not in forums[forum_name].sections:
+                    forums[forum_name].sections.append(section)
+
+    for forum_name, forum in forums.items():
+        n_bots = int(round(forum.n_users * config.bot_fraction))
+        _build_bots(forum, config, n_bots, taken, msg_counter)
+        _build_threads(forum, config.seed)
+
+    return World(config=config, personas=personas, forums=forums,
+                 links=links)
+
+
+def small_world(seed: int = 7) -> World:
+    """A tiny world for tests: fast to build, still fully featured."""
+    return build_world(WorldConfig(
+        seed=seed,
+        reddit_users=30,
+        tmg_users=14,
+        dm_users=10,
+        tmg_dm_overlap=4,
+        reddit_dark_overlap=6,
+        reddit_load=ForumLoad(heavy_fraction=0.7,
+                              heavy_messages=(110, 160),
+                              light_messages=(5, 25)),
+        tmg_load=ForumLoad(heavy_fraction=0.8,
+                           heavy_messages=(110, 160),
+                           light_messages=(5, 25),
+                           message_length_factor=1.4),
+        dm_load=ForumLoad(heavy_fraction=0.8,
+                          heavy_messages=(110, 160),
+                          light_messages=(5, 25)),
+    ))

@@ -1,0 +1,47 @@
+"""Text-processing substrate: tokenization, lemmatization, language
+detection, and the 12-step dataset polishing pipeline of Section III-C.
+"""
+
+from repro.textproc.cleaning import (
+    CleaningConfig,
+    MessagePolisher,
+    PolishReport,
+    is_bot_alias,
+    polish_forum,
+    polish_messages,
+)
+from repro.textproc.langdetect import (
+    Detection,
+    LanguageDetector,
+    default_detector,
+    detect_language,
+)
+from repro.textproc.lemmatizer import lemmatize, lemmatize_text, lemmatize_word
+from repro.textproc.tokenizer import (
+    Token,
+    count_words,
+    distinct_word_ratio,
+    tokenize,
+    word_tokens,
+)
+
+__all__ = [
+    "CleaningConfig",
+    "MessagePolisher",
+    "PolishReport",
+    "is_bot_alias",
+    "polish_forum",
+    "polish_messages",
+    "Detection",
+    "LanguageDetector",
+    "default_detector",
+    "detect_language",
+    "lemmatize",
+    "lemmatize_text",
+    "lemmatize_word",
+    "Token",
+    "count_words",
+    "distinct_word_ratio",
+    "tokenize",
+    "word_tokens",
+]

@@ -1,0 +1,269 @@
+"""Rule-based English lemmatizer.
+
+Section IV-A: "we transform each token to its base form ... it reduces an
+inflected word to its lemmas (e.g., am, are, is -> be)".  The original
+work used an off-the-shelf NLP toolkit; this reproduction implements the
+same normalization from scratch:
+
+* an exception table for the irregular forms that matter most in forum
+  English (be/have/do/go, common irregular verbs, irregular plurals,
+  irregular comparatives), and
+* ordered suffix-stripping rules with a small orthographic repair pass
+  (consonant doubling, silent-e restoration, ``-ies`` -> ``-y``).
+
+The lemmatizer is intentionally conservative: when no rule produces a
+known-plausible base form, the token is returned unchanged, because a
+wrong lemma merges the vocabularies of different authors and *destroys*
+stylometric signal, whereas a missed lemma merely splits one author's
+feature mass across two features.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+# --- Irregular forms -------------------------------------------------------
+
+#: Irregular verbs: inflected form -> lemma.
+_IRREGULAR_VERBS: Dict[str, str] = {
+    # be / have / do / go
+    "am": "be", "are": "be", "is": "be", "was": "be", "were": "be",
+    "been": "be", "being": "be",
+    "has": "have", "had": "have", "having": "have",
+    "does": "do", "did": "do", "done": "do", "doing": "do",
+    "goes": "go", "went": "go", "gone": "go", "going": "go",
+    # frequent irregulars in forum prose
+    "said": "say", "says": "say",
+    "made": "make", "makes": "make", "making": "make",
+    "got": "get", "gotten": "get", "gets": "get", "getting": "get",
+    "took": "take", "taken": "take", "takes": "take", "taking": "take",
+    "came": "come", "comes": "come", "coming": "come",
+    "saw": "see", "seen": "see", "sees": "see", "seeing": "see",
+    "knew": "know", "known": "know", "knows": "know", "knowing": "know",
+    "thought": "think", "thinks": "think", "thinking": "think",
+    "told": "tell", "tells": "tell", "telling": "tell",
+    "found": "find", "finds": "find", "finding": "find",
+    "gave": "give", "given": "give", "gives": "give", "giving": "give",
+    "felt": "feel", "feels": "feel", "feeling": "feel",
+    "left": "leave", "leaves": "leave", "leaving": "leave",
+    "kept": "keep", "keeps": "keep", "keeping": "keep",
+    "began": "begin", "begun": "begin", "begins": "begin",
+    "wrote": "write", "written": "write", "writes": "write",
+    "writing": "write",
+    "bought": "buy", "buys": "buy", "buying": "buy",
+    "sold": "sell", "sells": "sell", "selling": "sell",
+    "paid": "pay", "pays": "pay", "paying": "pay",
+    "sent": "send", "sends": "send", "sending": "send",
+    "met": "meet", "meets": "meet", "meeting": "meet",
+    "ran": "run", "runs": "run", "running": "run",
+    "spoke": "speak", "spoken": "speak", "speaks": "speak",
+    "broke": "break", "broken": "break", "breaks": "break",
+    "chose": "choose", "chosen": "choose", "chooses": "choose",
+    "drove": "drive", "driven": "drive", "drives": "drive",
+    "ate": "eat", "eaten": "eat", "eats": "eat",
+    "fell": "fall", "fallen": "fall", "falls": "fall",
+    "grew": "grow", "grown": "grow", "grows": "grow",
+    "heard": "hear", "hears": "hear", "hearing": "hear",
+    "held": "hold", "holds": "hold", "holding": "hold",
+    "lost": "lose", "loses": "lose", "losing": "lose",
+    "meant": "mean", "means": "mean", "meaning": "mean",
+    "put": "put", "puts": "put", "putting": "put",
+    "read": "read", "reads": "read", "reading": "read",
+    "stood": "stand", "stands": "stand", "standing": "stand",
+    "understood": "understand", "understands": "understand",
+    "won": "win", "wins": "win", "winning": "win",
+    "spent": "spend", "spends": "spend", "spending": "spend",
+    "brought": "bring", "brings": "bring", "bringing": "bring",
+    "caught": "catch", "catches": "catch", "catching": "catch",
+    "taught": "teach", "teaches": "teach", "teaching": "teach",
+    "tried": "try", "tries": "try", "trying": "try",
+    "used": "use", "uses": "use", "using": "use",
+    "shipped": "ship", "ships": "ship", "shipping": "ship",
+    # modals map to themselves (they have no useful base form)
+    "would": "would", "could": "could", "should": "should",
+    "might": "might", "must": "must", "shall": "shall",
+    "will": "will", "can": "can", "may": "may",
+}
+
+#: Irregular noun plurals: plural -> singular.
+_IRREGULAR_NOUNS: Dict[str, str] = {
+    "men": "man", "women": "woman", "children": "child",
+    "people": "person", "feet": "foot", "teeth": "tooth",
+    "mice": "mouse", "geese": "goose", "lives": "life",
+    "knives": "knife", "wives": "wife", "halves": "half",
+    "selves": "self", "leaves": "leaf", "wolves": "wolf",
+    "shelves": "shelf", "thieves": "thief",
+    "analyses": "analysis", "crises": "crisis", "theses": "thesis",
+    "phenomena": "phenomenon", "criteria": "criterion",
+    "data": "datum", "media": "medium",
+    "indices": "index", "matrices": "matrix", "vertices": "vertex",
+}
+
+#: Irregular comparatives/superlatives: form -> base adjective.
+_IRREGULAR_ADJECTIVES: Dict[str, str] = {
+    "better": "good", "best": "good",
+    "worse": "bad", "worst": "bad",
+    "more": "much", "most": "much",
+    "less": "little", "least": "little",
+    "further": "far", "furthest": "far",
+    "farther": "far", "farthest": "far",
+    "elder": "old", "eldest": "old",
+}
+
+#: Words that end in inflection-like suffixes but are already base forms;
+#: stripping them would corrupt the vocabulary.
+_NO_STRIP = frozenset({
+    "this", "his", "hers", "its", "ours", "yours", "theirs", "whose",
+    "bus", "gas", "yes", "chaos", "bias", "lens", "news", "series",
+    "species", "physics", "mathematics", "politics", "economics",
+    "always", "perhaps", "besides", "anonymous", "famous", "serious",
+    "various", "previous", "obvious", "nervous", "jealous", "dangerous",
+    "during", "thing", "nothing", "something", "anything", "everything",
+    "morning", "evening", "king", "ring", "sing", "bring", "spring",
+    "string", "wing", "being", "sterling",
+    "red", "bed", "wed", "fed", "led", "shed", "bred", "sled",
+    "need", "seed", "feed", "speed", "indeed", "weed", "deed",
+    "hundred", "sacred", "wicked", "naked", "wretched", "rugged",
+    "united", "ted",
+    "vendor", "seller", "buyer", "user", "never", "ever", "over",
+    "under", "after", "other", "another", "either", "neither",
+    "whether", "together", "rather", "super", "later", "water",
+    "better", "paper", "order", "offer", "number", "member", "remember",
+    "her", "per", "summer", "winter", "computer", "monster",
+})
+
+#: Minimal stem length after stripping; shorter stems are rejected.
+_MIN_STEM = 2
+
+#: Stems with these endings do not get a silent ``e`` restored:
+#: ``order + ed``, ``happen + ed``, ``travel + ed``, ``target + ed``.
+_NO_E_RESTORE = ("er", "en", "el", "et", "it", "ow", "om", "on")
+
+
+def _wants_silent_e(stem: str) -> bool:
+    """Whether ``stem`` looks like it lost a silent ``e`` (CVC shape)."""
+    if len(stem) < 3:
+        return False
+    if any(stem.endswith(sfx) for sfx in _NO_E_RESTORE):
+        return False
+    return (stem[-1] not in _VOWELS and stem[-2] in _VOWELS
+            and stem[-3] not in _VOWELS
+            and not stem.endswith(("w", "x", "y")))
+
+#: A compact set of known English base forms used to validate repairs.
+#: This is not a full dictionary — just enough coverage to prefer
+#: ``making -> make`` over ``making -> mak`` style repairs.
+_VOWELS = set("aeiou")
+
+
+def _has_vowel(s: str) -> bool:
+    return any(c in _VOWELS for c in s)
+
+
+def _strip_plural(word: str) -> str | None:
+    """Try to singularize a regular plural noun / 3rd-person verb."""
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("sses") or word.endswith("shes") or word.endswith("ches"):
+        return word[:-2]
+    if word.endswith("xes") or word.endswith("zes"):
+        return word[:-2]
+    if word.endswith("oes") and len(word) > 4:
+        return word[:-2]
+    if word.endswith("ss") or word.endswith("us") or word.endswith("is"):
+        return None
+    if word.endswith("s") and len(word) > 3 and not word.endswith("'s"):
+        return word[:-1]
+    return None
+
+
+def _strip_ing(word: str) -> str | None:
+    """Try to reduce an ``-ing`` form to its base verb."""
+    if not word.endswith("ing") or len(word) <= 5:
+        return None
+    stem = word[:-3]
+    if not _has_vowel(stem):
+        return None
+    # doubled final consonant: running -> run, shipping -> ship
+    if (len(stem) >= 3 and stem[-1] == stem[-2]
+            and stem[-1] not in _VOWELS and stem[-1] not in "lsz"):
+        return stem[:-1]
+    # silent-e restoration: making -> make, using -> use
+    if _wants_silent_e(stem):
+        return stem + "e"
+    return stem
+
+
+def _strip_ed(word: str) -> str | None:
+    """Try to reduce an ``-ed`` form to its base verb."""
+    if not word.endswith("ed") or len(word) <= 4:
+        return None
+    if word.endswith("ied"):
+        return word[:-3] + "y"
+    stem = word[:-2]
+    if not _has_vowel(stem):
+        return None
+    if (len(stem) >= 3 and stem[-1] == stem[-2]
+            and stem[-1] not in _VOWELS and stem[-1] not in "lsz"):
+        return stem[:-1]
+    if stem.endswith("at") or stem.endswith("iz") or stem.endswith("is"):
+        return stem + "e"
+    if _wants_silent_e(stem):
+        return stem + "e"
+    return stem
+
+
+def _strip_comparative(word: str) -> str | None:
+    """Try to reduce ``-er``/``-est`` comparatives to the base adjective."""
+    for suffix, strip in (("iest", 4), ("ier", 3)):
+        if word.endswith(suffix) and len(word) > strip + 2:
+            return word[:-strip] + "y"
+    for suffix, strip in (("est", 3),):
+        if word.endswith(suffix) and len(word) > strip + 3:
+            stem = word[:-strip]
+            if stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+                return stem[:-1]
+            return stem
+    return None
+
+
+@lru_cache(maxsize=65536)
+def lemmatize_word(word: str) -> str:
+    """Return the lemma of a single (already casefolded) word.
+
+    The lookup order is: irregular tables first, protected words next,
+    then the suffix rules from most to least specific.  Unknown shapes
+    pass through unchanged.
+    """
+    if not word:
+        return word
+    word = word.lower()
+    for table in (_IRREGULAR_VERBS, _IRREGULAR_NOUNS, _IRREGULAR_ADJECTIVES):
+        if word in table:
+            return table[word]
+    if word in _NO_STRIP or len(word) <= 3:
+        return word
+    for rule in (_strip_ing, _strip_ed, _strip_comparative, _strip_plural):
+        stem = rule(word)
+        if stem is not None and len(stem) >= _MIN_STEM and _has_vowel(stem):
+            return stem
+    return word
+
+
+def lemmatize(words: List[str]) -> List[str]:
+    """Lemmatize a list of word tokens, preserving order."""
+    return [lemmatize_word(w) for w in words]
+
+
+def lemmatize_text(text: str) -> str:
+    """Tokenize *text* into words and return space-joined lemmas.
+
+    Convenience used by the feature extractor when operating on raw
+    message strings.  Punctuation and symbols are dropped here; the
+    character-level and frequency features are computed on the
+    *unlemmatized* normalized text instead.
+    """
+    from repro.textproc.tokenizer import word_tokens
+
+    return " ".join(lemmatize(word_tokens(text)))

@@ -1,0 +1,45 @@
+"""Shared fixtures: one small world per test session.
+
+World generation and polishing are the expensive steps, so they are
+session-scoped; tests must treat these fixtures as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.alterego import build_alter_ego_dataset
+from repro.synth.world import small_world
+from repro.textproc.cleaning import polish_forum
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A tiny but fully featured synthetic world (read-only)."""
+    return small_world(seed=7)
+
+
+@pytest.fixture(scope="session")
+def polished_reddit(world):
+    """The world's Reddit forum after the 12-step polishing."""
+    forum, _ = polish_forum(world.forums["reddit"])
+    return forum
+
+
+@pytest.fixture(scope="session")
+def polished_tmg(world):
+    forum, _ = polish_forum(world.forums["tmg"])
+    return forum
+
+
+@pytest.fixture(scope="session")
+def polished_dm(world):
+    forum, _ = polish_forum(world.forums["dm"])
+    return forum
+
+
+@pytest.fixture(scope="session")
+def reddit_alter_egos(polished_reddit):
+    """Alter-ego dataset of the polished Reddit forum (read-only)."""
+    return build_alter_ego_dataset(polished_reddit, seed=3,
+                                   words_per_alias=600)

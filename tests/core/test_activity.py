@@ -1,0 +1,112 @@
+"""Unit tests for the daily activity profile (repro.core.activity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import activity
+from repro.core.calendars import timestamp_at
+from repro.errors import InsufficientDataError
+from repro.forums.models import HOUR
+
+
+def _weekday_stamps(hour, n, minute_step=0):
+    """n timestamps at the given hour on distinct 2017 weekdays."""
+    stamps = []
+    day = 2  # 2017-01-02 was a Monday
+    month = 1
+    while len(stamps) < n:
+        ts = timestamp_at(2017, month, day, hour, minute_step)
+        from repro.core.calendars import is_excluded
+
+        if not is_excluded(ts):
+            stamps.append(ts)
+        day += 1
+        if day > 28:
+            day = 1
+            month += 1
+    return stamps
+
+
+class TestActivityProfile:
+    def test_basic_profile_shape(self):
+        profile = activity.activity_profile(_weekday_stamps(14, 40))
+        assert profile.shape == (24,)
+        assert profile.sum() == pytest.approx(1.0)
+        assert profile[14] == pytest.approx(1.0)
+
+    def test_minimum_enforced(self):
+        with pytest.raises(InsufficientDataError):
+            activity.activity_profile(_weekday_stamps(14, 10))
+
+    def test_custom_minimum(self):
+        profile = activity.activity_profile(_weekday_stamps(14, 10),
+                                            min_timestamps=5)
+        assert profile[14] == pytest.approx(1.0)
+
+    def test_weekend_stamps_excluded(self):
+        weekdays = _weekday_stamps(9, 30)
+        # add many Saturday posts at hour 23; they must not count
+        weekend = [timestamp_at(2017, 1, 7, 23) + i * 7 * 24 * HOUR
+                   for i in range(20)]
+        profile = activity.activity_profile(weekdays + weekend)
+        assert profile[23] == 0.0
+
+    def test_binarization_per_day_hour(self):
+        """Five posts in the same hour of the same day count once."""
+        base = _weekday_stamps(10, 30)
+        bursts = [base[0] + i * 60 for i in range(5)]  # same day-hour
+        profile_a = activity.activity_profile(base)
+        profile_b = activity.activity_profile(base + bursts)
+        assert np.allclose(profile_a, profile_b)
+
+    def test_utc_shift_rolls_hours(self):
+        stamps = _weekday_stamps(14, 40)
+        shifted = activity.activity_profile(stamps, utc_shift_hours=-2)
+        assert shifted[12] == pytest.approx(1.0)
+
+    def test_two_peak_profile(self):
+        stamps = _weekday_stamps(8, 30) + _weekday_stamps(20, 30)
+        profile = activity.activity_profile(stamps)
+        assert profile[8] == pytest.approx(0.5, abs=0.1)
+        assert profile[20] == pytest.approx(0.5, abs=0.1)
+
+
+class TestTryActivityProfile:
+    def test_returns_none_on_insufficient(self):
+        assert activity.try_activity_profile(
+            _weekday_stamps(14, 3)) is None
+
+    def test_returns_profile_when_enough(self):
+        assert activity.try_activity_profile(
+            _weekday_stamps(14, 40)) is not None
+
+
+class TestProfileSimilarity:
+    def test_identical_profiles(self):
+        profile = activity.activity_profile(_weekday_stamps(14, 40))
+        assert activity.profile_similarity(profile, profile) == \
+            pytest.approx(1.0)
+
+    def test_disjoint_profiles(self):
+        a = activity.activity_profile(_weekday_stamps(3, 40))
+        b = activity.activity_profile(_weekday_stamps(15, 40))
+        assert activity.profile_similarity(a, b) == pytest.approx(0.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            activity.profile_similarity(np.zeros(10), np.zeros(24))
+
+    def test_zero_profile_similarity_zero(self):
+        a = np.zeros(24)
+        b = np.full(24, 1 / 24)
+        assert activity.profile_similarity(a, b) == 0.0
+
+
+class TestUsableTimestamps:
+    def test_filters_weekends_and_holidays(self):
+        stamps = [
+            timestamp_at(2017, 3, 7, 12),    # Tuesday: usable
+            timestamp_at(2017, 3, 11, 12),   # Saturday: dropped
+            timestamp_at(2017, 12, 25, 12),  # Christmas Monday: dropped
+        ]
+        assert activity.usable_timestamps(stamps) == [stamps[0]]

@@ -1,0 +1,84 @@
+"""Tests for the comparison baselines (repro.core.baselines)."""
+
+import pytest
+
+from repro.core.baselines import KoppelBaseline, StandardBaseline
+from repro.core.threshold import matches_to_curve
+from repro.errors import ConfigurationError, NotFittedError
+
+
+class TestStandardBaseline:
+    def test_link_before_fit(self, reddit_alter_egos):
+        with pytest.raises(NotFittedError):
+            StandardBaseline().link(reddit_alter_egos.alter_egos[:1])
+
+    def test_fit_empty(self):
+        with pytest.raises(ConfigurationError):
+            StandardBaseline().fit([])
+
+    def test_one_match_per_unknown(self, reddit_alter_egos):
+        baseline = StandardBaseline().fit(reddit_alter_egos.originals)
+        result = baseline.link(reddit_alter_egos.alter_egos[:5])
+        assert len(result.matches) == 5
+
+    def test_max_features_cap(self, reddit_alter_egos):
+        baseline = StandardBaseline(max_features=100)
+        baseline.fit(reddit_alter_egos.originals)
+        assert baseline._selected.size == 100
+
+    def test_reasonable_accuracy(self, reddit_alter_egos):
+        """4-gram cosine is a real method; it should beat chance."""
+        baseline = StandardBaseline().fit(reddit_alter_egos.originals)
+        result = baseline.link(reddit_alter_egos.alter_egos)
+        correct = sum(
+            reddit_alter_egos.truth.get(m.unknown_id) == m.candidate_id
+            for m in result.matches)
+        assert correct / len(result.matches) > \
+            2.0 / len(reddit_alter_egos.originals)
+
+
+class TestKoppelBaseline:
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            KoppelBaseline(iterations=0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            KoppelBaseline(feature_fraction=0.0)
+
+    def test_link_before_fit(self, reddit_alter_egos):
+        with pytest.raises(NotFittedError):
+            KoppelBaseline().link(reddit_alter_egos.alter_egos[:1])
+
+    def test_scores_are_vote_shares(self, reddit_alter_egos):
+        baseline = KoppelBaseline(iterations=10, seed=3)
+        baseline.fit(reddit_alter_egos.originals)
+        result = baseline.link(reddit_alter_egos.alter_egos[:4])
+        for match in result.matches:
+            assert 0.0 <= match.score <= 1.0
+            # vote share is a multiple of 1/iterations
+            assert (match.score * 10) == pytest.approx(
+                round(match.score * 10))
+
+    def test_deterministic_given_seed(self, reddit_alter_egos):
+        unknowns = reddit_alter_egos.alter_egos[:3]
+        a = KoppelBaseline(iterations=10, seed=9)
+        a.fit(reddit_alter_egos.originals)
+        b = KoppelBaseline(iterations=10, seed=9)
+        b.fit(reddit_alter_egos.originals)
+        assert [m.score for m in a.link(unknowns).matches] == \
+            [m.score for m in b.link(unknowns).matches]
+
+    def test_koppel_beats_standard_auc(self, reddit_alter_egos):
+        """The paper's ordering: Koppel AUC > Standard AUC."""
+        unknowns = reddit_alter_egos.alter_egos
+        standard = StandardBaseline().fit(reddit_alter_egos.originals)
+        koppel = KoppelBaseline(iterations=30, seed=1)
+        koppel.fit(reddit_alter_egos.originals)
+        auc_std = matches_to_curve(
+            standard.link(unknowns).matches,
+            reddit_alter_egos.truth).auc()
+        auc_kop = matches_to_curve(
+            koppel.link(unknowns).matches,
+            reddit_alter_egos.truth).auc()
+        assert auc_kop > auc_std - 0.05

@@ -1,0 +1,84 @@
+"""Unit tests for weekend/holiday arithmetic (repro.core.calendars)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import calendars as cal
+
+
+class TestEaster:
+    @pytest.mark.parametrize("year,month,day", [
+        (2016, 3, 27), (2017, 4, 16), (2018, 4, 1), (2019, 4, 21),
+        (2020, 4, 12), (2024, 3, 31),
+    ])
+    def test_known_easter_dates(self, year, month, day):
+        assert cal.easter_sunday(year) == dt.date(year, month, day)
+
+
+class TestThanksgiving:
+    @pytest.mark.parametrize("year,day", [
+        (2016, 24), (2017, 23), (2018, 22), (2019, 28), (2020, 26),
+    ])
+    def test_fourth_thursday(self, year, day):
+        date = cal.thanksgiving(year)
+        assert date == dt.date(year, 11, day)
+        assert date.weekday() == 3  # Thursday
+
+
+class TestWeekend:
+    def test_saturday(self):
+        # 2017-01-07 was a Saturday
+        assert cal.is_weekend(cal.timestamp_at(2017, 1, 7, 12))
+
+    def test_sunday(self):
+        assert cal.is_weekend(cal.timestamp_at(2017, 1, 8, 12))
+
+    def test_monday(self):
+        assert not cal.is_weekend(cal.timestamp_at(2017, 1, 9, 12))
+
+    def test_friday(self):
+        assert not cal.is_weekend(cal.timestamp_at(2017, 1, 6, 12))
+
+    def test_epoch_was_thursday(self):
+        assert not cal.is_weekend(0)
+
+
+class TestHolidays:
+    def test_christmas(self):
+        assert cal.is_holiday(cal.timestamp_at(2017, 12, 25, 9))
+
+    def test_new_year(self):
+        assert cal.is_holiday(cal.timestamp_at(2017, 1, 1, 0))
+
+    def test_easter_2017(self):
+        assert cal.is_holiday(cal.timestamp_at(2017, 4, 16, 10))
+
+    def test_good_friday_2017(self):
+        assert cal.is_holiday(cal.timestamp_at(2017, 4, 14, 10))
+
+    def test_thanksgiving_2017(self):
+        assert cal.is_holiday(cal.timestamp_at(2017, 11, 23, 18))
+
+    def test_ordinary_day(self):
+        assert not cal.is_holiday(cal.timestamp_at(2017, 3, 7, 12))
+
+
+class TestIsExcluded:
+    def test_weekend_excluded(self):
+        assert cal.is_excluded(cal.timestamp_at(2017, 1, 7, 12))
+
+    def test_weekday_holiday_excluded(self):
+        # 2017-12-25 was a Monday
+        assert cal.is_excluded(cal.timestamp_at(2017, 12, 25, 12))
+
+    def test_plain_weekday_kept(self):
+        assert not cal.is_excluded(cal.timestamp_at(2017, 3, 7, 12))
+
+    def test_exclusion_rate_plausible_over_2017(self):
+        """Roughly 2/7 of days plus a handful of holidays."""
+        excluded = sum(
+            cal.is_excluded(cal.timestamp_at(2017, 1, 1, 12)
+                            + d * 86400)
+            for d in range(365))
+        assert 104 <= excluded <= 125

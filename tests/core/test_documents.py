@@ -1,0 +1,157 @@
+"""Unit tests for alias document construction (repro.core.documents)."""
+
+import pytest
+
+from repro.core.calendars import timestamp_at
+from repro.core.documents import (
+    build_document,
+    documents_by_id,
+    normalize_message,
+    refine_forum,
+)
+from repro.forums.models import Forum, Message, UserRecord
+
+
+def _weekday_ts(i):
+    """The i-th usable weekday noon in 2017."""
+    from repro.core.calendars import is_excluded
+
+    ts = timestamp_at(2017, 1, 2, 12)
+    found = 0
+    while True:
+        if not is_excluded(ts):
+            if found == i:
+                return ts
+            found += 1
+        ts += 86400
+
+
+def _record(n_messages=50, words_per_message=40, alias="alice"):
+    record = UserRecord(alias=alias, forum="f")
+    filler = ("the vendors were shipping packages and people kept "
+              "writing reviews about quality service experiences ")
+    for i in range(n_messages):
+        text = (filler * (words_per_message // 14 + 1))
+        record.add(Message(
+            message_id=f"m{i}", author=alias, text=text,
+            timestamp=_weekday_ts(i), forum="f", section="s"))
+    return record
+
+
+class TestNormalizeMessage:
+    def test_words_lemmatized_and_lowercased(self):
+        text, words = normalize_message("The vendors WERE shipping")
+        assert words == ["the", "vendor", "be", "ship"]
+
+    def test_punct_kept_in_text(self):
+        text, _ = normalize_message("yes, really!")
+        assert "," in text and "!" in text
+
+    def test_lemmatization_disabled(self):
+        _, words = normalize_message("vendors were shipping",
+                                     use_lemmatization=False)
+        assert words == ["vendors", "were", "shipping"]
+
+    def test_numbers_in_text_not_words(self):
+        text, words = normalize_message("buy 25 grams")
+        assert "25" in text
+        assert "25" not in words
+
+
+class TestBuildDocument:
+    def test_word_budget_reached(self):
+        doc = build_document(_record(), words_per_alias=300)
+        assert doc is not None
+        assert doc.n_words >= 300
+
+    def test_too_few_words_rejected(self):
+        doc = build_document(_record(n_messages=2),
+                             words_per_alias=1000)
+        assert doc is None
+
+    def test_too_few_timestamps_rejected(self):
+        doc = build_document(_record(n_messages=40),
+                             words_per_alias=100,
+                             min_timestamps=60)
+        assert doc is None
+
+    def test_activity_optional(self):
+        doc = build_document(_record(n_messages=10),
+                             words_per_alias=100,
+                             min_timestamps=30,
+                             require_activity=False)
+        assert doc is not None
+        assert doc.activity is None
+
+    def test_longest_messages_selected_first(self):
+        record = UserRecord(alias="bob", forum="f")
+        long_text = "unique " + "long message words " * 30
+        short_text = "short message with just these few words here ok"
+        record.add(Message(message_id="a", author="bob",
+                           text=short_text, timestamp=_weekday_ts(0),
+                           forum="f", section="s"))
+        record.add(Message(message_id="b", author="bob",
+                           text=long_text, timestamp=_weekday_ts(1),
+                           forum="f", section="s"))
+        doc = build_document(record, words_per_alias=30,
+                             require_activity=False, min_timestamps=0)
+        assert doc is not None
+        assert "unique" in doc.text
+        assert "short" not in doc.text
+
+    def test_doc_id_default(self):
+        doc = build_document(_record(), words_per_alias=200)
+        assert doc.doc_id == "f/alice"
+
+    def test_custom_doc_id(self):
+        doc = build_document(_record(), words_per_alias=200,
+                             doc_id="custom/id")
+        assert doc.doc_id == "custom/id"
+
+    def test_activity_profile_built(self):
+        doc = build_document(_record(n_messages=60),
+                             words_per_alias=100)
+        assert doc.activity is not None
+        assert doc.activity[12] == pytest.approx(1.0)
+
+    def test_disclosures_aggregated(self):
+        record = _record(n_messages=40)
+        record.messages[0] = Message(
+            message_id="d", author="alice",
+            text=record.messages[0].text,
+            timestamp=record.messages[0].timestamp,
+            forum="f", section="s",
+            metadata={"disclosures": {"age": "27"}})
+        doc = build_document(record, words_per_alias=100)
+        assert doc.metadata["disclosures"]["age"] == ["27"]
+
+    def test_timestamps_sorted(self):
+        doc = build_document(_record(), words_per_alias=100)
+        assert list(doc.timestamps) == sorted(doc.timestamps)
+
+
+class TestRefineForum:
+    def test_refinement_floors_applied(self):
+        forum = Forum(name="f")
+        rich = _record(n_messages=60, alias="rich")
+        poor = _record(n_messages=3, alias="poor")
+        forum.users["rich"] = rich
+        forum.users["poor"] = poor
+        docs = refine_forum(forum, words_per_alias=300)
+        assert [d.alias for d in docs] == ["rich"]
+
+    def test_refined_world_counts(self, polished_reddit):
+        docs = refine_forum(polished_reddit, words_per_alias=600)
+        assert 0 < len(docs) <= polished_reddit.n_users
+
+
+class TestDocumentsById:
+    def test_index_built(self):
+        doc = build_document(_record(), words_per_alias=100)
+        index = documents_by_id([doc])
+        assert index[doc.doc_id] is doc
+
+    def test_duplicate_rejected(self):
+        doc = build_document(_record(), words_per_alias=100)
+        with pytest.raises(ValueError):
+            documents_by_id([doc, doc])

@@ -1,0 +1,94 @@
+"""Tests for the two-stage linker (repro.core.linker)."""
+
+import pytest
+
+from repro.core.linker import AliasLinker
+from repro.core.threshold import matches_to_curve
+from repro.errors import ConfigurationError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def link_result(reddit_alter_egos):
+    linker = AliasLinker(threshold=0.0)
+    linker.fit(reddit_alter_egos.originals)
+    return linker.link(reddit_alter_egos.alter_egos)
+
+
+class TestConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            AliasLinker(threshold=1.5)
+
+    def test_link_before_fit(self, reddit_alter_egos):
+        with pytest.raises(NotFittedError):
+            AliasLinker().link(reddit_alter_egos.alter_egos[:1])
+
+
+class TestLinkResult:
+    def test_one_match_per_unknown(self, link_result,
+                                   reddit_alter_egos):
+        assert len(link_result.matches) == \
+            len(reddit_alter_egos.alter_egos)
+
+    def test_candidate_scores_have_k_entries(self, link_result):
+        for scored in link_result.candidate_scores.values():
+            assert len(scored) == 10
+
+    def test_best_candidate_is_max_score(self, link_result):
+        for match in link_result.matches:
+            scored = link_result.candidate_scores[match.unknown_id]
+            assert match.score == pytest.approx(
+                max(s for _, s in scored))
+
+    def test_threshold_zero_accepts_all(self, link_result):
+        assert all(m.accepted for m in link_result.matches)
+
+    def test_accuracy_high_on_alter_egos(self, link_result,
+                                         reddit_alter_egos):
+        correct = sum(
+            reddit_alter_egos.truth.get(m.unknown_id) == m.candidate_id
+            for m in link_result.matches)
+        assert correct / len(link_result.matches) > 0.7
+
+    def test_all_scored_pairs_iterates_everything(self, link_result):
+        pairs = list(link_result.all_scored_pairs())
+        assert len(pairs) == sum(
+            len(v) for v in link_result.candidate_scores.values())
+
+    def test_scores_in_unit_interval(self, link_result):
+        for _, _, score in link_result.all_scored_pairs():
+            assert 0.0 <= score <= 1.0 + 1e-9
+
+
+class TestThresholding:
+    def test_high_threshold_rejects(self, reddit_alter_egos):
+        linker = AliasLinker(threshold=0.999999)
+        linker.fit(reddit_alter_egos.originals)
+        result = linker.link(reddit_alter_egos.alter_egos[:5])
+        assert all(not m.accepted for m in result.matches)
+
+    def test_precision_grows_with_threshold(self, link_result,
+                                            reddit_alter_egos):
+        curve = matches_to_curve(link_result.matches,
+                                 reddit_alter_egos.truth)
+        # precision at a stricter threshold >= precision at a looser one
+        strict_p, strict_r = curve.at_threshold(curve.thresholds[0])
+        loose_p, loose_r = curve.at_threshold(curve.thresholds[-1])
+        assert strict_r <= loose_r
+        assert strict_p >= loose_p - 1e-9
+
+
+class TestNoReduction:
+    def test_without_reduction_scores_everyone(self, reddit_alter_egos):
+        linker = AliasLinker(threshold=0.0, use_reduction=False)
+        linker.fit(reddit_alter_egos.originals)
+        result = linker.link(reddit_alter_egos.alter_egos[:2])
+        for scored in result.candidate_scores.values():
+            assert len(scored) == len(reddit_alter_egos.originals)
+
+    def test_link_one(self, reddit_alter_egos):
+        linker = AliasLinker(threshold=0.0)
+        linker.fit(reddit_alter_egos.originals)
+        match = linker.link_one(reddit_alter_egos.alter_egos[0])
+        assert match.unknown_id == \
+            reddit_alter_egos.alter_egos[0].doc_id

@@ -1,0 +1,91 @@
+"""Unit tests for cosine similarity and ranking (repro.core.similarity)."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.similarity import (
+    cosine_pair,
+    cosine_similarity,
+    rank_of,
+    top_k,
+)
+
+
+def _rows(*rows):
+    return sparse.csr_matrix(np.array(rows, dtype=float))
+
+
+class TestCosineSimilarity:
+    def test_identical_unit_rows(self):
+        a = _rows([1.0, 0.0])
+        sims = cosine_similarity(a, a)
+        assert sims[0, 0] == pytest.approx(1.0)
+
+    def test_orthogonal_rows(self):
+        sims = cosine_similarity(_rows([1, 0]), _rows([0, 1]))
+        assert sims[0, 0] == pytest.approx(0.0)
+
+    def test_unnormalized_inputs(self):
+        sims = cosine_similarity(_rows([2, 0]), _rows([5, 0]),
+                                 assume_normalized=False)
+        assert sims[0, 0] == pytest.approx(1.0)
+
+    def test_shape(self):
+        sims = cosine_similarity(_rows([1, 0], [0, 1]),
+                                 _rows([1, 0], [0, 1], [1, 1]))
+        assert sims.shape == (2, 3)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(_rows([1, 0]), _rows([1, 0, 0]))
+
+    def test_cosine_pair(self):
+        assert cosine_pair(_rows([1, 0]), _rows([1, 0])) == \
+            pytest.approx(1.0)
+
+
+class TestTopK:
+    SCORES = np.array([
+        [0.1, 0.9, 0.5, 0.7],
+        [0.8, 0.2, 0.6, 0.4],
+    ])
+
+    def test_indices_and_values_sorted(self):
+        indices, values = top_k(self.SCORES, 2)
+        assert indices[0].tolist() == [1, 3]
+        assert values[0].tolist() == [0.9, 0.7]
+        assert indices[1].tolist() == [0, 2]
+
+    def test_k_clamped_to_columns(self):
+        indices, _ = top_k(self.SCORES, 10)
+        assert indices.shape == (2, 4)
+
+    def test_k_one(self):
+        indices, values = top_k(self.SCORES, 1)
+        assert indices[:, 0].tolist() == [1, 0]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k(self.SCORES, 0)
+
+    def test_full_k_is_argsort(self):
+        indices, _ = top_k(self.SCORES, 4)
+        expected = np.argsort(-self.SCORES, axis=1)
+        assert np.array_equal(indices, expected)
+
+
+class TestRankOf:
+    def test_best_is_rank_one(self):
+        row = np.array([0.2, 0.9, 0.5])
+        assert rank_of(row, 1) == 1
+
+    def test_worst_rank(self):
+        row = np.array([0.2, 0.9, 0.5])
+        assert rank_of(row, 0) == 3
+
+    def test_ties_pessimistic(self):
+        row = np.array([0.5, 0.5, 0.9])
+        # index 1 ties with index 0 which precedes it
+        assert rank_of(row, 1) == 3
+        assert rank_of(row, 0) == 2

@@ -1,0 +1,106 @@
+"""Tests for threshold calibration (repro.core.threshold)."""
+
+import pytest
+
+from repro.core.linker import Match
+from repro.core.threshold import ThresholdCalibrator, matches_to_curve
+from repro.errors import ConfigurationError
+
+
+def _match(uid, cid, score):
+    return Match(unknown_id=uid, candidate_id=cid, score=score,
+                 accepted=True, first_stage_score=score)
+
+
+MATCHES = [
+    _match("u1", "k1", 0.9),   # correct
+    _match("u2", "k2", 0.8),   # correct
+    _match("u3", "kX", 0.7),   # wrong
+    _match("u4", "k4", 0.6),   # correct
+    _match("u5", "kY", 0.3),   # wrong
+]
+TRUTH = {"u1": "k1", "u2": "k2", "u3": "k3", "u4": "k4", "u5": "k5"}
+
+
+class TestMatchesToCurve:
+    def test_curve_thresholds_descending(self):
+        curve = matches_to_curve(MATCHES, TRUTH)
+        assert list(curve.thresholds) == sorted(curve.thresholds,
+                                                reverse=True)
+
+    def test_perfect_prefix(self):
+        curve = matches_to_curve(MATCHES, TRUTH)
+        precision, recall = curve.at_threshold(0.8)
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(2 / 5)
+
+    def test_full_output_point(self):
+        curve = matches_to_curve(MATCHES, TRUTH)
+        precision, recall = curve.at_threshold(0.0)
+        assert precision == pytest.approx(3 / 5)
+        assert recall == pytest.approx(3 / 5)
+
+    def test_explicit_n_positive(self):
+        curve = matches_to_curve(MATCHES, TRUTH, n_positive=10)
+        _, recall = curve.at_threshold(0.0)
+        assert recall == pytest.approx(3 / 10)
+
+    def test_unknowns_without_truth_count_as_wrong(self):
+        matches = MATCHES + [_match("u6", "kZ", 0.95)]
+        curve = matches_to_curve(matches, TRUTH)
+        precision, _ = curve.at_threshold(0.9)
+        assert precision == pytest.approx(1 / 2)
+
+
+class TestCalibrator:
+    def test_reaches_target_recall(self):
+        calibration = ThresholdCalibrator(target_recall=0.4).calibrate(
+            MATCHES, TRUTH)
+        assert calibration.recall >= 0.4
+        assert 0.0 <= calibration.threshold <= 1.0
+
+    def test_unreachable_recall_falls_back(self):
+        calibration = ThresholdCalibrator(
+            target_recall=0.99).calibrate(MATCHES, TRUTH)
+        # best possible recall is 3/5
+        assert calibration.threshold == pytest.approx(0.3)
+
+    def test_invalid_target(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdCalibrator(target_recall=0.0)
+
+    def test_empty_matches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdCalibrator().calibrate([], {})
+
+    def test_validate_on_held_out(self):
+        calibrator = ThresholdCalibrator(target_recall=0.4)
+        calibration = calibrator.calibrate(MATCHES, TRUTH)
+        held_out = [
+            _match("v1", "h1", 0.85),
+            _match("v2", "hX", 0.2),
+        ]
+        held_truth = {"v1": "h1", "v2": "h2"}
+        precision, recall, curve = calibrator.validate(
+            calibration, held_out, held_truth)
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(0.5)
+
+
+class TestEndToEndCalibration:
+    def test_calibrated_threshold_transfers(self, reddit_alter_egos):
+        """The IV-E structure: calibrate on half, validate on half."""
+        from repro.core.linker import AliasLinker
+        from repro.eval.experiments import split_w1_w2
+
+        w1, w2 = split_w1_w2(reddit_alter_egos, n_each=20, seed=5)
+        linker = AliasLinker(threshold=0.0)
+        linker.fit(reddit_alter_egos.originals)
+        calibrator = ThresholdCalibrator(target_recall=0.6)
+        calibration = calibrator.calibrate(
+            linker.link(w1.alter_egos).matches, w1.truth)
+        precision, recall, _ = calibrator.validate(
+            calibration, linker.link(w2.alter_egos).matches, w2.truth)
+        # transferred threshold keeps usable precision/recall
+        assert precision > 0.5
+        assert recall >= 0.3

@@ -1,0 +1,118 @@
+"""Tests for authorship verification (repro.core.verification)."""
+
+import pytest
+
+from repro.core.verification import (
+    Attribution,
+    OpenSetAttributor,
+    PairVerifier,
+    Verdict,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def calibrated(reddit_alter_egos):
+    """A threshold that separates pairs on the small fixture."""
+    from repro.core.linker import AliasLinker
+    from repro.core.threshold import ThresholdCalibrator
+
+    linker = AliasLinker(threshold=0.0)
+    linker.fit(reddit_alter_egos.originals)
+    matches = linker.link(reddit_alter_egos.alter_egos).matches
+    return ThresholdCalibrator(target_recall=0.7).calibrate(
+        matches, reddit_alter_egos.truth).threshold
+
+
+class TestPairVerifier:
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            PairVerifier(threshold=2.0)
+
+    def test_same_author_pair_accepted(self, reddit_alter_egos,
+                                       calibrated):
+        verifier = PairVerifier(threshold=calibrated)
+        verifier.fit(reddit_alter_egos.originals)
+        by_id = {d.doc_id: d for d in reddit_alter_egos.originals}
+        hits = 0
+        pairs = 0
+        for alter in reddit_alter_egos.alter_egos[:8]:
+            original = by_id[reddit_alter_egos.truth[alter.doc_id]]
+            verdict = verifier.verify(alter, original)
+            pairs += 1
+            hits += verdict.same_author
+        assert hits / pairs > 0.5
+
+    def test_different_author_pair_scores_lower(self,
+                                                reddit_alter_egos,
+                                                calibrated):
+        verifier = PairVerifier(threshold=calibrated)
+        verifier.fit(reddit_alter_egos.originals)
+        by_id = {d.doc_id: d for d in reddit_alter_egos.originals}
+        alter = reddit_alter_egos.alter_egos[0]
+        original = by_id[reddit_alter_egos.truth[alter.doc_id]]
+        stranger = next(
+            d for d in reddit_alter_egos.originals
+            if d.doc_id != original.doc_id)
+        same = verifier.verify(alter, original)
+        different = verifier.verify(alter, stranger)
+        assert same.score > different.score
+
+    def test_margin_sign_matches_decision(self, reddit_alter_egos,
+                                          calibrated):
+        verifier = PairVerifier(threshold=calibrated)
+        verifier.fit(reddit_alter_egos.originals)
+        alter = reddit_alter_egos.alter_egos[0]
+        by_id = {d.doc_id: d for d in reddit_alter_egos.originals}
+        verdict = verifier.verify(
+            alter, by_id[reddit_alter_egos.truth[alter.doc_id]])
+        assert (verdict.margin >= 0) == verdict.same_author
+
+    def test_works_without_fit(self, reddit_alter_egos):
+        verifier = PairVerifier(threshold=0.0)
+        alter = reddit_alter_egos.alter_egos[0]
+        verdict = verifier.verify(alter,
+                                  reddit_alter_egos.originals[0])
+        assert isinstance(verdict, Verdict)
+        assert 0.0 <= verdict.score <= 1.0 + 1e-9
+
+
+class TestOpenSetAttributor:
+    def test_attributes_known_author(self, reddit_alter_egos,
+                                     calibrated):
+        attributor = OpenSetAttributor(threshold=calibrated)
+        attributor.fit(reddit_alter_egos.originals)
+        hits = 0
+        for alter in reddit_alter_egos.alter_egos[:10]:
+            attribution = attributor.attribute(alter)
+            if attribution.author_id == \
+                    reddit_alter_egos.truth[alter.doc_id]:
+                hits += 1
+        assert hits >= 6
+
+    def test_abstains_above_impossible_threshold(self,
+                                                 reddit_alter_egos):
+        attributor = OpenSetAttributor(threshold=0.999999)
+        attributor.fit(reddit_alter_egos.originals)
+        attribution = attributor.attribute(
+            reddit_alter_egos.alter_egos[0])
+        assert not attribution.attributed
+        assert attribution.author_id is None
+        assert attribution.score > 0  # score still reported
+
+    def test_runner_up_reported(self, reddit_alter_egos, calibrated):
+        attributor = OpenSetAttributor(threshold=calibrated)
+        attributor.fit(reddit_alter_egos.originals)
+        attribution = attributor.attribute(
+            reddit_alter_egos.alter_egos[0])
+        assert attribution.runner_up_id is not None
+        assert attribution.runner_up_score <= attribution.score
+        assert attribution.margin_over_runner_up >= 0
+
+    def test_attribute_many(self, reddit_alter_egos, calibrated):
+        attributor = OpenSetAttributor(threshold=calibrated)
+        attributor.fit(reddit_alter_egos.originals)
+        out = attributor.attribute_many(
+            reddit_alter_egos.alter_egos[:3])
+        assert len(out) == 3
+        assert all(isinstance(a, Attribution) for a in out)

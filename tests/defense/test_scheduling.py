@@ -1,0 +1,95 @@
+"""Tests for posting-schedule countermeasures (repro.defense.scheduling)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.scheduling import ScheduleJitterer, ScheduleShifter
+from repro.errors import ConfigurationError
+from repro.forums.models import DAY, HOUR, Forum, Message, UserRecord
+
+
+def _record(n=60, hour=20):
+    record = UserRecord(alias="alice", forum="f")
+    for i in range(n):
+        record.add(Message(
+            message_id=f"m{i}", author="alice",
+            text=f"message {i} with some ordinary words here",
+            timestamp=i * DAY + hour * HOUR + 120,
+            forum="f", section="s"))
+    return record
+
+
+class TestScheduleShifter:
+    def test_invalid_hour(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleShifter(target_hour=24)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleShifter(window_hours=0)
+
+    def test_all_posts_in_window(self):
+        shifter = ScheduleShifter(target_hour=8, window_hours=3,
+                                  seed=1)
+        out = shifter.apply_record(_record())
+        hours = {(m.timestamp % DAY) // HOUR for m in out.messages}
+        assert hours <= {8, 9, 10}
+
+    def test_days_preserved(self):
+        shifter = ScheduleShifter(target_hour=8, seed=1)
+        record = _record()
+        out = shifter.apply_record(record)
+        for before, after in zip(record.messages, out.messages):
+            assert before.timestamp // DAY == after.timestamp // DAY
+
+    def test_text_untouched(self):
+        shifter = ScheduleShifter(seed=1)
+        record = _record()
+        out = shifter.apply_record(record)
+        assert [m.text for m in out.messages] == \
+            [m.text for m in record.messages]
+
+    def test_window_wraps_midnight(self):
+        shifter = ScheduleShifter(target_hour=23, window_hours=3,
+                                  seed=1)
+        out = shifter.apply_record(_record())
+        hours = {(m.timestamp % DAY) // HOUR for m in out.messages}
+        assert hours <= {23, 0, 1}
+
+    def test_forum_level(self):
+        forum = Forum(name="f")
+        for message in _record().messages:
+            forum.add_message(message)
+        out = ScheduleShifter(target_hour=6, seed=2).apply_forum(forum)
+        hours = {(m.timestamp % DAY) // HOUR
+                 for m in out.iter_messages()}
+        assert max(hours) <= 9
+
+
+class TestScheduleJitterer:
+    def test_profile_flattened(self):
+        jitterer = ScheduleJitterer(seed=3)
+        out = jitterer.apply_record(_record(n=800))
+        hours = np.array([(m.timestamp % DAY) // HOUR
+                          for m in out.messages])
+        counts = np.bincount(hours, minlength=24)
+        # uniform-ish: no hour hoards more than 3x its fair share
+        assert counts.max() < 3 * 800 / 24
+
+    def test_defeats_profile_similarity(self):
+        """Jittering one alias kills the activity correlation that the
+        attack exploits."""
+        from repro.core.activity import (
+            activity_profile,
+            profile_similarity,
+        )
+
+        record = _record(n=200)
+        jittered = ScheduleJitterer(seed=4).apply_record(record)
+        original_profile = activity_profile(record.timestamps,
+                                            min_timestamps=10)
+        jittered_profile = activity_profile(jittered.timestamps,
+                                            min_timestamps=10)
+        same = profile_similarity(original_profile, original_profile)
+        cross = profile_similarity(original_profile, jittered_profile)
+        assert cross < same - 0.3

@@ -1,0 +1,120 @@
+"""Tests for alter-ego generation (repro.eval.alterego)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.alterego import (
+    AlterEgoDataset,
+    build_alter_ego_dataset,
+    prune_trivial_pairs,
+    split_record,
+)
+from repro.forums.models import Forum, Message, UserRecord
+
+
+class TestSplitRecord:
+    def _record(self, n=20):
+        record = UserRecord(alias="alice", forum="f")
+        for i in range(n):
+            record.add(Message(
+                message_id=f"m{i}", author="alice",
+                text=f"distinct message number {i} words",
+                timestamp=1_490_000_000 + i * 86400, forum="f",
+                section="s"))
+        return record
+
+    def test_messages_partitioned(self):
+        record = self._record(20)
+        original, alter = split_record(record,
+                                       np.random.default_rng(1))
+        texts_orig = {m.text for m in original.messages}
+        texts_alter = {m.text for m in alter.messages}
+        assert not texts_orig & texts_alter
+        assert len(original.messages) + len(alter.messages) == 20
+
+    def test_alias_suffix(self):
+        record = self._record(4)
+        original, alter = split_record(record,
+                                       np.random.default_rng(1))
+        assert original.alias == "alice"
+        assert alter.alias == "alice#ae"
+        assert alter.metadata["alter_ego_of"] == "alice"
+
+    def test_timestamps_divided_evenly(self):
+        record = self._record(21)
+        original, alter = split_record(record,
+                                       np.random.default_rng(1))
+        all_stamps = sorted(record.timestamps)
+        merged = sorted(set(original.timestamps)
+                        | set(alter.timestamps))
+        assert set(merged) <= set(all_stamps)
+
+    def test_deterministic_given_rng(self):
+        record = self._record(10)
+        a_orig, _ = split_record(record, np.random.default_rng(7))
+        b_orig, _ = split_record(record, np.random.default_rng(7))
+        assert [m.message_id for m in a_orig.messages] == \
+            [m.message_id for m in b_orig.messages]
+
+
+class TestBuildDataset:
+    def test_truth_maps_alter_to_original(self, reddit_alter_egos):
+        original_ids = {d.doc_id for d in reddit_alter_egos.originals}
+        for alter in reddit_alter_egos.alter_egos:
+            assert reddit_alter_egos.truth[alter.doc_id] in original_ids
+
+    def test_alter_ego_ids_distinct(self, reddit_alter_egos):
+        alter_ids = {d.doc_id for d in reddit_alter_egos.alter_egos}
+        original_ids = {d.doc_id for d in reddit_alter_egos.originals}
+        assert not alter_ids & original_ids
+
+    def test_fewer_alter_egos_than_originals(self, reddit_alter_egos):
+        # Table IV: the AE_ dataset is always smaller
+        assert reddit_alter_egos.n_alter_egos <= \
+            reddit_alter_egos.n_originals
+
+    def test_word_budget_met(self, reddit_alter_egos):
+        for doc in reddit_alter_egos.alter_egos:
+            assert doc.n_words >= 600
+
+    def test_deterministic(self, polished_reddit):
+        a = build_alter_ego_dataset(polished_reddit, seed=9,
+                                    words_per_alias=600)
+        b = build_alter_ego_dataset(polished_reddit, seed=9,
+                                    words_per_alias=600)
+        assert [d.doc_id for d in a.alter_egos] == \
+            [d.doc_id for d in b.alter_egos]
+
+    def test_subset(self, reddit_alter_egos):
+        wanted = [d.doc_id for d in reddit_alter_egos.alter_egos[:3]]
+        sub = reddit_alter_egos.subset(wanted)
+        assert sub.n_alter_egos == 3
+        assert set(sub.truth) == set(wanted)
+        assert sub.originals is reddit_alter_egos.originals
+
+
+class TestPrune:
+    def test_identical_halves_pruned(self, reddit_alter_egos):
+        # fabricate a dataset whose alter ego is its own original text
+        from dataclasses import replace
+
+        original = reddit_alter_egos.originals[0]
+        clone = replace(original, doc_id="clone#ae")
+        dataset = AlterEgoDataset(
+            originals=[original],
+            alter_egos=[clone],
+            truth={"clone#ae": original.doc_id},
+        )
+        removed = prune_trivial_pairs(dataset, threshold=0.99)
+        assert removed == 1
+        assert dataset.alter_egos == []
+        assert dataset.truth == {}
+
+    def test_normal_pairs_survive(self, reddit_alter_egos):
+        dataset = AlterEgoDataset(
+            originals=list(reddit_alter_egos.originals),
+            alter_egos=list(reddit_alter_egos.alter_egos),
+            truth=dict(reddit_alter_egos.truth),
+        )
+        removed = prune_trivial_pairs(dataset, threshold=0.9999)
+        assert removed <= len(reddit_alter_egos.alter_egos) // 2

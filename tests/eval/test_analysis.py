@@ -1,0 +1,126 @@
+"""Tests for statistical analysis utilities (repro.eval.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.analysis import (
+    ConfidenceInterval,
+    ForumStatistics,
+    bootstrap_ci,
+    compare_accuracy,
+    mcnemar,
+)
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate(self):
+        ci = bootstrap_ci([0, 1, 1, 1, 0, 1, 1, 0, 1, 1], seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.estimate == pytest.approx(0.7)
+
+    def test_interval_narrows_with_n(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_ci(rng.random(20), seed=1)
+        large = bootstrap_ci(rng.random(2000), seed=1)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_constant_sample_degenerate(self):
+        ci = bootstrap_ci([1.0] * 30, seed=1)
+        assert ci.low == ci.high == ci.estimate == 1.0
+
+    def test_deterministic_given_seed(self):
+        data = [0, 1, 0, 1, 1, 1, 0]
+        a = bootstrap_ci(data, seed=9)
+        b = bootstrap_ci(data, seed=9)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], level=1.0)
+
+    def test_custom_statistic(self):
+        ci = bootstrap_ci([1, 2, 3, 4, 100], statistic=np.median,
+                          seed=1)
+        assert ci.estimate == 3.0
+
+    def test_contains_helper(self):
+        ci = ConfidenceInterval(estimate=0.5, low=0.4, high=0.6,
+                                level=0.95)
+        assert ci.contains(0.45)
+        assert not ci.contains(0.7)
+
+
+class TestMcNemar:
+    def test_identical_vectors_p_one(self):
+        result = mcnemar([True, False, True], [True, False, True])
+        assert result.p_value == 1.0
+        assert not result.significant
+
+    def test_clear_winner_significant(self):
+        a = [True] * 20
+        b = [False] * 20
+        result = mcnemar(a, b)
+        assert result.b == 20 and result.c == 0
+        assert result.p_value < 0.001
+        assert result.significant
+
+    def test_balanced_disagreement_not_significant(self):
+        a = [True, False] * 5
+        b = [False, True] * 5
+        result = mcnemar(a, b)
+        assert result.b == result.c == 5
+        assert result.p_value > 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mcnemar([True], [True, False])
+
+    def test_p_value_bounded(self):
+        rng = np.random.default_rng(3)
+        a = list(rng.random(50) > 0.5)
+        b = list(rng.random(50) > 0.5)
+        result = mcnemar(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestCompareAccuracy:
+    def test_summary_renders(self):
+        comparison = compare_accuracy([True] * 10 + [False] * 2,
+                                      [True] * 6 + [False] * 6)
+        text = comparison.summary("all", "text")
+        assert "all:" in text and "McNemar" in text
+
+
+class TestForumStatistics:
+    def test_world_statistics(self, world):
+        stats = ForumStatistics.of(world.forums["tmg"])
+        assert stats.n_users == world.forums["tmg"].n_users
+        assert stats.n_messages == world.forums["tmg"].n_messages
+        assert stats.n_words > 0
+        assert stats.vocabulary_size > 100
+        assert 0.0 < stats.type_token_ratio < 1.0
+        assert stats.hour_histogram.shape == (24,)
+        assert stats.hour_histogram.sum() == pytest.approx(1.0)
+
+    def test_percentiles_monotone(self, world):
+        stats = ForumStatistics.of(world.forums["dm"])
+        values = [stats.words_per_user[p]
+                  for p in ForumStatistics.PERCENTILES]
+        assert values == sorted(values)
+
+    def test_summary_lines(self, world):
+        stats = ForumStatistics.of(world.forums["dm"])
+        lines = stats.summary_lines()
+        assert any("vocabulary" in line for line in lines)
+        assert any("busiest UTC hour" in line for line in lines)
+
+    def test_empty_forum(self):
+        from repro.forums.models import Forum
+
+        stats = ForumStatistics.of(Forum(name="empty"))
+        assert stats.n_users == 0
+        assert stats.type_token_ratio == 0.0

@@ -1,0 +1,128 @@
+"""Tests for experiment orchestration (repro.eval.experiments)."""
+
+import pytest
+
+from repro.eval import experiments as ex
+from repro.synth.world import DM, REDDIT, TMG, WorldConfig, ForumLoad
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return WorldConfig(
+        seed=901, reddit_users=24, tmg_users=10, dm_users=8,
+        tmg_dm_overlap=3, reddit_dark_overlap=4,
+        reddit_load=ForumLoad(heavy_fraction=0.9,
+                              heavy_messages=(110, 150),
+                              light_messages=(5, 20)),
+        tmg_load=ForumLoad(heavy_fraction=0.9,
+                           heavy_messages=(110, 150),
+                           light_messages=(5, 20)),
+        dm_load=ForumLoad(heavy_fraction=0.9,
+                          heavy_messages=(110, 150),
+                          light_messages=(5, 20)),
+    )
+
+
+class TestCaching:
+    def test_world_cached(self, tiny_config):
+        a = ex.get_world(tiny_config)
+        b = ex.get_world(tiny_config)
+        assert a is b
+
+    def test_polished_cached(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        a, _ = ex.get_polished(world, REDDIT)
+        b, _ = ex.get_polished(world, REDDIT)
+        assert a is b
+
+    def test_refined_cached(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        a = ex.get_refined(world, TMG, words_per_alias=400)
+        b = ex.get_refined(world, TMG, words_per_alias=400)
+        assert a is b
+
+    def test_clear_caches(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        ex.clear_caches()
+        assert ex.get_world(tiny_config) is not world
+
+
+class TestScaledConfig:
+    def test_default_scale_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert ex.scaled_world_config() is ex.SMALL_WORLD
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert ex.scaled_world_config() is ex.PAPER_WORLD
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ConfigurationError):
+            ex.scaled_world_config()
+
+
+class TestSplitW1W2:
+    def test_disjoint_halves(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        dataset = ex.get_alter_egos(world, REDDIT,
+                                    words_per_alias=400)
+        w1, w2 = ex.split_w1_w2(dataset, n_each=500, seed=1)
+        ids1 = {d.doc_id for d in w1.alter_egos}
+        ids2 = {d.doc_id for d in w2.alter_egos}
+        assert not ids1 & ids2
+        assert len(ids1) == len(ids2)
+
+    def test_truth_restricted(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        dataset = ex.get_alter_egos(world, REDDIT,
+                                    words_per_alias=400)
+        w1, _ = ex.split_w1_w2(dataset, n_each=3, seed=2)
+        assert set(w1.truth) == {d.doc_id for d in w1.alter_egos}
+
+
+class TestCrossForumHelpers:
+    def test_cross_forum_truth_doc_ids(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        truth = ex.cross_forum_truth(world, TMG, DM)
+        assert len(truth) == tiny_config.tmg_dm_overlap
+        for unknown_id, known_id in truth.items():
+            assert unknown_id.startswith("tmg/")
+            assert known_id.startswith("dm/")
+
+    def test_reddit_darkweb_truth(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        truth = ex.reddit_darkweb_truth(world)
+        assert len(truth) == tiny_config.reddit_dark_overlap
+        for unknown_id, known_id in truth.items():
+            assert unknown_id.startswith("darkweb/")
+            assert known_id.startswith("reddit/")
+
+    def test_merged_darkweb_counts(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        merged = ex.merged_darkweb(world)
+        tmg, _ = ex.get_polished(world, TMG)
+        dm, _ = ex.get_polished(world, DM)
+        assert merged.n_users == tmg.n_users + dm.n_users
+
+    def test_darkweb_refined_ids_qualified(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        docs = ex.darkweb_refined(world, words_per_alias=400)
+        assert docs
+        assert all(d.doc_id.startswith("darkweb/") for d in docs)
+
+
+class TestCalibratedThreshold:
+    def test_threshold_in_unit_interval(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        threshold = ex.calibrated_threshold(world,
+                                            words_per_alias=400)
+        assert 0.0 < threshold <= 1.0
+
+    def test_threshold_cached(self, tiny_config):
+        world = ex.get_world(tiny_config)
+        a = ex.calibrated_threshold(world, words_per_alias=400)
+        b = ex.calibrated_threshold(world, words_per_alias=400)
+        assert a == b

@@ -1,0 +1,178 @@
+"""Tests for the simulated manual-evaluation protocol (repro.eval.groundtruth)."""
+
+import pytest
+
+from repro.core.documents import AliasDocument
+from repro.core.linker import Match
+from repro.eval import groundtruth as gt
+from repro.synth import evidence as ev
+
+
+def _doc(doc_id, forum, alias, disclosures=None):
+    return AliasDocument(
+        doc_id=doc_id, alias=alias, forum=forum, text="",
+        words=(), timestamps=(), activity=None,
+        metadata={"disclosures": disclosures or {}})
+
+
+class TestClassifyPair:
+    def test_alias_reference_is_true(self):
+        a = _doc("reddit/open1", "reddit", "open1",
+                 {ev.ALIAS_REF: ["tmg:dark1"]})
+        b = _doc("tmg/dark1", "tmg", "dark1")
+        result = gt.classify_pair(a, b)
+        assert result.verdict == gt.TRUE
+        assert ev.ALIAS_REF in result.unique_matches
+
+    def test_alias_reference_other_direction(self):
+        a = _doc("reddit/open1", "reddit", "open1")
+        b = _doc("tmg/dark1", "tmg", "dark1",
+                 {ev.ALIAS_REF: ["reddit:open1"]})
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_qualified_alias_reference_matches(self):
+        # merged DarkWeb forum uses "tmg/dark1" qualified aliases
+        a = _doc("reddit/open1", "reddit", "open1",
+                 {ev.ALIAS_REF: ["tmg:dark1"]})
+        b = _doc("darkweb/tmg/dark1", "darkweb", "tmg/dark1")
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_same_alias_is_true(self):
+        # vendors use their name as a brand on every forum (§V-C)
+        a = _doc("tmg/AcidQueen", "tmg", "AcidQueen")
+        b = _doc("reddit/AcidQueen", "reddit", "AcidQueen")
+        result = gt.classify_pair(a, b)
+        assert result.verdict == gt.TRUE
+        assert "same_alias" in result.unique_matches
+
+    def test_same_alias_qualified_form_matches(self):
+        a = _doc("darkweb/tmg/AcidQueen", "darkweb", "tmg/AcidQueen")
+        b = _doc("reddit/AcidQueen", "reddit", "AcidQueen")
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_shared_referral_link_is_true(self):
+        link = "https://dealwatcher.io/ref/fox7"
+        a = _doc("a", "reddit", "a", {ev.REFERRAL_LINK: [link]})
+        b = _doc("b", "tmg", "b", {ev.REFERRAL_LINK: [link]})
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_shared_email_is_true(self):
+        a = _doc("a", "reddit", "a", {ev.EMAIL: ["x@pm.com"]})
+        b = _doc("b", "tmg", "b", {ev.EMAIL: ["x@pm.com"]})
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_contradictory_age_is_false(self):
+        # the paper: "one match declares to be 20 years old on the
+        # Dark Web and to be 34 on Reddit"
+        a = _doc("a", "reddit", "a", {ev.AGE: ["34"]})
+        b = _doc("b", "tmg", "b", {ev.AGE: ["20"]})
+        result = gt.classify_pair(a, b)
+        assert result.verdict == gt.FALSE
+        assert ev.AGE in result.contradictions
+
+    def test_contradictory_religion_is_false(self):
+        a = _doc("a", "reddit", "a", {ev.RELIGION: ["Christian"]})
+        b = _doc("b", "tmg", "b", {ev.RELIGION: ["Atheist"]})
+        assert gt.classify_pair(a, b).verdict == gt.FALSE
+
+    def test_two_soft_agreements_probably_true(self):
+        a = _doc("a", "reddit", "a",
+                 {ev.CITY: ["Miami"], ev.DRUG: ["white molly"]})
+        b = _doc("b", "tmg", "b",
+                 {ev.CITY: ["Miami"], ev.DRUG: ["white molly"]})
+        result = gt.classify_pair(a, b)
+        assert result.verdict == gt.PROBABLY_TRUE
+        assert set(result.agreements) == {ev.CITY, ev.DRUG}
+
+    def test_one_agreement_is_unclear(self):
+        # the paper: sharing only the kind of drug "is not
+        # discriminative information"
+        a = _doc("a", "reddit", "a", {ev.DRUG: ["lsd tabs"]})
+        b = _doc("b", "tmg", "b", {ev.DRUG: ["lsd tabs"]})
+        assert gt.classify_pair(a, b).verdict == gt.UNCLEAR
+
+    def test_no_disclosures_is_unclear(self):
+        a = _doc("a", "reddit", "a")
+        b = _doc("b", "tmg", "b")
+        assert gt.classify_pair(a, b).verdict == gt.UNCLEAR
+
+    def test_unique_leak_beats_contradiction(self):
+        a = _doc("a", "reddit", "a",
+                 {ev.ALIAS_REF: ["tmg:b"], ev.AGE: ["20"]})
+        b = _doc("tmg/b", "tmg", "b", {ev.AGE: ["40"]})
+        assert gt.classify_pair(a, b).verdict == gt.TRUE
+
+    def test_contradiction_beats_agreements(self):
+        a = _doc("a", "reddit", "a",
+                 {ev.CITY: ["Miami"], ev.DRUG: ["dmt"],
+                  ev.AGE: ["20"]})
+        b = _doc("b", "tmg", "b",
+                 {ev.CITY: ["Miami"], ev.DRUG: ["dmt"],
+                  ev.AGE: ["44"]})
+        assert gt.classify_pair(a, b).verdict == gt.FALSE
+
+
+class TestEvaluateMatches:
+    def _match(self, uid, cid, accepted=True):
+        return Match(unknown_id=uid, candidate_id=cid, score=0.9,
+                     accepted=accepted, first_stage_score=0.9)
+
+    def test_counts_tally(self):
+        docs = {
+            "u1": _doc("u1", "reddit", "u1",
+                       {ev.ALIAS_REF: ["tmg:k1"]}),
+            "k1": _doc("tmg/k1", "tmg", "k1"),
+            "u2": _doc("u2", "reddit", "u2", {ev.AGE: ["20"]}),
+            "k2": _doc("k2", "tmg", "k2", {ev.AGE: ["50"]}),
+        }
+        matches = [self._match("u1", "k1"), self._match("u2", "k2")]
+        report = gt.evaluate_matches(matches, docs)
+        assert report.counts[gt.TRUE] == 1
+        assert report.counts[gt.FALSE] == 1
+        assert report.n_pairs == 2
+
+    def test_rejected_matches_skipped(self):
+        docs = {"u": _doc("u", "r", "u"), "k": _doc("k", "t", "k")}
+        matches = [self._match("u", "k", accepted=False)]
+        report = gt.evaluate_matches(matches, docs)
+        assert report.n_pairs == 0
+
+    def test_summary_rows_cover_all_verdicts(self):
+        report = gt.EvaluationReport()
+        rows = report.summary_rows()
+        assert [v for v, _ in rows] == list(gt.VERDICTS)
+
+
+class TestGroundTruthVerdicts:
+    def test_confusion_counts(self):
+        matches = [
+            Match("u1", "k1", 0.9, True, 0.9),
+            Match("u2", "kX", 0.9, True, 0.9),
+            Match("u3", "k3", 0.9, False, 0.9),
+            Match("u4", "k4", 0.9, True, 0.9),
+        ]
+        truth = {"u1": "k1", "u2": "k2", "u3": "k3"}
+        counts = gt.ground_truth_verdicts(matches, truth)
+        assert counts == {"correct": 1, "wrong": 1, "no_truth": 1}
+
+
+class TestWorldIntegration:
+    def test_linked_pairs_classified_true_sometimes(self, world):
+        """End-to-end: some ground-truth linked pairs must carry
+        True-grade synthetic evidence."""
+        from repro.core.documents import build_document
+
+        verdicts = []
+        for link in world.links:
+            rec_a = world.forums[link.forum_a].users[link.alias_a]
+            rec_b = world.forums[link.forum_b].users[link.alias_b]
+            doc_a = build_document(rec_a, words_per_alias=50,
+                                   require_activity=False,
+                                   min_timestamps=0)
+            doc_b = build_document(rec_b, words_per_alias=50,
+                                   require_activity=False,
+                                   min_timestamps=0)
+            if doc_a and doc_b:
+                verdicts.append(gt.classify_pair(doc_a, doc_b).verdict)
+        assert verdicts
+        assert gt.TRUE in verdicts

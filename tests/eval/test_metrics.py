@@ -1,0 +1,126 @@
+"""Unit tests for evaluation metrics (repro.eval.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    PRCurve,
+    accuracy_at_k,
+    curve_table,
+    pr_curve,
+    precision_recall_f1,
+)
+
+
+class TestPRCurve:
+    def test_perfect_ranking(self):
+        curve = pr_curve([0.9, 0.8, 0.2, 0.1],
+                         [True, True, False, False], n_positive=2)
+        precision, recall = curve.at_threshold(0.8)
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_worst_ranking(self):
+        curve = pr_curve([0.9, 0.1], [False, True], n_positive=1)
+        precision, recall = curve.at_threshold(0.9)
+        assert precision == 0.0
+        assert recall == 0.0
+
+    def test_recall_denominator_explicit(self):
+        curve = pr_curve([0.9], [True], n_positive=4)
+        _, recall = curve.at_threshold(0.5)
+        assert recall == pytest.approx(0.25)
+
+    def test_default_denominator_is_label_sum(self):
+        curve = pr_curve([0.9, 0.5], [True, True])
+        assert curve.n_positive == 2
+
+    def test_empty_inputs(self):
+        curve = pr_curve([], [])
+        assert curve.auc() == 0.0
+        assert curve.at_threshold(0.5) == (1.0, 0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pr_curve([0.5], [True, False])
+
+    def test_ties_collapsed(self):
+        curve = pr_curve([0.5, 0.5, 0.5], [True, False, True],
+                         n_positive=2)
+        assert len(curve.thresholds) == 1
+        precision, recall = curve.at_threshold(0.5)
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(1.0)
+
+    def test_threshold_above_all_scores(self):
+        curve = pr_curve([0.5], [True])
+        assert curve.at_threshold(0.9) == (1.0, 0.0)
+
+
+class TestAUC:
+    def test_perfect_auc_is_one(self):
+        curve = pr_curve([0.9, 0.8, 0.2], [True, True, False],
+                         n_positive=2)
+        assert curve.auc() == pytest.approx(1.0)
+
+    def test_auc_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(50)
+        labels = rng.random(50) > 0.5
+        curve = pr_curve(scores, labels)
+        assert 0.0 <= curve.auc() <= 1.0
+
+    def test_better_ranking_higher_auc(self):
+        good = pr_curve([0.9, 0.8, 0.3, 0.2],
+                        [True, True, False, False], n_positive=2)
+        bad = pr_curve([0.9, 0.8, 0.3, 0.2],
+                       [False, True, False, True], n_positive=2)
+        assert good.auc() > bad.auc()
+
+
+class TestThresholdForRecall:
+    def test_finds_smallest_sufficient(self):
+        curve = pr_curve([0.9, 0.7, 0.5, 0.3],
+                         [True, True, True, True], n_positive=4)
+        assert curve.threshold_for_recall(0.5) == pytest.approx(0.7)
+
+    def test_unreachable_falls_back_to_min(self):
+        curve = pr_curve([0.9, 0.7], [False, False], n_positive=2)
+        assert curve.threshold_for_recall(0.5) == pytest.approx(0.7)
+
+
+class TestPointMetrics:
+    def test_precision_recall_f1(self):
+        precision, recall, f1 = precision_recall_f1(8, 10, 16)
+        assert precision == pytest.approx(0.8)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+
+    def test_zero_denominators(self):
+        assert precision_recall_f1(0, 0, 0) == (0.0, 0.0, 0.0)
+
+
+class TestAccuracyAtK:
+    def test_basic(self):
+        assert accuracy_at_k([1, 2, 11, 3], 10) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert accuracy_at_k([], 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            accuracy_at_k([1], 0)
+
+
+class TestCurveTable:
+    def test_rows_downsampled(self):
+        scores = np.linspace(0, 1, 100)
+        labels = scores > 0.5
+        curve = pr_curve(scores, labels)
+        rows = curve_table(curve, points=10)
+        assert len(rows) == 10
+        assert all({"threshold", "precision", "recall"} ==
+                   set(r) for r in rows)
+
+    def test_empty_curve(self):
+        assert curve_table(pr_curve([], [])) == []

@@ -1,0 +1,58 @@
+"""Tests for benchmark result aggregation (repro.eval.reporting)."""
+
+import pytest
+
+from repro.eval import reporting
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table4_dataset_sizes.txt").write_text("table four\n")
+    (tmp_path / "fig1_word_cdf.txt").write_text("figure one\n")
+    (tmp_path / "zz_custom.txt").write_text("custom section\n")
+    return tmp_path
+
+
+class TestLoadSections:
+    def test_paper_order_respected(self, results_dir):
+        sections = reporting.load_sections(results_dir)
+        names = [s.name for s in sections]
+        assert names.index("fig1_word_cdf") < \
+            names.index("table4_dataset_sizes")
+
+    def test_unknown_sections_appended(self, results_dir):
+        sections = reporting.load_sections(results_dir)
+        assert sections[-1].name == "zz_custom"
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            reporting.load_sections(tmp_path / "nope")
+
+
+class TestRenderMarkdown:
+    def test_contains_bodies_and_titles(self, results_dir):
+        text = reporting.render_markdown(
+            reporting.load_sections(results_dir))
+        assert "## fig1 word cdf" in text
+        assert "figure one" in text
+        assert text.startswith("# Measured benchmark results")
+
+    def test_code_fences_balanced(self, results_dir):
+        text = reporting.render_markdown(
+            reporting.load_sections(results_dir))
+        assert text.count("```") % 2 == 0
+
+
+class TestMain:
+    def test_main_happy_path(self, results_dir, capsys):
+        assert reporting.main([str(results_dir)]) == 0
+        assert "figure one" in capsys.readouterr().out
+
+    def test_main_usage_error(self, capsys):
+        assert reporting.main([]) == 2
+
+    def test_main_missing_dir(self, tmp_path, capsys):
+        assert reporting.main([str(tmp_path / "nope")]) == 1
+
+    def test_main_empty_dir(self, tmp_path, capsys):
+        assert reporting.main([str(tmp_path)]) == 1

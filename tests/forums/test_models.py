@@ -1,0 +1,173 @@
+"""Unit tests for the forum data model (repro.forums.models)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.forums.models import (
+    DAY,
+    HOUR,
+    Forum,
+    Message,
+    Thread,
+    UserRecord,
+    merge_forums,
+)
+
+
+def _msg(i=1, author="alice", forum="f", ts=1_500_000_000, **kw):
+    return Message(message_id=f"m{i}", author=author,
+                   text=f"message number {i} with some words",
+                   timestamp=ts, forum=forum, section="s", **kw)
+
+
+class TestMessage:
+    def test_hour_utc(self):
+        # 1_500_000_000 = 2017-07-14 02:40:00 UTC
+        assert _msg(ts=1_500_000_000).hour_utc == 2
+
+    def test_day_index(self):
+        assert _msg(ts=0).day_index == 0
+        assert _msg(ts=DAY + 5).day_index == 1
+
+    def test_with_text_replaces_only_text(self):
+        msg = _msg()
+        out = msg.with_text("new text")
+        assert out.text == "new text"
+        assert out.message_id == msg.message_id
+        assert msg.text != "new text"  # original untouched
+
+    def test_roundtrip_dict(self):
+        msg = _msg(parent_id="m0", metadata={"k": "v"})
+        again = Message.from_dict(msg.to_dict())
+        assert again == msg
+
+    def test_roundtrip_without_optionals(self):
+        msg = _msg()
+        data = msg.to_dict()
+        assert "parent_id" not in data
+        assert "metadata" not in data
+        assert Message.from_dict(data) == msg
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(DatasetError):
+            Message.from_dict({"message_id": "x"})
+
+
+class TestThread:
+    def test_roundtrip(self):
+        thread = Thread(thread_id="t1", forum="f", section="s",
+                        title="hello", author="alice",
+                        message_ids=("m1", "m2"), upvotes=10)
+        assert Thread.from_dict(thread.to_dict()) == thread
+
+    def test_malformed_raises(self):
+        with pytest.raises(DatasetError):
+            Thread.from_dict({})
+
+
+class TestUserRecord:
+    def test_add_checks_author(self):
+        record = UserRecord(alias="alice", forum="f")
+        with pytest.raises(DatasetError):
+            record.add(_msg(author="bob"))
+
+    def test_timestamps(self):
+        record = UserRecord(alias="alice", forum="f")
+        record.add(_msg(1, ts=100))
+        record.add(_msg(2, ts=50))
+        assert record.timestamps == [100, 50]
+
+    def test_total_words(self):
+        record = UserRecord(alias="alice", forum="f")
+        record.add(_msg(1))
+        # "message number 1 with some words": 5 words, "1" is a number
+        assert record.total_words() == 5
+
+    def test_sections_counts(self):
+        record = UserRecord(alias="alice", forum="f")
+        record.add(_msg(1))
+        record.add(_msg(2))
+        assert record.sections() == {"s": 2}
+
+    def test_roundtrip(self):
+        record = UserRecord(alias="alice", forum="f",
+                            metadata={"persona_id": 3})
+        record.add(_msg(1))
+        again = UserRecord.from_dict(record.to_dict())
+        assert again.alias == "alice"
+        assert again.metadata["persona_id"] == 3
+        assert len(again.messages) == 1
+
+
+class TestForum:
+    def test_add_message_creates_user(self):
+        forum = Forum(name="f")
+        forum.add_message(_msg())
+        assert "alice" in forum.users
+        assert forum.n_users == 1
+        assert forum.n_messages == 1
+
+    def test_add_message_checks_forum(self):
+        forum = Forum(name="f")
+        with pytest.raises(DatasetError):
+            forum.add_message(_msg(forum="other"))
+
+    def test_sections_registered(self):
+        forum = Forum(name="f")
+        forum.add_message(_msg())
+        assert "s" in forum.sections
+
+    def test_iter_messages(self):
+        forum = Forum(name="f")
+        forum.add_message(_msg(1))
+        forum.add_message(_msg(2, author="bob"))
+        assert len(list(forum.iter_messages())) == 2
+
+    def test_add_thread_checks_forum(self):
+        forum = Forum(name="f")
+        thread = Thread(thread_id="t", forum="other", section="s",
+                        title="", author="a")
+        with pytest.raises(DatasetError):
+            forum.add_thread(thread)
+
+    def test_roundtrip(self):
+        forum = Forum(name="f", utc_offset_hours=2)
+        forum.add_message(_msg())
+        again = Forum.from_dict(forum.to_dict())
+        assert again.name == "f"
+        assert again.utc_offset_hours == 2
+        assert again.n_messages == 1
+
+
+class TestMergeForums:
+    def _two_forums(self):
+        a = Forum(name="tmg")
+        a.add_message(_msg(1, author="alice", forum="tmg"))
+        b = Forum(name="dm")
+        b.add_message(_msg(2, author="alice", forum="dm"))
+        return a, b
+
+    def test_aliases_namespaced(self):
+        a, b = self._two_forums()
+        merged = merge_forums("darkweb", [a, b])
+        assert set(merged.users) == {"tmg/alice", "dm/alice"}
+
+    def test_message_authors_rewritten(self):
+        a, b = self._two_forums()
+        merged = merge_forums("darkweb", [a, b])
+        for record in merged.users.values():
+            for message in record.messages:
+                assert message.author == record.alias
+                assert message.forum == "darkweb"
+
+    def test_source_metadata_kept(self):
+        a, b = self._two_forums()
+        merged = merge_forums("darkweb", [a, b])
+        assert merged.users["tmg/alice"].metadata["source_forum"] == "tmg"
+        assert merged.users["tmg/alice"].metadata["source_alias"] == \
+            "alice"
+
+    def test_counts_add_up(self):
+        a, b = self._two_forums()
+        merged = merge_forums("darkweb", [a, b])
+        assert merged.n_messages == a.n_messages + b.n_messages

@@ -1,0 +1,168 @@
+"""Unit tests for the simulated scrapers (repro.forums.scraper/.reddit/.darkweb)."""
+
+import pytest
+
+from repro.errors import ScrapeError
+from repro.forums.darkweb import DarkWebScraper, tor_session
+from repro.forums.models import Forum, Message, Thread
+from repro.forums.reddit import RedditScraper
+from repro.forums.scraper import PAGE_SIZE, ForumScraper, ScrapeSession
+
+
+def _source(name="f", offset=2, n_msgs=30):
+    forum = Forum(name=name, utc_offset_hours=offset)
+    ids = []
+    for i in range(n_msgs):
+        msg = Message(message_id=f"m{i}", author=f"user{i % 3}",
+                      text=f"source message {i} content here",
+                      timestamp=1_500_000_000 + i * 3600,
+                      forum=name, section="board")
+        forum.add_message(msg)
+        ids.append(msg.message_id)
+    forum.add_thread(Thread(thread_id="t1", forum=name, section="board",
+                            title="big", author="user0",
+                            message_ids=tuple(ids), upvotes=50))
+    return forum
+
+
+class TestScrapeSession:
+    def test_requests_counted(self):
+        session = ScrapeSession(seed=1, failure_rate=0.0)
+        session.request("x")
+        session.request("y")
+        assert session.stats.requests == 2
+        assert session.stats.virtual_seconds > 0
+
+    def test_transient_failures_retried(self):
+        session = ScrapeSession(seed=1, failure_rate=0.5, max_retries=50)
+        session.request("flaky")  # should eventually succeed
+        assert session.stats.retries >= 0
+
+    def test_gives_up_after_max_retries(self):
+        session = ScrapeSession(seed=1, failure_rate=0.999,
+                                max_retries=2)
+        with pytest.raises(ScrapeError):
+            for _ in range(200):
+                session.request("dead")
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            ScrapeSession(failure_rate=1.5)
+
+    def test_deterministic(self):
+        a = ScrapeSession(seed=9, failure_rate=0.1)
+        b = ScrapeSession(seed=9, failure_rate=0.1)
+        for _ in range(20):
+            a.request("r")
+            b.request("r")
+        assert a.stats.virtual_seconds == b.stats.virtual_seconds
+        assert a.stats.retries == b.stats.retries
+
+
+class TestForumScraper:
+    def test_collect_roundtrips_timestamps_to_utc(self):
+        source = _source(offset=5)
+        scraper = ForumScraper(source,
+                               ScrapeSession(seed=1, failure_rate=0.0))
+        collected = scraper.collect()
+        original = {m.message_id: m.timestamp
+                    for m in source.iter_messages()}
+        for message in collected.iter_messages():
+            assert message.timestamp == original[message.message_id]
+
+    def test_collect_preserves_message_count(self):
+        source = _source(n_msgs=60)
+        scraper = ForumScraper(source,
+                               ScrapeSession(seed=1, failure_rate=0.0))
+        collected = scraper.collect()
+        assert collected.n_messages == source.n_messages
+
+    def test_pagination_requests(self):
+        source = _source(n_msgs=PAGE_SIZE * 2 + 1)
+        session = ScrapeSession(seed=1, failure_rate=0.0)
+        scraper = ForumScraper(source, session)
+        thread = source.threads["t1"]
+        messages = scraper.fetch_thread(thread)
+        assert len(messages) == PAGE_SIZE * 2 + 1
+
+    def test_fetch_page_returns_local_time(self):
+        source = _source(offset=3)
+        scraper = ForumScraper(source,
+                               ScrapeSession(seed=1, failure_rate=0.0))
+        page = scraper._fetch_page(source.threads["t1"], 0)
+        original = {m.message_id: m.timestamp
+                    for m in source.iter_messages()}
+        assert all(m.timestamp == original[m.message_id] + 3 * 3600
+                   for m in page)
+
+
+class TestRedditScraper:
+    def _reddit(self, world):
+        return world.forums["reddit"]
+
+    def test_seed_commenters_found(self, world):
+        scraper = RedditScraper(self._reddit(world),
+                                ScrapeSession(seed=1, failure_rate=0.0),
+                                seed_subreddit="r/DarkNetMarkets")
+        commenters = scraper.seed_commenters(n_topics=50)
+        assert len(commenters) > 0
+
+    def test_missing_seed_subreddit_raises(self):
+        source = _source()
+        scraper = RedditScraper(source,
+                                ScrapeSession(seed=1, failure_rate=0.0),
+                                seed_subreddit="r/missing")
+        with pytest.raises(ScrapeError):
+            scraper.seed_commenters()
+
+    def test_user_history_limit(self, world):
+        reddit = self._reddit(world)
+        alias = max(reddit.users,
+                    key=lambda a: len(reddit.users[a].messages))
+        scraper = RedditScraper(reddit,
+                                ScrapeSession(seed=1, failure_rate=0.0))
+        history = scraper.user_history(alias, limit=5)
+        assert len(history) == 5
+        stamps = [m.timestamp for m in history]
+        assert stamps == sorted(stamps, reverse=True)
+
+    def test_unknown_user_history_empty(self, world):
+        scraper = RedditScraper(self._reddit(world),
+                                ScrapeSession(seed=1, failure_rate=0.0))
+        assert scraper.user_history("nobody-here") == []
+
+    def test_collect_study_dataset_subset_of_world(self, world):
+        reddit = self._reddit(world)
+        scraper = RedditScraper(reddit,
+                                ScrapeSession(seed=1, failure_rate=0.0))
+        collected = scraper.collect_study_dataset(n_topics=20,
+                                                  history_limit=50)
+        assert 0 < collected.n_users <= reddit.n_users
+        original = {m.message_id: m.timestamp
+                    for m in reddit.iter_messages()}
+        for message in collected.iter_messages():
+            assert message.timestamp == original[message.message_id]
+
+
+class TestDarkWebScraper:
+    def test_tor_session_parameters(self):
+        session = tor_session(seed=1)
+        assert session.mean_latency > 1.0
+        assert session.failure_rate > 0.0
+
+    def test_vendor_threads_detected(self, world):
+        tmg = world.forums["tmg"]
+        scraper = DarkWebScraper(
+            tmg, ScrapeSession(seed=1, failure_rate=0.0))
+        vendors = scraper.vendor_threads()
+        index = {m.message_id: m for m in tmg.iter_messages()}
+        for thread in vendors:
+            first = index[thread.message_ids[0]]
+            assert "official" in first.text.lower()
+
+    def test_collect_tmg(self, world):
+        tmg = world.forums["tmg"]
+        scraper = DarkWebScraper(
+            tmg, ScrapeSession(seed=1, failure_rate=0.0))
+        collected = scraper.collect()
+        assert collected.n_messages == tmg.n_messages

@@ -1,0 +1,132 @@
+"""Unit tests for JSONL persistence (repro.forums.storage)."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.forums.models import Forum, Message, Thread
+from repro.forums.storage import (
+    iter_user_records,
+    load_forum,
+    load_world,
+    save_forum,
+    save_world,
+)
+
+
+def _forum(name="f", n_users=3):
+    forum = Forum(name=name, utc_offset_hours=1)
+    for u in range(n_users):
+        for i in range(2):
+            forum.add_message(Message(
+                message_id=f"{name}-{u}-{i}",
+                author=f"user{u}",
+                text=f"hello from user {u} message {i}",
+                timestamp=1_500_000_000 + u * 100 + i,
+                forum=name, section="general"))
+    forum.add_thread(Thread(thread_id=f"{name}-t1", forum=name,
+                            section="general", title="t",
+                            author="user0",
+                            message_ids=(f"{name}-0-0",)))
+    return forum
+
+
+class TestRoundtrip:
+    def test_forum_roundtrip(self, tmp_path):
+        forum = _forum()
+        path = tmp_path / "f.jsonl"
+        save_forum(forum, path)
+        loaded = load_forum(path)
+        assert loaded.name == forum.name
+        assert loaded.utc_offset_hours == 1
+        assert loaded.n_users == forum.n_users
+        assert loaded.n_messages == forum.n_messages
+        assert set(loaded.threads) == set(forum.threads)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        forum = _forum()
+        path = tmp_path / "f.jsonl.gz"
+        save_forum(forum, path)
+        assert load_forum(path).n_messages == forum.n_messages
+
+    def test_message_contents_preserved(self, tmp_path):
+        forum = _forum(n_users=1)
+        path = tmp_path / "f.jsonl"
+        save_forum(forum, path)
+        loaded = load_forum(path)
+        original = forum.users["user0"].messages
+        again = loaded.users["user0"].messages
+        assert [m.to_dict() for m in original] == \
+            [m.to_dict() for m in again]
+
+
+class TestStreaming:
+    def test_iter_user_records(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        save_forum(_forum(n_users=5), path)
+        records = list(iter_user_records(path))
+        assert len(records) == 5
+        assert all(len(r.messages) == 2 for r in records)
+
+    def test_load_with_keep_predicate(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        save_forum(_forum(n_users=5), path)
+        loaded = load_forum(path, keep=lambda r: r.alias < "user2")
+        assert set(loaded.users) == {"user0", "user1"}
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_forum(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"alias": "x"}) + "\n")
+        with pytest.raises(DatasetError):
+            load_forum(path)
+
+    def test_bad_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_forum(_forum(n_users=1), path)
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(DatasetError):
+            load_forum(path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {"schema": 999, "kind": "forum-header", "name": "f"}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(DatasetError):
+            load_forum(path)
+
+    def test_duplicate_alias(self, tmp_path):
+        path = tmp_path / "dup.jsonl"
+        save_forum(_forum(n_users=1), path)
+        with open(path) as fh:
+            lines = fh.readlines()
+        with open(path, "a") as fh:
+            fh.write(lines[1])
+        with pytest.raises(DatasetError):
+            load_forum(path)
+
+
+class TestWorldIO:
+    def test_save_and_load_world(self, tmp_path):
+        forums = [_forum("alpha"), _forum("beta")]
+        paths = save_world(forums, tmp_path)
+        assert len(paths) == 2
+        loaded = load_world(tmp_path)
+        assert set(loaded) == {"alpha", "beta"}
+
+    def test_load_world_empty_dir(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_world(tmp_path)
+
+    def test_load_world_not_a_dir(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_world(tmp_path / "missing")

@@ -1,0 +1,69 @@
+"""Unit tests for the Table I topic taxonomy (repro.forums.topics)."""
+
+import pytest
+
+from repro.forums import topics
+
+
+class TestTableI:
+    def test_thirteen_rows_as_printed(self):
+        # the paper says "12 topics" but Table I prints 13 rows; we
+        # encode the table as printed
+        assert len(topics.TABLE_I) == 13
+
+    def test_drugs_is_dominant_topic(self):
+        drugs = topics.TOPICS_BY_NAME["Drugs"]
+        assert drugs.message_share == max(
+            t.message_share for t in topics.TABLE_I)
+
+    def test_flagships_match_paper(self):
+        assert topics.TOPICS_BY_NAME["Drugs"].flagship == \
+            "r/DarkNetMarkets"
+        assert topics.TOPICS_BY_NAME["Politics"].flagship == "r/politics"
+        assert topics.TOPICS_BY_NAME["Cryptocurrencies"].flagship == \
+            "r/bitcoin"
+
+    def test_subreddit_counts_sum(self):
+        # 18+39+117+166+15+72+18+43+24+12+11+52+61 = 648 labelled rows
+        total = sum(t.n_subreddits for t in topics.TABLE_I)
+        assert total == 648
+
+    def test_every_topic_has_keywords(self):
+        for spec in topics.TABLE_I:
+            assert len(spec.keywords) >= 5
+
+    def test_topic_names_order(self):
+        names = topics.topic_names()
+        assert names[0] == "Culture"
+        assert names[-1] == "Videogame"
+
+
+class TestSubredditNames:
+    def test_flagship_first(self):
+        spec = topics.TOPICS_BY_NAME["Drugs"]
+        names = topics.subreddit_names(spec, 3)
+        assert names[0] == "r/DarkNetMarkets"
+        assert len(names) == 3
+
+    def test_default_count_is_paper_count(self):
+        spec = topics.TOPICS_BY_NAME["Financial"]
+        assert len(topics.subreddit_names(spec)) == spec.n_subreddits
+
+    def test_zero_count(self):
+        spec = topics.TABLE_I[0]
+        assert topics.subreddit_names(spec, 0) == []
+
+    def test_names_unique(self):
+        spec = topics.TOPICS_BY_NAME["Entertainment"]
+        names = topics.subreddit_names(spec)
+        assert len(names) == len(set(names))
+
+
+class TestWeights:
+    def test_message_share_weights_normalized(self):
+        weights = topics.message_share_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_darknet_topic_is_drugs(self):
+        assert topics.darknet_topic().name == "Drugs"

@@ -1,0 +1,135 @@
+"""Tests for personal-information extraction (repro.profiling.extractor)."""
+
+import pytest
+
+from repro.forums.models import Message, UserRecord
+from repro.profiling import extractor as ex
+
+
+def _record(*texts, alias="johndoe"):
+    record = UserRecord(alias=alias, forum="reddit")
+    for i, text in enumerate(texts):
+        record.add(Message(message_id=f"m{i}", author=alias, text=text,
+                           timestamp=1_500_000_000 + i, forum="reddit",
+                           section="r/test"))
+    return record
+
+
+@pytest.fixture
+def profiler():
+    return ex.ProfileExtractor()
+
+
+class TestRules:
+    def test_age_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "I am 27 years old and honestly it shows some days."))
+        assert profile.age == "27"
+
+    def test_age_ignores_unrealistic(self, profiler):
+        profile = profiler.extract(_record("I am 7 years old"))
+        assert profile.age is None
+
+    def test_city_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "I live in Edmonton and the scene here is pretty small."))
+        assert profile.city == "Edmonton"
+
+    def test_two_word_city(self, profiler):
+        profile = profiler.extract(_record(
+            "Greetings from New York, the weather is terrible."))
+        assert profile.city == "New York"
+
+    def test_occupation_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "I work as a line cook so my schedule is all over."))
+        assert profile.occupation == "line cook"
+
+    def test_phone_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "Typing this from my Samsung Galaxy S4 so excuse typos."))
+        assert profile.phone == "Samsung Galaxy S4"
+
+    def test_game_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "Mostly playing Fallout these nights instead of sleeping."))
+        assert "Fallout" in profile.games
+
+    def test_hobby_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "Been really into yoga lately, it keeps me sane."))
+        assert "yoga" in profile.hobbies
+
+    def test_travel_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "Next week I am flying to New York for the third time."))
+        assert "New York" in profile.travels
+
+    def test_religion_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "I was raised Christian and it still shapes how I think."))
+        assert profile.best(ex.RELIGION) == "Christian"
+
+    def test_vendor_complaint_extracted(self, profiler):
+        profile = profiler.extract(_record(
+            "Really disappointed, GreenValley sold me poor quality "
+            "white molly and refused any kind of refund."))
+        assert profile.best(ex.VENDOR) == "GreenValley"
+        assert profile.best(ex.DRUG) == "white molly"
+
+
+class TestAggregation:
+    def test_most_evidenced_value_wins(self, profiler):
+        profile = profiler.extract(_record(
+            "I am 27 years old and tired.",
+            "As a 27 year old I have seen this before.",
+            "I am 34 years old actually no wait.",
+        ))
+        assert profile.age == "27"
+
+    def test_evidence_snippets_recorded(self, profiler):
+        profile = profiler.extract(_record(
+            "I live in Edmonton and the scene here is small."))
+        facts = profile.evidence_for(ex.CITY, "Edmonton")
+        assert len(facts) == 1
+        assert facts[0].message_id == "m0"
+        assert "Edmonton" in facts[0].snippet
+
+    def test_completeness_zero_without_facts(self, profiler):
+        profile = profiler.extract(_record("nothing personal here"))
+        assert profile.completeness() == 0.0
+
+    def test_completeness_grows(self, profiler):
+        profile = profiler.extract(_record(
+            "I am 27 years old and I live in Edmonton today."))
+        assert profile.completeness() > 0.0
+
+    def test_john_doe_scenario(self, profiler):
+        """The paper's §V-D showcase: age, city, phone, games,
+        travel — all recoverable from casual posts."""
+        profile = profiler.extract(_record(
+            "I am 27 years old and live with my parents.",
+            "I live in Edmonton and honestly the scene is small.",
+            "Typing this from my Samsung Galaxy S4 so excuse typos.",
+            "Mostly playing Fallout these nights instead of sleeping.",
+            "Add me on Counter Strike if you want to squad up.",
+            "Next month I am flying to New York again for work.",
+        ))
+        assert profile.age == "27"
+        assert profile.city == "Edmonton"
+        assert profile.phone == "Samsung Galaxy S4"
+        assert set(profile.games) >= {"Fallout", "Counter Strike"}
+        assert "New York" in profile.travels
+
+
+class TestWorldIntegration:
+    def test_disclosing_persona_profiled(self, world):
+        """Synthetic disclosure sentences must be extractable."""
+        profiler = ex.ProfileExtractor()
+        best = None
+        for record in world.forums["reddit"].users.values():
+            profile = profiler.extract(record)
+            if best is None or len(profile.facts) > len(best.facts):
+                best = profile
+        assert best is not None
+        assert len(best.facts) > 0

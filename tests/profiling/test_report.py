@@ -1,0 +1,64 @@
+"""Tests for profile report rendering (repro.profiling.report)."""
+
+from repro.forums.models import Message, UserRecord
+from repro.profiling.extractor import ProfileExtractor, UserProfile
+from repro.profiling.report import render_report, summary_line
+
+
+def _profile(*texts, alias="johndoe"):
+    record = UserRecord(alias=alias, forum="reddit")
+    for i, text in enumerate(texts):
+        record.add(Message(message_id=f"m{i}", author=alias,
+                           text=text, timestamp=1_500_000_000 + i,
+                           forum="reddit", section="r/x"))
+    return ProfileExtractor().extract(record)
+
+
+JOHN = (
+    "I am 27 years old and live with my parents.",
+    "I live in Edmonton and honestly the scene is small.",
+    "Typing this from my Samsung Galaxy S4 so excuse the typos.",
+    "Mostly playing Fallout these nights instead of sleeping.",
+)
+
+
+class TestSummaryLine:
+    def test_rich_profile_summary(self):
+        line = summary_line(_profile(*JOHN))
+        assert "27 year old" in line
+        assert "Edmonton" in line
+        assert "Samsung Galaxy S4" in line
+
+    def test_empty_profile_summary(self):
+        line = summary_line(_profile("nothing personal at all here"))
+        assert "no personal facts" in line
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        report = render_report(_profile(*JOHN))
+        assert "PROFILE: johndoe" in report
+        assert "Age: 27" in report
+        assert "Location: Edmonton" in report
+        assert "Video games: Fallout" in report
+
+    def test_evidence_cited(self):
+        report = render_report(_profile(*JOHN))
+        assert "[m0]" in report  # message ids quoted as evidence
+
+    def test_dark_alias_named_when_linked(self):
+        report = render_report(_profile(*JOHN), dark_alias="darkwolf99")
+        assert "LINKED DARK ALIAS: darkwolf99" in report
+
+    def test_no_dark_alias_line_by_default(self):
+        report = render_report(_profile(*JOHN))
+        assert "LINKED DARK ALIAS" not in report
+
+    def test_empty_profile_renders(self):
+        report = render_report(_profile("nothing personal here"))
+        assert "Profile completeness: 0%" in report
+
+    def test_completeness_line(self):
+        report = render_report(_profile(*JOHN))
+        assert "Profile completeness:" in report
+        assert "facts extracted" in report

@@ -1,0 +1,105 @@
+"""Unit tests for identity disclosures (repro.synth.evidence)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import evidence as ev
+from repro.synth.personas import generate_persona
+from repro.synth.rng import substream
+
+
+@pytest.fixture
+def persona():
+    p = generate_persona(1, 100)
+    p.aliases["reddit"] = "openfox"
+    p.aliases["tmg"] = "darkwolf"
+    return p
+
+
+def _rng(seed=1):
+    return np.random.default_rng(seed)
+
+
+class TestDisclosureMessage:
+    def test_age_disclosure(self, persona):
+        text, facts = ev.disclosure_message(persona, ev.AGE, _rng())
+        assert facts == {ev.AGE: str(persona.attributes.age)}
+        assert str(persona.attributes.age) in text
+
+    def test_city_disclosure(self, persona):
+        text, facts = ev.disclosure_message(persona, ev.CITY, _rng())
+        assert facts[ev.CITY] == persona.attributes.city
+        assert persona.attributes.city in text
+
+    def test_vendor_complaint_includes_both(self, persona):
+        text, facts = ev.disclosure_message(
+            persona, ev.VENDOR_COMPLAINT, _rng())
+        vendor, drug = facts[ev.VENDOR_COMPLAINT].split("|")
+        assert vendor in text
+        assert drug in text
+
+    def test_philosopher_none_when_absent(self, persona):
+        if persona.attributes.philosopher is None:
+            assert ev.disclosure_message(
+                persona, ev.PHILOSOPHER, _rng()) is None
+
+    def test_unknown_kind_raises(self, persona):
+        with pytest.raises(ValueError):
+            ev.disclosure_message(persona, "shoe_size", _rng())
+
+
+class TestUniqueLeaks:
+    def test_alias_reference_names_other_forum(self, persona):
+        result = ev.alias_reference(persona, "reddit", "tmg", _rng())
+        assert result is not None
+        text, facts = result
+        assert "darkwolf" in text
+        assert facts[ev.ALIAS_REF] == "tmg:darkwolf"
+
+    def test_alias_reference_missing_forum(self, persona):
+        assert ev.alias_reference(persona, "reddit", "dm",
+                                  _rng()) is None
+
+    def test_referral_link_stable_per_persona(self, persona):
+        _, facts_a = ev.referral_link(persona, _rng(1))
+        _, facts_b = ev.referral_link(persona, _rng(2))
+        assert facts_a[ev.REFERRAL_LINK] == facts_b[ev.REFERRAL_LINK]
+
+    def test_email_leak_stable_per_persona(self, persona):
+        _, facts_a = ev.email_leak(persona, _rng(1))
+        _, facts_b = ev.email_leak(persona, _rng(2))
+        assert facts_a[ev.EMAIL] == facts_b[ev.EMAIL]
+
+
+class TestSampleDisclosures:
+    def test_count_respected(self, persona):
+        out = ev.sample_disclosures(persona, "reddit", ["tmg"],
+                                    _rng(), count=5, careless=True)
+        assert len(out) <= 5
+        assert len(out) >= 4  # some kinds may be absent
+
+    def test_careless_uses_open_kinds(self, persona):
+        out = ev.sample_disclosures(persona, "reddit", [], _rng(),
+                                    count=30, careless=True)
+        kinds = {next(iter(facts)) for _, facts in out}
+        assert kinds <= set(ev.OPEN_KINDS)
+
+    def test_cautious_uses_dark_kinds(self, persona):
+        out = ev.sample_disclosures(persona, "tmg", [], _rng(),
+                                    count=30, careless=False)
+        kinds = {next(iter(facts)) for _, facts in out}
+        assert kinds <= set(ev.DARK_KINDS)
+
+    def test_unique_leaks_at_rate_one(self, persona):
+        out = ev.sample_disclosures(persona, "reddit", ["tmg"],
+                                    _rng(), count=10, careless=True,
+                                    unique_leak_rate=1.0)
+        kinds = {next(iter(facts)) for _, facts in out}
+        assert kinds <= set(ev.UNIQUE_KINDS)
+
+    def test_no_unique_without_other_forums(self, persona):
+        out = ev.sample_disclosures(persona, "reddit", [], _rng(),
+                                    count=10, careless=True,
+                                    unique_leak_rate=1.0)
+        kinds = {next(iter(facts)) for _, facts in out}
+        assert not kinds & set(ev.UNIQUE_KINDS)

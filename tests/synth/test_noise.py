@@ -1,0 +1,119 @@
+"""Unit tests for dirt injection (repro.synth.noise)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.noise import (
+    NoiseConfig,
+    NoiseInjector,
+    fake_email,
+    fake_pgp_block,
+    fake_url,
+    foreign_message,
+    quote_wrap,
+    short_reaction,
+)
+from repro.textproc import patterns
+
+
+def _rng(seed=1):
+    return np.random.default_rng(seed)
+
+
+class TestGenerators:
+    def test_pgp_block_matches_removal_pattern(self):
+        block = fake_pgp_block(_rng())
+        assert patterns.PGP_BLOCK_RE.search(block)
+
+    def test_url_matches_removal_pattern(self):
+        url = fake_url(_rng())
+        match = patterns.URL_RE.search(url)
+        assert match and patterns.looks_like_url(match)
+
+    def test_email_matches_removal_pattern(self):
+        email = fake_email(_rng(), "shadowfox")
+        assert patterns.EMAIL_RE.search(email)
+        assert "shadowfox" in email
+
+    def test_foreign_message_not_english(self):
+        from repro.textproc.langdetect import default_detector
+
+        detector = default_detector()
+        hits = sum(detector.is_english(foreign_message(_rng(i)))
+                   for i in range(10))
+        assert hits <= 1
+
+    def test_foreign_message_specific_language(self):
+        from repro.textproc.langdetect import default_detector
+
+        text = foreign_message(_rng(), language="de")
+        assert default_detector().detect(text).language == "de"
+
+    def test_short_reaction_short(self):
+        from repro.textproc.tokenizer import count_words
+
+        assert count_words(short_reaction(_rng())) < 10
+
+    def test_quote_wrap_contains_both(self):
+        out = quote_wrap(_rng(3), "their words", "my reply")
+        assert "their words" in out
+        assert "my reply" in out
+        cleaned = patterns.strip_quotes(out)
+        assert "their words" not in cleaned
+        assert "my reply" in cleaned
+
+
+class TestNoiseConfig:
+    def test_validate_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(emoji_rate=1.5).validate()
+
+    def test_default_valid(self):
+        NoiseConfig().validate()
+
+
+class TestNoiseInjector:
+    CLEAN = ("a perfectly ordinary message with more than ten words "
+             "about the usual topics people discuss here")
+
+    def test_zero_rates_passthrough(self):
+        config = NoiseConfig(emoji_rate=0, url_rate=0, email_rate=0,
+                             pgp_rate=0, quote_rate=0, edit_rate=0,
+                             ascii_art_rate=0, foreign_rate=0,
+                             short_rate=0)
+        injector = NoiseInjector(config, _rng(), "alice")
+        assert injector.apply(self.CLEAN) == self.CLEAN
+
+    def test_short_rate_one_replaces(self):
+        config = NoiseConfig(short_rate=1.0)
+        injector = NoiseInjector(config, _rng(), "alice")
+        out = injector.apply(self.CLEAN)
+        assert out != self.CLEAN
+        assert len(out.split()) < 10
+
+    def test_pgp_rate_one_appends_block(self):
+        config = NoiseConfig(short_rate=0, foreign_rate=0, pgp_rate=1.0)
+        injector = NoiseInjector(config, _rng(), "alice")
+        out = injector.apply(self.CLEAN)
+        assert "BEGIN PGP" in out
+
+    def test_edit_marker_embeds_alias(self):
+        config = NoiseConfig(short_rate=0, foreign_rate=0,
+                             edit_rate=1.0)
+        injector = NoiseInjector(config, _rng(), "shadowfox")
+        out = injector.apply(self.CLEAN)
+        assert "Edit by shadowfox" in out
+
+    def test_quote_uses_remembered_material(self):
+        config = NoiseConfig(short_rate=0, foreign_rate=0,
+                             quote_rate=1.0)
+        injector = NoiseInjector(config, _rng(), "alice")
+        injector.remember_quotable("somebody elses unique content here")
+        out = injector.apply(self.CLEAN)
+        assert "somebody" in out
+
+    def test_quotable_memory_bounded(self):
+        injector = NoiseInjector(NoiseConfig(), _rng(), "alice")
+        for i in range(100):
+            injector.remember_quotable(f"msg {i}")
+        assert len(injector.quotable) == 50

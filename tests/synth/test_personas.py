@@ -1,0 +1,187 @@
+"""Unit tests for persona generation (repro.synth.personas)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.personas import (
+    DEFAULT_STYLE_PARAMS,
+    StyleParams,
+    generate_persona,
+    make_alias,
+    sample_attributes,
+    sample_habits,
+    sample_style,
+)
+from repro.synth.rng import substream
+
+
+class TestStyleParams:
+    def test_invalid_concentration(self):
+        with pytest.raises(ValueError):
+            StyleParams(function_concentration=0.0)
+
+    def test_invalid_marker_count(self):
+        with pytest.raises(ValueError):
+            StyleParams(max_phrases=-1)
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            StyleParams(rate_spread=1.5)
+
+
+class TestSampleStyle:
+    def test_weights_are_distributions(self):
+        style = sample_style(substream(1, "s"))
+        assert style.function_weights.sum() == pytest.approx(1.0)
+        assert style.content_weights.sum() == pytest.approx(1.0)
+
+    def test_rates_in_bounds(self):
+        style = sample_style(substream(2, "s"))
+        for name in ("phrase_rate", "slang_rate", "emoticon_rate",
+                     "comma_rate", "ellipsis_rate", "exclaim_rate",
+                     "question_rate", "digit_rate"):
+            assert 0.0 <= getattr(style, name) <= 1.0
+
+    def test_marker_counts_bounded(self):
+        params = StyleParams(max_phrases=2, max_slang=1, max_typos=1,
+                             max_emoticons=0)
+        style = sample_style(substream(3, "s"), params)
+        assert len(style.phrases) <= 2
+        assert len(style.slang) <= 1
+        assert len(style.typo_words) <= 1
+        assert style.emoticons == ()
+
+    def test_zero_spread_gives_population_midpoints(self):
+        params = StyleParams(rate_spread=0.0)
+        a = sample_style(substream(4, "a"), params)
+        b = sample_style(substream(4, "b"), params)
+        assert a.comma_rate == pytest.approx(b.comma_rate)
+        assert a.mean_sentence_words == pytest.approx(
+            b.mean_sentence_words)
+
+
+class TestDrift:
+    def test_zero_drift_identity(self):
+        style = sample_style(substream(5, "s"))
+        assert style.drifted(substream(5, "d"), 0.0) is style
+
+    def test_full_drift_changes_weights(self):
+        style = sample_style(substream(6, "s"))
+        drifted = style.drifted(substream(6, "d"), 1.0)
+        assert not np.allclose(style.function_weights,
+                               drifted.function_weights)
+
+    def test_small_drift_stays_close(self):
+        style = sample_style(substream(7, "s"))
+        small = style.drifted(substream(7, "d1"), 0.1)
+        large = style.drifted(substream(7, "d2"), 0.9)
+        d_small = np.abs(style.function_weights
+                         - small.function_weights).sum()
+        d_large = np.abs(style.function_weights
+                         - large.function_weights).sum()
+        assert d_small < d_large
+
+    def test_invalid_drift(self):
+        style = sample_style(substream(8, "s"))
+        with pytest.raises(ValueError):
+            style.drifted(substream(8, "d"), 1.5)
+
+
+class TestHabits:
+    def test_hourly_distribution_normalized(self):
+        habits = sample_habits(substream(9, "h"))
+        profile = habits.hourly_distribution()
+        assert profile.shape == (24,)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_timezone_shifts_profile(self):
+        habits = sample_habits(substream(10, "h"), timezone_offset=0)
+        local = habits.hourly_distribution(local=True)
+        utc = habits.hourly_distribution(local=False)
+        assert np.allclose(local, utc)  # offset 0: identical
+
+    def test_nonzero_offset_rolls(self):
+        habits = sample_habits(substream(11, "h"), timezone_offset=5)
+        local = habits.hourly_distribution(local=True)
+        utc = habits.hourly_distribution(local=False)
+        assert np.allclose(np.roll(local, -5), utc)
+
+    def test_weekend_shift_changes_profile(self):
+        habits = sample_habits(substream(12, "h"))
+        if abs(habits.weekend_shift) > 0.5:
+            weekday = habits.hourly_distribution()
+            weekend = habits.hourly_distribution(
+                shifted=habits.weekend_shift)
+            assert not np.allclose(weekday, weekend)
+
+
+class TestAttributes:
+    def test_age_adult(self):
+        attrs = sample_attributes(substream(13, "a"))
+        assert 18 <= attrs.age < 55
+
+    def test_city_country_consistent(self):
+        from repro.synth.wordlists import CITIES
+
+        attrs = sample_attributes(substream(14, "a"))
+        assert (attrs.city, attrs.country) in CITIES
+
+    def test_politics_assigned(self):
+        attrs = sample_attributes(substream(15, "a"))
+        assert attrs.politics in ("progressive", "conservative",
+                                  "libertarian", "apolitical")
+
+
+class TestPersona:
+    def test_generation_deterministic(self):
+        a = generate_persona(1, 42)
+        b = generate_persona(1, 42)
+        assert np.allclose(a.style.function_weights,
+                           b.style.function_weights)
+        assert a.attributes == b.attributes
+
+    def test_join_forum_registers_alias(self):
+        persona = generate_persona(1, 1)
+        persona.join_forum(substream(1, "j"), "reddit", "alice")
+        assert persona.alias_on("reddit") == "alice"
+        assert persona.style_on("reddit") is persona.style
+
+    def test_join_same_forum_twice_rejected(self):
+        persona = generate_persona(1, 2)
+        persona.join_forum(substream(1, "j"), "reddit", "alice")
+        with pytest.raises(ValueError):
+            persona.join_forum(substream(1, "j"), "reddit", "alice2")
+
+    def test_drifted_forum_style_differs(self):
+        persona = generate_persona(1, 3)
+        persona.join_forum(substream(1, "j"), "tmg", "dark1", drift=0.3)
+        assert not np.allclose(
+            persona.style.function_weights,
+            persona.style_on("tmg").function_weights)
+
+    def test_alias_on_unknown_forum(self):
+        persona = generate_persona(1, 4)
+        assert persona.alias_on("nowhere") is None
+
+
+class TestMakeAlias:
+    def test_unique_aliases(self):
+        taken = set()
+        stream = substream(1, "alias")
+        aliases = [make_alias(stream, taken) for _ in range(50)]
+        assert len(set(a.lower() for a in aliases)) == 50
+
+    def test_bot_alias_has_marker(self):
+        taken = set()
+        stream = substream(2, "alias")
+        alias = make_alias(stream, taken, bot=True)
+        lowered = alias.lower()
+        assert lowered.startswith("bot") or lowered.endswith("bot")
+
+    def test_vendor_alias_from_brand_pool(self):
+        from repro.synth.wordlists import VENDOR_NAMES
+
+        taken = set()
+        stream = substream(3, "alias")
+        alias = make_alias(stream, taken, vendor=True)
+        assert any(alias.startswith(brand) for brand in VENDOR_NAMES)

@@ -1,0 +1,116 @@
+"""Unit tests for deterministic RNG substreams (repro.synth.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.synth import rng as rng_mod
+
+
+class TestSubstream:
+    def test_same_keys_same_stream(self):
+        a = rng_mod.substream(1, "persona", 5).random(4)
+        b = rng_mod.substream(1, "persona", 5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = rng_mod.substream(1, "persona", 5).random(4)
+        b = rng_mod.substream(1, "persona", 6).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_mod.substream(1, "x").random(4)
+        b = rng_mod.substream(2, "x").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_key_order_matters(self):
+        a = rng_mod.substream(1, "a", "b").random(2)
+        b = rng_mod.substream(1, "b", "a").random(2)
+        assert not np.array_equal(a, b)
+
+    def test_mixed_key_types(self):
+        stream = rng_mod.substream(1, "alias", 3, "reddit")
+        assert 0.0 <= stream.random() < 1.0
+
+
+class TestChoice:
+    def test_choice_returns_member(self):
+        stream = rng_mod.substream(1, "c")
+        items = ["a", "b", "c"]
+        assert rng_mod.choice(stream, items) in items
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            rng_mod.choice(rng_mod.substream(1), [])
+
+    def test_sample_without_replacement_distinct(self):
+        stream = rng_mod.substream(1, "s")
+        out = rng_mod.sample_without_replacement(stream, list(range(10)), 5)
+        assert len(out) == len(set(out)) == 5
+
+    def test_sample_too_many_raises(self):
+        with pytest.raises(ValueError):
+            rng_mod.sample_without_replacement(
+                rng_mod.substream(1), [1, 2], 3)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = rng_mod.zipf_weights(100)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = rng_mod.zipf_weights(50)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_single_element(self):
+        assert rng_mod.zipf_weights(1)[0] == pytest.approx(1.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            rng_mod.zipf_weights(0)
+
+
+class TestDirichletPerturbed:
+    def test_output_is_distribution(self):
+        base = rng_mod.zipf_weights(20)
+        out = rng_mod.dirichlet_perturbed(
+            rng_mod.substream(1), base, 100.0)
+        assert out.sum() == pytest.approx(1.0)
+        assert np.all(out > 0)
+
+    def test_high_concentration_stays_close(self):
+        base = rng_mod.zipf_weights(20)
+        tight = rng_mod.dirichlet_perturbed(
+            rng_mod.substream(1), base, 1e6)
+        loose = rng_mod.dirichlet_perturbed(
+            rng_mod.substream(1), base, 5.0)
+        assert np.abs(tight - base).sum() < np.abs(loose - base).sum()
+
+    def test_invalid_concentration(self):
+        with pytest.raises(ValueError):
+            rng_mod.dirichlet_perturbed(
+                rng_mod.substream(1), rng_mod.zipf_weights(5), 0.0)
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            rng_mod.dirichlet_perturbed(
+                rng_mod.substream(1), np.zeros((2, 2)), 1.0)
+
+
+class TestMixDistributions:
+    def test_endpoints(self):
+        a = rng_mod.zipf_weights(5)
+        b = np.full(5, 0.2)
+        assert np.allclose(rng_mod.mix_distributions(a, b, 0.0), a)
+        assert np.allclose(rng_mod.mix_distributions(a, b, 1.0), b)
+
+    def test_midpoint_normalized(self):
+        a = rng_mod.zipf_weights(5)
+        b = np.full(5, 0.2)
+        mixed = rng_mod.mix_distributions(a, b, 0.5)
+        assert mixed.sum() == pytest.approx(1.0)
+
+    def test_invalid_weight(self):
+        a = rng_mod.zipf_weights(3)
+        with pytest.raises(ValueError):
+            rng_mod.mix_distributions(a, a, 1.5)

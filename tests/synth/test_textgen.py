@@ -1,0 +1,133 @@
+"""Unit tests for the message generator (repro.synth.textgen)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.personas import StyleParams, sample_style
+from repro.synth.rng import substream
+from repro.synth.textgen import (
+    MessageGenerator,
+    repeated_sentence_spam,
+    review_post,
+    spam_variants,
+    vendor_showcase,
+)
+from repro.textproc.tokenizer import count_words
+
+
+@pytest.fixture
+def generator():
+    style = sample_style(substream(1, "style"))
+    return MessageGenerator(style, substream(1, "gen"),
+                            topic_keywords=("vendor", "shipping"))
+
+
+class TestSentence:
+    def test_sentence_nonempty(self, generator):
+        sentence = generator.sentence()
+        assert count_words(sentence) >= 3
+
+    def test_sentence_ends_with_punctuation(self, generator):
+        for _ in range(20):
+            sentence = generator.sentence()
+            stripped = sentence.rstrip()
+            # may end with an emoticon after the punctuation
+            assert any(p in stripped[-4:] for p in ".!?")
+
+    def test_deterministic_given_stream(self):
+        style = sample_style(substream(2, "style"))
+        a = MessageGenerator(style, substream(2, "gen")).sentence()
+        b = MessageGenerator(style, substream(2, "gen")).sentence()
+        assert a == b
+
+
+class TestMessage:
+    def test_target_words_reached(self, generator):
+        # the generator's budget counts whitespace tokens, which runs a
+        # few words above the tokenizer's linguistic word count
+        message = generator.message(target_words=120)
+        assert count_words(message) >= 110
+        assert len(message.split()) >= 120
+
+    def test_default_length_near_style(self):
+        style = sample_style(substream(3, "style"))
+        gen = MessageGenerator(style, substream(3, "gen"))
+        lengths = [len(gen.message().split()) for _ in range(50)]
+        assert np.mean(lengths) > 5
+
+    def test_messages_batch(self, generator):
+        batch = generator.messages(5)
+        assert len(batch) == 5
+        assert all(isinstance(m, str) and m for m in batch)
+
+    def test_messages_mostly_english(self, generator):
+        from repro.textproc.langdetect import default_detector
+
+        detector = default_detector()
+        hits = sum(
+            detector.is_english(generator.message(target_words=40))
+            for _ in range(30))
+        assert hits >= 25  # generated prose must pass polishing step 7
+
+
+class TestAuthorSignal:
+    def test_two_authors_have_different_function_profiles(self):
+        """The core premise: different personas produce measurably
+        different word distributions."""
+        from collections import Counter
+
+        texts = {}
+        for pid in (1, 2):
+            style = sample_style(substream(10 + pid, "style"))
+            gen = MessageGenerator(style, substream(10 + pid, "gen"))
+            texts[pid] = " ".join(gen.messages(30, target_words=100))
+        counters = {pid: Counter(t.lower().split())
+                    for pid, t in texts.items()}
+        shared = set(counters[1]) & set(counters[2])
+        assert len(shared) > 20  # same language...
+        diffs = sum(
+            abs(counters[1][w] / sum(counters[1].values())
+                - counters[2][w] / sum(counters[2].values()))
+            for w in shared)
+        assert diffs > 0.01  # ...different style
+
+    def test_typo_habit_expressed(self):
+        style = sample_style(substream(20, "style"))
+        style = type(style)(**{**style.__dict__,
+                               "typo_words": ("definitely",),
+                               "slang_rate": 0.0,
+                               "phrase_rate": 0.0})
+        gen = MessageGenerator(style, substream(20, "gen"))
+        blob = " ".join(gen.messages(100, target_words=50))
+        if "definately" in blob or "definitely" in blob:
+            assert "definitely" not in blob  # always misspelled
+
+
+class TestVendorContent:
+    def test_showcase_mentions_brand(self, generator):
+        text = vendor_showcase(substream(4, "v"), "AcidQueen",
+                               generator)
+        assert "AcidQueen" in text
+        assert "official" in text.lower()
+
+    def test_review_mentions_vendor_and_drug(self, generator):
+        text = review_post(substream(5, "r"), "AcidQueen", generator,
+                           "white molly")
+        assert "AcidQueen" in text
+        assert "white molly" in text
+
+    def test_spam_variants_near_duplicates(self, generator):
+        base = "this is the original advertisement " * 3
+        variants = spam_variants(substream(6, "s"), base.strip(), 4)
+        assert len(variants) == 4
+        assert variants[0] == base.strip()
+        base_words = set(base.split())
+        for variant in variants[1:]:
+            overlap = len(set(variant.split()) & base_words)
+            assert overlap >= len(base_words) - 3
+
+    def test_repeated_sentence_spam_low_diversity(self, generator):
+        from repro.textproc.tokenizer import distinct_word_ratio
+
+        spam = repeated_sentence_spam(substream(7, "s"), generator)
+        assert distinct_word_ratio(spam) < 0.5

@@ -1,0 +1,85 @@
+"""Unit tests for timestamp generation (repro.synth.timegen)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calendars import is_weekend
+from repro.forums.models import DAY, HOUR
+from repro.synth.personas import ActivityHabits, sample_habits
+from repro.synth.rng import substream
+from repro.synth.timegen import SamplingWindow, TimestampSampler, \
+    YEAR_2017
+
+
+class TestSamplingWindow:
+    def test_default_is_2017(self):
+        import datetime as dt
+
+        start = dt.datetime.fromtimestamp(YEAR_2017.start,
+                                          tz=dt.timezone.utc)
+        end = dt.datetime.fromtimestamp(YEAR_2017.end,
+                                        tz=dt.timezone.utc)
+        assert start.year == end.year == 2017
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SamplingWindow(start=100, end=100)
+
+    def test_n_days(self):
+        window = SamplingWindow(start=0, end=10 * DAY)
+        assert window.n_days == 10
+
+
+class TestTimestampSampler:
+    def _sampler(self, seed=1, tz=0):
+        habits = sample_habits(substream(seed, "h"), timezone_offset=tz)
+        return TimestampSampler(habits, substream(seed, "t"))
+
+    def test_count_and_order(self):
+        stamps = self._sampler().sample(100)
+        assert len(stamps) == 100
+        assert stamps == sorted(stamps)
+
+    def test_within_window(self):
+        stamps = self._sampler().sample(200)
+        assert all(YEAR_2017.start - DAY <= t <= YEAR_2017.end + DAY
+                   for t in stamps)
+
+    def test_zero_count(self):
+        assert self._sampler().sample(0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            self._sampler().sample(-1)
+
+    def test_deterministic(self):
+        a = self._sampler(seed=5).sample(50)
+        b = self._sampler(seed=5).sample(50)
+        assert a == b
+
+    def test_hours_follow_profile(self):
+        """Sampled weekday hours must correlate with the habit profile."""
+        habits = ActivityHabits(
+            timezone_offset=0,
+            peak_hours=(12.0,), peak_widths=(1.0,), peak_weights=(1.0,),
+            weekend_shift=0.0, night_owl_floor=0.01,
+        )
+        sampler = TimestampSampler(habits, substream(9, "t"))
+        stamps = [t for t in sampler.sample(600) if not is_weekend(t)]
+        hours = np.array([(t % DAY) // HOUR for t in stamps])
+        near_noon = np.mean((hours >= 10) & (hours <= 14))
+        assert near_noon > 0.8
+
+    def test_weekend_shift_visible(self):
+        habits = ActivityHabits(
+            timezone_offset=0,
+            peak_hours=(6.0,), peak_widths=(1.0,), peak_weights=(1.0,),
+            weekend_shift=8.0, night_owl_floor=0.01,
+        )
+        sampler = TimestampSampler(habits, substream(10, "t"))
+        stamps = sampler.sample(800)
+        weekday_hours = np.array([(t % DAY) // HOUR for t in stamps
+                                  if not is_weekend(t)])
+        weekend_hours = np.array([(t % DAY) // HOUR for t in stamps
+                                  if is_weekend(t)])
+        assert weekday_hours.mean() + 2 < weekend_hours.mean()

@@ -1,0 +1,99 @@
+"""Tests for annual habit drift (§VI) in the timestamp sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.calendars import is_weekend
+from repro.forums.models import DAY, HOUR
+from repro.synth.personas import ActivityHabits, sample_habits
+from repro.synth.rng import substream
+from repro.synth.timegen import TimestampSampler, YEAR_2017
+
+
+def _habits(drift):
+    return ActivityHabits(
+        timezone_offset=0,
+        peak_hours=(12.0,), peak_widths=(1.0,), peak_weights=(1.0,),
+        weekend_shift=0.0, night_owl_floor=0.01,
+        annual_drift_hours=drift,
+    )
+
+
+def _mean_hour(stamps, window):
+    hours = []
+    for t in stamps:
+        if is_weekend(t):
+            continue
+        day = (t - window.start) // DAY
+        hours.append(((t % DAY) // HOUR, day))
+    return hours
+
+
+class TestAnnualDrift:
+    def test_zero_drift_stationary(self):
+        sampler = TimestampSampler(_habits(0.0), substream(1, "t"))
+        stamps = sampler.sample(800)
+        hours = [h for h, _ in _mean_hour(stamps, YEAR_2017)]
+        assert 11 <= np.mean(hours) <= 13
+
+    def test_drift_shifts_late_year_posts(self):
+        sampler = TimestampSampler(_habits(8.0), substream(2, "t"))
+        stamps = sampler.sample(2000)
+        pairs = _mean_hour(stamps, YEAR_2017)
+        early = [h for h, d in pairs if d < 90]
+        late = [h for h, d in pairs if d > 270]
+        assert len(early) > 50 and len(late) > 50
+        # +-4h drift across the year: late-year posts sit hours later
+        assert np.mean(late) - np.mean(early) > 3.0
+
+    def test_negative_drift_shifts_earlier(self):
+        sampler = TimestampSampler(_habits(-8.0), substream(3, "t"))
+        stamps = sampler.sample(2000)
+        pairs = _mean_hour(stamps, YEAR_2017)
+        early = [h for h, d in pairs if d < 90]
+        late = [h for h, d in pairs if d > 270]
+        assert np.mean(late) - np.mean(early) < -3.0
+
+    def test_sample_habits_default_no_drift(self):
+        habits = sample_habits(substream(4, "h"))
+        assert habits.annual_drift_hours == 0.0
+
+    def test_sample_habits_with_max_drift(self):
+        habits = sample_habits(substream(5, "h"), max_annual_drift=4.0)
+        assert -4.0 <= habits.annual_drift_hours <= 4.0
+
+
+class TestChronologicalSplit:
+    def _record(self, n=40):
+        from repro.forums.models import Message, UserRecord
+
+        record = UserRecord(alias="alice", forum="f")
+        for i in range(n):
+            record.add(Message(
+                message_id=f"m{i}", author="alice",
+                text=f"chronological message {i} some words",
+                timestamp=1_490_000_000 + i * DAY,
+                forum="f", section="s"))
+        return record
+
+    def test_halves_are_time_ordered(self):
+        from repro.eval.alterego import split_record
+
+        original, alter = split_record(
+            self._record(), np.random.default_rng(1),
+            mode="chronological")
+        assert max(original.timestamps) < min(alter.timestamps)
+
+    def test_random_halves_interleave(self):
+        from repro.eval.alterego import split_record
+
+        original, alter = split_record(
+            self._record(), np.random.default_rng(1), mode="random")
+        assert max(original.timestamps) > min(alter.timestamps)
+
+    def test_unknown_mode_rejected(self):
+        from repro.eval.alterego import split_record
+
+        with pytest.raises(ValueError):
+            split_record(self._record(), np.random.default_rng(1),
+                         mode="alphabetical")

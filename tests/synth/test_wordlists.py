@@ -1,0 +1,73 @@
+"""Sanity tests for the generator word inventories (repro.synth.wordlists)."""
+
+import pytest
+
+from repro.synth import wordlists
+
+
+class TestInventories:
+    def test_function_words_lowercase_unique(self):
+        words = wordlists.FUNCTION_WORDS
+        assert len(words) == len(set(words))
+        assert all(w == w.lower() for w in words)
+
+    def test_content_words_unique(self):
+        words = wordlists.CONTENT_WORDS
+        assert len(words) == len(set(words))
+
+    def test_content_words_alpha(self):
+        assert all(w.isalpha() for w in wordlists.CONTENT_WORDS)
+
+    def test_phrases_multiword_lowercase(self):
+        for phrase in wordlists.PHRASES:
+            assert " " in phrase
+            assert phrase == phrase.lower()
+
+    def test_phrases_unique(self):
+        assert len(wordlists.PHRASES) == len(set(wordlists.PHRASES))
+
+    def test_typo_map_values_differ_from_keys(self):
+        for correct, typo in wordlists.TYPO_MAP.items():
+            assert correct != typo
+
+    def test_alias_parts_nonempty(self):
+        assert len(wordlists.ALIAS_ADJECTIVES) > 20
+        assert len(wordlists.ALIAS_NOUNS) > 20
+
+    def test_cities_have_countries(self):
+        for city, country in wordlists.CITIES:
+            assert city and country
+
+    def test_inventories_are_large_enough_for_sampling(self):
+        # persona sampling draws up to these many without replacement
+        assert len(wordlists.PHRASES) >= 12
+        assert len(wordlists.SLANG) >= 8
+        assert len(wordlists.TYPO_MAP) >= 5
+        assert len(wordlists.EMOTICONS) >= 4
+        assert len(wordlists.HOBBIES) >= 4
+        assert len(wordlists.VIDEO_GAMES) >= 4
+
+
+class TestLanguageCompatibility:
+    def test_function_words_mostly_pass_language_detector(self):
+        """Messages built from these inventories must read as English
+        to the polishing pipeline (step 7)."""
+        from repro.textproc.langdetect import default_detector
+
+        detector = default_detector()
+        text = " ".join(wordlists.FUNCTION_WORDS[:80])
+        assert detector.detect(text).language == "en"
+
+    def test_content_words_read_as_english(self):
+        from repro.textproc.langdetect import default_detector
+
+        detector = default_detector()
+        text = " ".join(wordlists.CONTENT_WORDS[:120])
+        assert detector.detect(text).language == "en"
+
+    def test_long_words_survive_polishing_cap(self):
+        from repro.config import MAX_WORD_LENGTH
+
+        for pool in (wordlists.FUNCTION_WORDS, wordlists.CONTENT_WORDS,
+                     wordlists.SLANG):
+            assert all(len(w) <= MAX_WORD_LENGTH for w in pool)

@@ -1,0 +1,144 @@
+"""Unit and integration tests for world generation (repro.synth.world)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.synth.world import (
+    DM,
+    REDDIT,
+    TMG,
+    ForumLoad,
+    WorldConfig,
+    build_world,
+    small_world,
+)
+
+
+class TestWorldConfig:
+    def test_defaults_valid(self):
+        WorldConfig()
+
+    def test_overlap_exceeding_forum_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(tmg_users=5, dm_users=5, tmg_dm_overlap=6)
+
+    def test_reddit_overlap_exceeding_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(reddit_users=10, tmg_users=4, dm_users=4,
+                        tmg_dm_overlap=4, reddit_dark_overlap=5)
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(reddit_users=-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorldConfig(vendor_fraction=1.5)
+
+    def test_bad_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ForumLoad(heavy_messages=(10, 5)).validate()
+
+
+class TestWorldStructure:
+    def test_three_forums(self, world):
+        assert set(world.forums) == {REDDIT, TMG, DM}
+
+    def test_forum_sizes_close_to_config(self, world):
+        cfg = world.config
+        # bots add a few extra users per forum
+        assert world.forums[REDDIT].n_users >= cfg.reddit_users
+        assert world.forums[TMG].n_users >= cfg.tmg_users
+        assert world.forums[DM].n_users >= cfg.dm_users
+
+    def test_links_counts(self, world):
+        cfg = world.config
+        expected = cfg.tmg_dm_overlap + cfg.reddit_dark_overlap
+        assert len(world.links) == expected
+
+    def test_linked_aliases_exist_on_both_forums(self, world):
+        for link in world.links:
+            assert link.alias_a in world.forums[link.forum_a].users
+            assert link.alias_b in world.forums[link.forum_b].users
+
+    def test_linked_aliases_mapping(self, world):
+        mapping = world.linked_aliases(TMG, DM)
+        assert len(mapping) == world.config.tmg_dm_overlap
+        reverse = world.linked_aliases(DM, TMG)
+        assert {v: k for k, v in mapping.items()} == reverse
+
+    def test_persona_of_resolves(self, world):
+        link = world.links[0]
+        persona = world.persona_of(link.forum_a, link.alias_a)
+        assert persona is not None
+        assert persona.alias_on(link.forum_b) == link.alias_b
+
+    def test_utc_offsets_differ_across_forums(self, world):
+        offsets = {f.utc_offset_hours for f in world.forums.values()}
+        assert len(offsets) > 1  # the IV-B alignment problem exists
+
+    def test_deterministic(self):
+        a = small_world(seed=123)
+        b = small_world(seed=123)
+        assert a.forums[REDDIT].n_messages == b.forums[REDDIT].n_messages
+        assert sorted(u for u in a.forums[TMG].users) == \
+            sorted(u for u in b.forums[TMG].users)
+
+    def test_different_seeds_differ(self):
+        a = small_world(seed=1)
+        b = small_world(seed=2)
+        assert sorted(a.forums[TMG].users) != sorted(b.forums[TMG].users)
+
+
+class TestWorldContent:
+    def test_bots_present(self, world):
+        from repro.textproc.cleaning import is_bot_alias
+
+        bots = [a for a in world.forums[REDDIT].users
+                if is_bot_alias(a)]
+        assert len(bots) >= 1
+
+    def test_messages_have_2017_timestamps(self, world):
+        import datetime as dt
+
+        for message in world.forums[TMG].iter_messages():
+            year = dt.datetime.fromtimestamp(
+                message.timestamp, tz=dt.timezone.utc).year
+            assert year == 2017
+
+    def test_reddit_sections_are_subreddits(self, world):
+        sections = {m.section
+                    for m in world.forums[REDDIT].iter_messages()}
+        assert all(s.startswith("r/") for s in sections)
+        assert "r/DarkNetMarkets" in sections
+
+    def test_dark_sections_are_boards(self, world):
+        sections = {m.section for m in world.forums[TMG].iter_messages()}
+        assert "vendor threads" in sections
+
+    def test_threads_cover_messages(self, world):
+        forum = world.forums[DM]
+        in_threads = {mid for t in forum.threads.values()
+                      for mid in t.message_ids}
+        all_ids = {m.message_id for m in forum.iter_messages()}
+        assert in_threads == all_ids
+
+    def test_disclosures_annotated(self, world):
+        n = sum(1 for m in world.forums[REDDIT].iter_messages()
+                if m.metadata.get("disclosures"))
+        assert n > 0
+
+    def test_linked_personas_share_habits(self, world):
+        link = world.links[0]
+        persona = world.persona_of(link.forum_a, link.alias_a)
+        same = world.persona_of(link.forum_b, link.alias_b)
+        assert persona is same  # one person, two aliases
+
+    def test_tmg_messages_longer_on_average(self, world):
+        def mean_words(forum):
+            lengths = [len(m.text.split())
+                       for m in world.forums[forum].iter_messages()]
+            return np.mean(lengths)
+
+        assert mean_words(TMG) > mean_words(DM)

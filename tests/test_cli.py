@@ -1,0 +1,81 @@
+"""Tests for the darklight command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main
+from repro.forums.storage import load_forum, load_world
+
+
+@pytest.fixture(scope="module")
+def generated_world(tmp_path_factory):
+    out = tmp_path_factory.mktemp("world")
+    code = main([
+        "generate", "--out", str(out), "--seed", "3",
+        "--reddit-users", "12", "--tmg-users", "8", "--dm-users", "6",
+        "--tmg-dm-overlap", "2", "--reddit-dark-overlap", "2",
+    ])
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_three_forum_files(self, generated_world):
+        forums = load_world(generated_world)
+        assert set(forums) == {"reddit", "tmg", "dm"}
+
+    def test_forums_populated(self, generated_world):
+        forums = load_world(generated_world)
+        assert all(f.n_messages > 0 for f in forums.values())
+
+
+class TestPolish:
+    def test_polish_roundtrip(self, generated_world, tmp_path,
+                              capsys):
+        out = tmp_path / "polished.jsonl"
+        code = main(["polish",
+                     "--input", str(generated_world / "tmg.jsonl"),
+                     "--output", str(out)])
+        assert code == 0
+        polished = load_forum(out)
+        raw = load_forum(generated_world / "tmg.jsonl")
+        assert polished.n_messages <= raw.n_messages
+        captured = capsys.readouterr().out
+        assert "kept_messages" in captured
+
+
+class TestProfile:
+    def test_profile_known_alias(self, generated_world, capsys):
+        forums = load_world(generated_world)
+        alias = next(iter(forums["reddit"].users))
+        code = main(["profile",
+                     "--forum",
+                     str(generated_world / "reddit.jsonl"),
+                     "--alias", alias])
+        assert code == 0
+        assert "PROFILE" in capsys.readouterr().out
+
+    def test_profile_unknown_alias_fails(self, generated_world,
+                                         capsys):
+        code = main(["profile",
+                     "--forum",
+                     str(generated_world / "reddit.jsonl"),
+                     "--alias", "does-not-exist"])
+        assert code == 1
+
+    def test_dark_alias_flag(self, generated_world, capsys):
+        forums = load_world(generated_world)
+        alias = next(iter(forums["reddit"].users))
+        main(["profile",
+              "--forum", str(generated_world / "reddit.jsonl"),
+              "--alias", alias, "--dark-alias", "shadow9"])
+        assert "shadow9" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,105 @@
+"""Tests for paper-wide configuration (repro.config)."""
+
+import pytest
+
+from repro import config
+from repro.errors import ConfigurationError
+
+
+class TestPaperConstants:
+    def test_polishing_constants(self):
+        assert config.MIN_MESSAGE_WORDS == 10
+        assert config.MIN_DISTINCT_WORD_RATIO == 0.5
+        assert config.MAX_WORD_LENGTH == 34
+
+    def test_refinement_constants(self):
+        assert config.MIN_TIMESTAMPS == 30
+        assert config.WORDS_PER_ALIAS == 1500
+        assert config.ALTER_EGO_MIN_WORDS == 3000
+        assert config.ALTER_EGO_MIN_TIMESTAMPS == 60
+
+    def test_algorithm_constants(self):
+        assert config.DEFAULT_K == 10
+        assert config.PAPER_THRESHOLD == 0.4190
+        assert config.DEFAULT_BATCH_SIZE == 100
+
+
+class TestFeatureBudget:
+    def test_table_ii_reduction_column(self):
+        budget = config.SPACE_REDUCTION_FEATURES
+        assert budget.word_ngrams == 60_000
+        assert budget.char_ngrams == 30_000
+        assert budget.punctuation == 11
+        assert budget.digits == 10
+        assert budget.special_chars == 21
+        assert budget.activity_bins == 24
+
+    def test_table_ii_final_column(self):
+        budget = config.FINAL_FEATURES
+        assert budget.word_ngrams == 50_000
+        assert budget.char_ngrams == 15_000
+
+    def test_totals(self):
+        budget = config.FINAL_FEATURES
+        assert budget.text_total == 50_000 + 15_000 + 11 + 10 + 21
+        assert budget.total == budget.text_total + 24
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config.FeatureBudget(word_ngrams=-1)
+
+    def test_zero_budget_allowed(self):
+        budget = config.FeatureBudget(word_ngrams=0, char_ngrams=0)
+        assert budget.text_total == 42
+
+
+class TestPipelineConfig:
+    def test_defaults_match_paper(self):
+        cfg = config.PipelineConfig()
+        assert cfg.k == 10
+        assert cfg.words_per_alias == 1500
+        assert cfg.threshold == 0.4190
+        assert cfg.use_activity
+        assert cfg.use_lemmatization
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0},
+        {"words_per_alias": 0},
+        {"threshold": -0.1},
+        {"threshold": 1.1},
+        {"min_timestamps": -1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            config.PipelineConfig(**kwargs)
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert config.bench_scale() == "small"
+
+    def test_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "PAPER")
+        assert config.bench_scale() == "paper"
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ConfigurationError):
+            config.bench_scale()
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in ("ConfigurationError", "InsufficientDataError",
+                     "DatasetError", "ScrapeError", "NotFittedError",
+                     "LanguageDetectionError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_catchable_as_family(self):
+        from repro.errors import ConfigurationError, ReproError
+
+        with pytest.raises(ReproError):
+            raise ConfigurationError("x")

@@ -1,0 +1,89 @@
+"""Property-based tests for the defense and ground-truth modules."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.documents import AliasDocument
+from repro.defense.obfuscation import StyleObfuscator
+from repro.eval.groundtruth import classify_pair
+from repro.synth import evidence as ev
+
+text_strategy = st.text(
+    alphabet=string.ascii_letters + " .,!?:;'\n", max_size=200)
+
+#: Random disclosure dicts over a few kinds.
+fact_strategy = st.dictionaries(
+    keys=st.sampled_from([ev.AGE, ev.CITY, ev.RELIGION, ev.DRUG,
+                          ev.HOBBY, ev.EMAIL, ev.REFERRAL_LINK]),
+    values=st.lists(st.sampled_from(
+        ["20", "34", "Miami", "Berlin", "Atheist", "Christian",
+         "dmt", "yoga", "x@pm.com", "ref1"]),
+        min_size=1, max_size=2).map(list),
+    max_size=4,
+)
+
+
+class TestObfuscatorProperties:
+    @given(text_strategy)
+    @settings(max_examples=60)
+    def test_idempotent(self, text):
+        obfuscator = StyleObfuscator()
+        once = obfuscator.obfuscate_text(text)
+        assert obfuscator.obfuscate_text(once) == once
+
+    @given(text_strategy)
+    @settings(max_examples=60)
+    def test_output_fully_lowercase(self, text):
+        out = StyleObfuscator().obfuscate_text(text)
+        assert out == out.lower()
+
+    @given(text_strategy)
+    @settings(max_examples=60)
+    def test_no_exclamation_or_question_marks(self, text):
+        out = StyleObfuscator().obfuscate_text(text)
+        assert "!" not in out and "?" not in out
+
+
+def _doc(doc_id, alias, facts):
+    return AliasDocument(
+        doc_id=doc_id, alias=alias, forum="f", text="", words=(),
+        timestamps=(), activity=None,
+        metadata={"disclosures": facts})
+
+
+class TestClassifyPairProperties:
+    @given(fact_strategy, fact_strategy)
+    @settings(max_examples=100)
+    def test_verdict_symmetric(self, facts_a, facts_b):
+        a = _doc("a", "aliasA", facts_a)
+        b = _doc("b", "aliasB", facts_b)
+        assert classify_pair(a, b).verdict == \
+            classify_pair(b, a).verdict
+
+    @given(fact_strategy)
+    @settings(max_examples=60)
+    def test_self_comparison_never_false(self, facts):
+        """A document compared against an identical twin can never be
+        graded False — it contradicts nothing."""
+        a = _doc("a", "aliasA", facts)
+        b = _doc("b", "aliasB", facts)
+        assert classify_pair(a, b).verdict != "False"
+
+    @given(fact_strategy, fact_strategy)
+    @settings(max_examples=100)
+    def test_verdict_is_valid(self, facts_a, facts_b):
+        from repro.eval.groundtruth import VERDICTS
+
+        a = _doc("a", "aliasA", facts_a)
+        b = _doc("b", "aliasB", facts_b)
+        assert classify_pair(a, b).verdict in VERDICTS
+
+    @given(fact_strategy, fact_strategy)
+    @settings(max_examples=100)
+    def test_same_alias_always_true(self, facts_a, facts_b):
+        a = _doc("a", "SameBrand", facts_a)
+        b = _doc("b", "SameBrand", facts_b)
+        assert classify_pair(a, b).verdict == "True"

@@ -1,0 +1,139 @@
+"""Unit tests for the rule-based lemmatizer (repro.textproc.lemmatizer)."""
+
+import pytest
+
+from repro.textproc.lemmatizer import lemmatize, lemmatize_text, \
+    lemmatize_word
+
+
+class TestIrregularVerbs:
+    @pytest.mark.parametrize("form,lemma", [
+        ("am", "be"), ("are", "be"), ("is", "be"), ("was", "be"),
+        ("were", "be"), ("been", "be"),
+    ])
+    def test_to_be_paper_example(self, form, lemma):
+        # the paper's own example: am, are, is -> be
+        assert lemmatize_word(form) == lemma
+
+    @pytest.mark.parametrize("form,lemma", [
+        ("went", "go"), ("gone", "go"),
+        ("bought", "buy"), ("sold", "sell"),
+        ("wrote", "write"), ("written", "write"),
+        ("thought", "think"), ("took", "take"),
+        ("said", "say"), ("got", "get"),
+    ])
+    def test_common_irregulars(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+    def test_case_insensitive(self):
+        assert lemmatize_word("WAS") == "be"
+
+
+class TestIrregularNouns:
+    @pytest.mark.parametrize("form,lemma", [
+        ("men", "man"), ("women", "woman"), ("children", "child"),
+        ("people", "person"), ("mice", "mouse"), ("criteria",
+        "criterion"),
+    ])
+    def test_irregular_plurals(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+
+class TestIrregularAdjectives:
+    @pytest.mark.parametrize("form,lemma", [
+        ("better", "good"), ("best", "good"),
+        ("worse", "bad"), ("worst", "bad"),
+    ])
+    def test_suppletive_comparatives(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+
+class TestRegularPlurals:
+    @pytest.mark.parametrize("form,lemma", [
+        ("vendors", "vendor"), ("markets", "market"),
+        ("parties", "party"), ("boxes", "box"),
+        ("churches", "church"), ("wishes", "wish"),
+    ])
+    def test_plural_stripping(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+    @pytest.mark.parametrize("word", ["bus", "gas", "news", "series",
+                                      "this", "his", "always"])
+    def test_protected_words_unchanged(self, word):
+        assert lemmatize_word(word) == word
+
+
+class TestIngForms:
+    @pytest.mark.parametrize("form,lemma", [
+        ("running", "run"),       # doubled consonant
+        ("shipping", "ship"),
+        ("making", "make"),       # silent-e restoration
+        ("talking", "talk"),
+        ("asking", "ask"),
+    ])
+    def test_ing_stripping(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+    @pytest.mark.parametrize("word", ["thing", "king", "morning",
+                                      "nothing", "during"])
+    def test_ing_lookalikes_unchanged(self, word):
+        assert lemmatize_word(word) == word
+
+
+class TestEdForms:
+    @pytest.mark.parametrize("form,lemma", [
+        ("walked", "walk"),
+        ("stopped", "stop"),      # doubled consonant
+        ("carried", "carry"),     # -ied -> -y
+        ("ordered", "order"),
+    ])
+    def test_ed_stripping(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+    @pytest.mark.parametrize("word", ["red", "need", "speed",
+                                      "hundred", "sacred"])
+    def test_ed_lookalikes_unchanged(self, word):
+        assert lemmatize_word(word) == word
+
+
+class TestComparatives:
+    @pytest.mark.parametrize("form,lemma", [
+        ("happier", "happy"), ("happiest", "happy"),
+        ("funnier", "funny"),
+    ])
+    def test_y_comparatives(self, form, lemma):
+        assert lemmatize_word(form) == lemma
+
+    @pytest.mark.parametrize("word", ["never", "other", "under",
+                                      "vendor", "water"])
+    def test_er_lookalikes_unchanged(self, word):
+        assert lemmatize_word(word) == word
+
+
+class TestEdgeCases:
+    def test_empty_string(self):
+        assert lemmatize_word("") == ""
+
+    def test_short_words_untouched(self):
+        assert lemmatize_word("as") == "as"
+        assert lemmatize_word("its") == "its"
+
+    def test_unknown_word_passthrough(self):
+        assert lemmatize_word("blockchain") == "blockchain"
+
+    def test_conservative_on_gibberish(self):
+        # no vowel in stem: do not strip
+        assert lemmatize_word("bcds") == "bcds"
+
+
+class TestListAndTextHelpers:
+    def test_lemmatize_list_preserves_order(self):
+        assert lemmatize(["was", "running", "vendors"]) == \
+            ["be", "run", "vendor"]
+
+    def test_lemmatize_text_joins_words(self):
+        assert lemmatize_text("He was running!") == "he be run"
+
+    def test_idempotent(self):
+        once = lemmatize_word("running")
+        assert lemmatize_word(once) == once

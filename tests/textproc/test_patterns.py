@@ -1,0 +1,192 @@
+"""Unit tests for the polishing regex library (repro.textproc.patterns)."""
+
+import pytest
+
+from repro.textproc import patterns
+
+
+class TestNormalizeUrls:
+    def test_full_url_reduced_to_hostname(self):
+        out = patterns.normalize_urls(
+            "see https://www.reddit.com/r/bitcoin?ref=1 for details")
+        assert out == "see reddit.com for details"
+
+    def test_bare_www_url(self):
+        assert patterns.normalize_urls("go to www.example.com/page") == \
+            "go to example.com"
+
+    def test_onion_address(self):
+        out = patterns.normalize_urls(
+            "market at http://lchudifyeqm4ldjj.onion/forum")
+        assert out == "market at lchudifyeqm4ldjj.onion"
+
+    def test_path_and_query_removed(self):
+        out = patterns.normalize_urls(
+            "https://imgur.com/a/xyz123?x=1&y=2")
+        assert out == "imgur.com"
+
+    def test_dotted_abbreviations_untouched(self):
+        text = "use this e.g. when needed, i.e. always"
+        assert patterns.normalize_urls(text) == text
+
+    def test_hostname_lowercased(self):
+        assert patterns.normalize_urls("HTTP://WWW.GitHub.COM/x") == \
+            "github.com"
+
+    def test_multiple_urls(self):
+        out = patterns.normalize_urls(
+            "a https://a.com/1 b https://b.org/2 c")
+        assert out == "a a.com b b.org c"
+
+    def test_text_without_urls_unchanged(self):
+        text = "no links here at all"
+        assert patterns.normalize_urls(text) == text
+
+
+class TestMaskEmails:
+    def test_simple_email(self):
+        assert patterns.mask_emails("mail me at john@example.com") == \
+            "mail me at _mail_"
+
+    def test_email_with_plus_and_dots(self):
+        out = patterns.mask_emails("x first.last+tag@sub.domain.org y")
+        assert out == "x _mail_ y"
+
+    def test_multiple_emails(self):
+        out = patterns.mask_emails("a@b.com and c@d.net")
+        assert out == "_mail_ and _mail_"
+
+    def test_no_email_unchanged(self):
+        text = "the @ sign alone is not an email"
+        assert patterns.mask_emails(text) == text
+
+    def test_tag_matches_paper(self):
+        assert patterns.EMAIL_TAG == "_mail_"
+
+
+class TestStripEmojis:
+    def test_basic_emoji_removed(self):
+        assert patterns.strip_emojis("nice 😀 work") == "nice  work"
+
+    def test_emoji_runs_removed(self):
+        assert patterns.strip_emojis("wow 🔥🔥🔥") == "wow "
+
+    def test_flags_removed(self):
+        assert patterns.strip_emojis("from 🇨🇦 with love") == \
+            "from  with love"
+
+    def test_ascii_emoticons_kept(self):
+        text = "classic :) and :( stay"
+        assert patterns.strip_emojis(text) == text
+
+    def test_plain_text_unchanged(self):
+        text = "ordinary text, nothing special"
+        assert patterns.strip_emojis(text) == text
+
+
+class TestStripPgp:
+    PGP = ("-----BEGIN PGP PUBLIC KEY BLOCK-----\n"
+           "mQENBFxyz...\nabcd\n"
+           "-----END PGP PUBLIC KEY BLOCK-----")
+
+    def test_block_removed(self):
+        out = patterns.strip_pgp_blocks(f"before\n{self.PGP}\nafter")
+        assert "PGP" not in out
+        assert "before" in out and "after" in out
+
+    def test_intro_line_removed(self):
+        text = f"trust me.\nmy PGP key:\n{self.PGP}"
+        out = patterns.strip_pgp_blocks(text)
+        assert "my PGP key" not in out
+        assert "trust me." in out
+
+    def test_signature_block_removed(self):
+        block = ("-----BEGIN PGP SIGNATURE-----\nxyz\n"
+                 "-----END PGP SIGNATURE-----")
+        assert patterns.strip_pgp_blocks(block).strip() == ""
+
+    def test_mismatched_kinds_not_merged(self):
+        # END of a different kind must not close a block
+        text = ("-----BEGIN PGP PUBLIC KEY BLOCK-----\nxyz\n"
+                "-----END PGP SIGNATURE-----")
+        assert "BEGIN" in patterns.strip_pgp_blocks(text)
+
+    def test_plain_text_unchanged(self):
+        text = "I signed the message, key on my profile"
+        assert patterns.strip_pgp_blocks(text) == text
+
+
+class TestStripQuotes:
+    def test_markdown_quote_removed(self):
+        out = patterns.strip_quotes("> quoted wisdom\nmy own reply")
+        assert "quoted wisdom" not in out
+        assert "my own reply" in out
+
+    def test_bbcode_quote_removed(self):
+        out = patterns.strip_quotes(
+            "[quote=alice]their words[/quote]\nmy words")
+        assert "their words" not in out
+        assert "my words" in out
+
+    def test_bbcode_multiline(self):
+        out = patterns.strip_quotes(
+            "[quote]line one\nline two[/quote]ok")
+        assert out.strip() == "ok"
+
+    def test_indented_quote_removed(self):
+        out = patterns.strip_quotes("   > indented quote\nreply")
+        assert "indented" not in out
+
+    def test_greater_than_mid_line_kept(self):
+        text = "5 > 3 is true"
+        assert patterns.strip_quotes(text) == text
+
+
+class TestStripEditMarkers:
+    def test_edit_by_removed(self):
+        out = patterns.strip_edit_markers(
+            "real content\nEdit by johndoe: fixed typo")
+        assert "johndoe" not in out
+        assert "real content" in out
+
+    def test_edit_prefix_stripped_text_kept(self):
+        out = patterns.strip_edit_markers("EDIT: also this part")
+        assert "also this part" in out
+        assert "EDIT" not in out
+
+    def test_numbered_edit_prefix(self):
+        out = patterns.strip_edit_markers("edit 2: more info")
+        assert out.strip() == "more info"
+
+    def test_word_edited_inside_sentence_kept(self):
+        text = "I edited the wiki page yesterday"
+        assert patterns.strip_edit_markers(text) == text
+
+
+class TestStripLongWords:
+    def test_long_word_dropped(self):
+        long_word = "x" * 40
+        assert patterns.strip_long_words(f"keep {long_word} this") == \
+            "keep this"
+
+    def test_boundary_34_kept(self):
+        word = "y" * 34
+        assert word in patterns.strip_long_words(f"a {word} b")
+
+    def test_boundary_35_dropped(self):
+        word = "y" * 35
+        assert word not in patterns.strip_long_words(f"a {word} b")
+
+    def test_custom_limit(self):
+        assert patterns.strip_long_words("abc abcd", max_length=3) == "abc"
+
+
+class TestCollapseWhitespace:
+    def test_runs_collapsed(self):
+        assert patterns.collapse_whitespace("a   b\t\tc\n\nd") == "a b c d"
+
+    def test_ends_trimmed(self):
+        assert patterns.collapse_whitespace("  hi  ") == "hi"
+
+    def test_empty_string(self):
+        assert patterns.collapse_whitespace("") == ""

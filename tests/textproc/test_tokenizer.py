@@ -1,0 +1,118 @@
+"""Unit tests for the tokenizer (repro.textproc.tokenizer)."""
+
+import pytest
+
+from repro.textproc import tokenizer as tok
+
+
+class TestIterTokens:
+    def test_words_and_punct_split(self):
+        tokens = tok.tokenize("Hello, world!")
+        assert [(t.text, t.kind) for t in tokens] == [
+            ("Hello", tok.WORD), (",", tok.PUNCT),
+            ("world", tok.WORD), ("!", tok.PUNCT)]
+
+    def test_contraction_kept_whole(self):
+        tokens = tok.tokenize("don't stop")
+        assert tokens[0].text == "don't"
+        assert tokens[0].kind == tok.WORD
+
+    def test_hyphenated_word_kept_whole(self):
+        tokens = tok.tokenize("state-of-the-art stuff")
+        assert tokens[0].text == "state-of-the-art"
+
+    def test_number_token(self):
+        tokens = tok.tokenize("buy 25 grams")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [tok.WORD, tok.NUMBER, tok.WORD]
+
+    def test_decimal_number_whole(self):
+        tokens = tok.tokenize("price 3.50 total")
+        assert tokens[1].text == "3.50"
+        assert tokens[1].kind == tok.NUMBER
+
+    def test_ellipsis_single_token(self):
+        tokens = tok.tokenize("well... maybe")
+        assert any(t.text == "..." and t.kind == tok.PUNCT
+                   for t in tokens)
+
+    def test_bang_run_single_token(self):
+        tokens = tok.tokenize("no way?!")
+        assert any(t.text == "?!" for t in tokens)
+
+    def test_symbol_kind(self):
+        tokens = tok.tokenize("cost $5")
+        assert ("$", tok.SYMBOL) in [(t.text, t.kind) for t in tokens]
+
+    def test_empty_input(self):
+        assert tok.tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tok.tokenize("   \n\t ") == []
+
+
+class TestWordTokens:
+    def test_lowercased_by_default(self):
+        assert tok.word_tokens("The QUICK Fox") == ["the", "quick", "fox"]
+
+    def test_case_preserved_on_request(self):
+        assert tok.word_tokens("The Fox", lowercase=False) == \
+            ["The", "Fox"]
+
+    def test_punct_excluded(self):
+        assert tok.word_tokens("yes, no; maybe!") == \
+            ["yes", "no", "maybe"]
+
+
+class TestCountWords:
+    def test_basic_count(self):
+        assert tok.count_words("one two three") == 3
+
+    def test_punct_not_counted(self):
+        assert tok.count_words("one, two... three!!") == 3
+
+    def test_numbers_not_counted_as_words(self):
+        assert tok.count_words("I have 3 dogs") == 3
+
+    def test_empty(self):
+        assert tok.count_words("") == 0
+
+
+class TestDistinctWordRatio:
+    def test_all_distinct(self):
+        assert tok.distinct_word_ratio("a b c d") == 1.0
+
+    def test_repeated_spam(self):
+        ratio = tok.distinct_word_ratio("buy now " * 10)
+        assert ratio == pytest.approx(2 / 20)
+
+    def test_case_insensitive(self):
+        assert tok.distinct_word_ratio("Yes yes YES") == \
+            pytest.approx(1 / 3)
+
+    def test_no_words_returns_zero(self):
+        assert tok.distinct_word_ratio("!!! ... ???") == 0.0
+
+
+class TestSentences:
+    def test_splits_on_terminators(self):
+        out = tok.sentences("First one. Second one! Third?")
+        assert out == ["First one.", "Second one!", "Third?"]
+
+    def test_single_sentence(self):
+        assert tok.sentences("no terminator here") == \
+            ["no terminator here"]
+
+    def test_empty(self):
+        assert tok.sentences("") == []
+
+
+class TestToken:
+    def test_lower_helper(self):
+        token = tok.Token("HeLLo", tok.WORD)
+        assert token.lower() == "hello"
+
+    def test_frozen(self):
+        token = tok.Token("x", tok.WORD)
+        with pytest.raises(AttributeError):
+            token.text = "y"
