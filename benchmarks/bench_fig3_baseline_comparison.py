@@ -17,21 +17,19 @@ ordering Standard < ours < Koppel holds.
 
 from __future__ import annotations
 
-import time
-
-from _util import emit, table
+from _util import emit, seconds, table, timed
 from repro.core.baselines import KoppelBaseline, StandardBaseline
 from repro.core.linker import AliasLinker
 from repro.core.threshold import matches_to_curve
 
 
 def _timed(method, known, unknowns, truth):
-    start = time.perf_counter()
-    method.fit(known)
-    result = method.link(unknowns)
-    elapsed = time.perf_counter() - start
+    with timed("bench.baseline",
+               method=type(method).__name__) as clock:
+        method.fit(known)
+        result = method.link(unknowns)
     curve = matches_to_curve(result.matches, truth)
-    return curve.auc(), elapsed
+    return curve.auc(), seconds(clock)
 
 
 def _run(dataset):

@@ -15,7 +15,9 @@ worlds (see DESIGN.md for the substitution rationale):
   linker, batched processing, and the two baselines;
 * :mod:`repro.eval` — alter-ego datasets, metrics, the simulated
   manual-evaluation protocol of Section V-A;
-* :mod:`repro.profiling` — personal-information extraction (§V-D).
+* :mod:`repro.profiling` — personal-information extraction (§V-D);
+* :mod:`repro.obs` — observability: tracing spans, metrics registry,
+  structured logging (``docs/observability.md``).
 
 Quick start::
 
@@ -58,6 +60,7 @@ from repro.errors import (
     ReproError,
     ScrapeError,
 )
+from repro import obs
 from repro.pipeline import LinkingPipeline, PipelineReport
 
 __version__ = "1.0.0"
@@ -88,5 +91,6 @@ __all__ = [
     "ScrapeError",
     "LinkingPipeline",
     "PipelineReport",
+    "obs",
     "__version__",
 ]

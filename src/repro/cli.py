@@ -1,6 +1,6 @@
 """Command-line interface: ``darklight``.
 
-Five subcommands cover the end-to-end workflow of the paper:
+Six subcommands cover the end-to-end workflow of the paper:
 
 * ``generate`` — build a synthetic world and save its forums as JSONL;
 * ``polish`` — run the 12-step cleaning pipeline on a stored forum;
@@ -8,12 +8,21 @@ Five subcommands cover the end-to-end workflow of the paper:
   egos (Section IV-E);
 * ``link`` — link the aliases of one forum against another
   (Sections IV-I/IV-J);
-* ``profile`` — extract the §V-D personal profile of one alias.
+* ``profile`` — extract the §V-D personal profile of one alias;
+* ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
+  slowest spans, metric table).
+
+Global telemetry flags (before the subcommand): ``--trace FILE.json``
+records every pipeline span plus a metrics snapshot to *FILE*;
+``--log-level``/``--log-format`` configure structured logging (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -22,6 +31,9 @@ from repro.config import PAPER_THRESHOLD, PipelineConfig
 from repro.core.threshold import ThresholdCalibrator
 from repro.errors import ReproError
 from repro.forums.storage import load_forum, save_forum, save_world
+from repro.obs.logging import LOG_FORMAT_ENV, LOG_LEVEL_ENV, configure_logging
+from repro.obs.report import load_trace, render_stats, write_trace
+from repro.obs.spans import enable_tracing, reset_trace
 from repro.pipeline import LinkingPipeline
 from repro.profiling.extractor import ProfileExtractor
 from repro.profiling.report import render_report
@@ -92,6 +104,15 @@ def _cmd_link(args: argparse.Namespace) -> int:
     )
     result = pipeline.link_forums(known, unknown)
     accepted = result.accepted()
+    if args.json:
+        document = result.to_dict()
+        document["report"] = {
+            "refined_known": pipeline.report.refined_known,
+            "refined_unknown": pipeline.report.refined_unknown,
+            "threshold": args.threshold,
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"known aliases after refinement:   "
           f"{pipeline.report.refined_known}")
     print(f"unknown aliases after refinement: "
@@ -100,6 +121,12 @@ def _cmd_link(args: argparse.Namespace) -> int:
     for match in sorted(accepted, key=lambda m: -m.score):
         print(f"  {match.unknown_id} -> {match.candidate_id} "
               f"(score {match.score:.4f})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace_file)
+    print(render_stats(trace))
     return 0
 
 
@@ -121,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("--trace", metavar="FILE.json", default=None,
+                        help="record a span trace + metrics snapshot "
+                             "of this run to FILE.json")
+    parser.add_argument("--log-level", default=None,
+                        help="structured-log level (DEBUG/INFO/...; "
+                             "default from REPRO_LOG_LEVEL)")
+    parser.add_argument("--log-format", default=None,
+                        choices=("kv", "json"),
+                        help="structured-log format "
+                             "(default from REPRO_LOG_FORMAT)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate",
@@ -155,7 +192,15 @@ def build_parser() -> argparse.ArgumentParser:
                       default=PAPER_THRESHOLD)
     link.add_argument("--batch-size", type=int, default=None,
                       help="enable the IV-J batched pipeline")
+    link.add_argument("--json", action="store_true",
+                      help="print the full LinkResult as JSON")
     link.set_defaults(func=_cmd_link)
+
+    stats = sub.add_parser("stats",
+                           help="summarize a --trace JSON file")
+    stats.add_argument("trace_file",
+                       help="trace file written by --trace")
+    stats.set_defaults(func=_cmd_stats)
 
     prof = sub.add_parser("profile",
                           help="extract a personal profile (V-D)")
@@ -170,11 +215,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracing = False
     try:
+        if (args.log_level or args.log_format
+                or os.environ.get(LOG_LEVEL_ENV)
+                or os.environ.get(LOG_FORMAT_ENV)):
+            configure_logging(level=args.log_level, fmt=args.log_format)
+        if args.trace is not None and args.command != "stats":
+            reset_trace()
+            enable_tracing()
+            tracing = True
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if tracing:
+            path = write_trace(args.trace, metadata={
+                "command": args.command,
+                "argv": list(argv) if argv is not None
+                else sys.argv[1:],
+            })
+            print(f"trace written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

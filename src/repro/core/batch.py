@@ -30,6 +30,16 @@ from repro.core.features import DocumentEncoder, FeatureWeights
 from repro.core.kattribution import KAttributor
 from repro.core.linker import AliasLinker, LinkResult, Match
 from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import SIZE_BUCKETS, counter, histogram
+from repro.obs.spans import span
+
+log = get_logger(__name__)
+
+#: Reduction rounds executed across all batched runs.
+_ROUNDS = counter("batch_rounds_total")
+#: Candidate-pool sizes entering each reduction round.
+_POOL_SIZE = histogram("batch_pool_size", buckets=SIZE_BUCKETS)
 
 
 class BatchedLinker:
@@ -55,9 +65,15 @@ class BatchedLinker:
         if batch_size < 2:
             raise ConfigurationError(
                 f"batch_size must be >= 2, got {batch_size}")
+        if k < 1:
+            raise ConfigurationError(
+                f"k must be a positive integer, got {k}")
         if k >= batch_size:
             raise ConfigurationError(
                 f"k ({k}) must be smaller than batch_size ({batch_size})")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}")
         self.batch_size = batch_size
         self.k = k
         self.threshold = threshold
@@ -81,44 +97,53 @@ class BatchedLinker:
 
         Returns the surviving candidate list for every unknown.
         """
-        survivors: List[List[AliasDocument]] = [[] for _ in unknowns]
-        for start in range(0, len(pool), self.batch_size):
-            batch = list(pool[start:start + self.batch_size])
-            reducer = KAttributor(
-                k=min(self.k, len(batch)),
-                budget=self.reduction_budget,
-                weights=self.weights,
-                use_activity=self.use_activity,
-                encoder=DocumentEncoder(),
-            )
-            reducer.fit(batch)
-            for i, candidates in enumerate(reducer.reduce(unknowns)):
-                survivors[i].extend(candidates.documents)
+        _ROUNDS.inc()
+        _POOL_SIZE.observe(len(pool))
+        with span("batch.round", pool_size=len(pool),
+                  n_unknowns=len(unknowns)):
+            survivors: List[List[AliasDocument]] = [[] for _ in unknowns]
+            for start in range(0, len(pool), self.batch_size):
+                batch = list(pool[start:start + self.batch_size])
+                reducer = KAttributor(
+                    k=min(self.k, len(batch)),
+                    budget=self.reduction_budget,
+                    weights=self.weights,
+                    use_activity=self.use_activity,
+                    encoder=DocumentEncoder(),
+                )
+                reducer.fit(batch)
+                for i, candidates in enumerate(reducer.reduce(unknowns)):
+                    survivors[i].extend(candidates.documents)
         return survivors
 
     def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
         """Run the batched pipeline for a set of unknown aliases."""
         if self._known is None:
             raise ConfigurationError("BatchedLinker.fit has not been called")
-        # Round 1 is shared: every unknown faces the same batches.
-        pools = self._reduce_pool(self._known, unknowns)
-        matches: List[Match] = []
-        candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
-        for unknown, pool in zip(unknowns, pools):
-            # Subsequent rounds shrink each unknown's private pool.
-            while len(pool) > self.batch_size:
-                pool = self._reduce_pool(pool, [unknown])[0]
-            linker = AliasLinker(
-                k=min(self.k, len(pool)),
-                threshold=self.threshold,
-                reduction_budget=self.reduction_budget,
-                final_budget=self.final_budget,
-                weights=self.weights,
-                use_activity=self.use_activity,
-            )
-            linker.fit(pool)
-            result = linker.link([unknown])
-            matches.extend(result.matches)
-            candidate_scores.update(result.candidate_scores)
+        with span("batch.link", n_unknowns=len(unknowns),
+                  n_known=len(self._known), batch_size=self.batch_size):
+            # Round 1 is shared: every unknown faces the same batches.
+            pools = self._reduce_pool(self._known, unknowns)
+            matches: List[Match] = []
+            candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
+            for unknown, pool in zip(unknowns, pools):
+                # Subsequent rounds shrink each unknown's private pool.
+                while len(pool) > self.batch_size:
+                    pool = self._reduce_pool(pool, [unknown])[0]
+                linker = AliasLinker(
+                    k=min(self.k, len(pool)),
+                    threshold=self.threshold,
+                    reduction_budget=self.reduction_budget,
+                    final_budget=self.final_budget,
+                    weights=self.weights,
+                    use_activity=self.use_activity,
+                )
+                linker.fit(pool)
+                result = linker.link([unknown])
+                matches.extend(result.matches)
+                candidate_scores.update(result.candidate_scores)
+        log.info("batch.link", n_unknowns=len(unknowns),
+                 n_known=len(self._known), batch_size=self.batch_size,
+                 accepted=sum(1 for m in matches if m.accepted))
         return LinkResult(matches=matches,
                           candidate_scores=candidate_scores)

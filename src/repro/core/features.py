@@ -33,6 +33,15 @@ from repro.core import ngrams
 from repro.core.documents import AliasDocument
 from repro.core.tfidf import TfidfModel, l2_normalize_rows
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.metrics import counter, gauge
+from repro.obs.spans import span
+
+#: Size of the most recently fitted text feature space (words + chars).
+_VOCAB_SIZE = gauge("encoder_vocab_size")
+#: Feature-space fits (each stage-2 rescore fits one).
+_FITS = counter("feature_fits_total")
+#: Documents vectorized by transform calls.
+_TRANSFORMED = counter("documents_vectorized_total")
 
 #: The 11 punctuation marks whose frequencies are features (Table II).
 PUNCTUATION_CHARS: Tuple[str, ...] = (
@@ -211,16 +220,22 @@ class FeatureExtractor:
         """
         if not documents:
             raise ConfigurationError("cannot fit on an empty corpus")
-        word_profiles = [self.encoder.word_profile(d) for d in documents]
-        char_profiles = [self.encoder.char_profile(d) for d in documents]
-        word_corpus = ngrams.merge_counts(word_profiles)
-        char_corpus = ngrams.merge_counts(char_profiles)
-        self._selected_words = ngrams.select_top(
-            word_corpus, self.budget.word_ngrams)
-        self._selected_chars = ngrams.select_top(
-            char_corpus, self.budget.char_ngrams)
-        counts = self._text_counts(documents)
-        self._tfidf = TfidfModel().fit(counts)
+        with span("features.fit", n_documents=len(documents)):
+            word_profiles = [self.encoder.word_profile(d)
+                             for d in documents]
+            char_profiles = [self.encoder.char_profile(d)
+                             for d in documents]
+            word_corpus = ngrams.merge_counts(word_profiles)
+            char_corpus = ngrams.merge_counts(char_profiles)
+            self._selected_words = ngrams.select_top(
+                word_corpus, self.budget.word_ngrams)
+            self._selected_chars = ngrams.select_top(
+                char_corpus, self.budget.char_ngrams)
+            counts = self._text_counts(documents)
+            self._tfidf = TfidfModel().fit(counts)
+        _FITS.inc()
+        _VOCAB_SIZE.set(self._selected_words.size
+                        + self._selected_chars.size)
         return self
 
     def _text_counts(self, documents: Sequence[AliasDocument],
@@ -237,6 +252,12 @@ class FeatureExtractor:
         """Vectorize documents into the fitted feature space."""
         if not self.is_fitted:
             raise NotFittedError("FeatureExtractor.fit has not been called")
+        _TRANSFORMED.inc(len(documents))
+        with span("features.transform", n_documents=len(documents)):
+            return self._transform_inner(documents)
+
+    def _transform_inner(self, documents: Sequence[AliasDocument],
+                         ) -> sparse.csr_matrix:
         text = self._tfidf.transform(self._text_counts(documents))
         blocks: List[sparse.spmatrix] = [text * self.weights.text]
         if self.weights.frequencies > 0:

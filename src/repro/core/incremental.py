@@ -33,6 +33,13 @@ from repro.core.documents import AliasDocument
 from repro.core.features import DocumentEncoder, FeatureWeights
 from repro.core.linker import AliasLinker, LinkResult
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.metrics import counter
+from repro.obs.spans import span
+
+#: Known aliases appended through the incremental path.
+_ADDED = counter("incremental_added_total")
+#: Full refits triggered on incremental linkers.
+_REFITS = counter("incremental_refits_total")
 
 
 class IncrementalLinker:
@@ -56,7 +63,14 @@ class IncrementalLinker:
                  use_activity: bool = True,
                  refit_after: int = 100) -> None:
         if refit_after < 1:
-            raise ConfigurationError("refit_after must be >= 1")
+            raise ConfigurationError(
+                f"refit_after must be >= 1, got {refit_after}")
+        if k < 1:
+            raise ConfigurationError(
+                f"k must be a positive integer, got {k}")
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}")
         self._make_linker = lambda: AliasLinker(
             k=k, threshold=threshold,
             reduction_budget=reduction_budget,
@@ -97,8 +111,10 @@ class IncrementalLinker:
         """Rebuild the feature space over everything accumulated."""
         if not self._known:
             raise NotFittedError("IncrementalLinker.fit not called")
-        self._linker = self._make_linker()
-        self._linker.fit(self._known)
+        with span("incremental.refit", n_known=len(self._known)):
+            self._linker = self._make_linker()
+            self._linker.fit(self._known)
+        _REFITS.inc()
         self._added_since_fit = 0
         return self
 
@@ -124,17 +140,20 @@ class IncrementalLinker:
             existing.add(document.doc_id)
         self._known.extend(documents)
         self._added_since_fit += len(documents)
-        reducer = self._linker.reducer
-        # extend the fitted reducer in place: recompute counts for the
-        # grown corpus in the frozen space, refresh the Idf
-        extractor = reducer.extractor
-        counts = extractor._text_counts(self._known)
-        from repro.core.tfidf import TfidfModel
+        _ADDED.inc(len(documents))
+        with span("incremental.add_known", n_added=len(documents),
+                  n_known=len(self._known)):
+            reducer = self._linker.reducer
+            # extend the fitted reducer in place: recompute counts for
+            # the grown corpus in the frozen space, refresh the Idf
+            extractor = reducer.extractor
+            counts = extractor._text_counts(self._known)
+            from repro.core.tfidf import TfidfModel
 
-        extractor._tfidf = TfidfModel().fit(counts)
-        reducer._known = self._known
-        reducer._known_matrix = extractor.transform(self._known)
-        self._linker._known = self._known
+            extractor._tfidf = TfidfModel().fit(counts)
+            reducer._known = self._known
+            reducer._known_matrix = extractor.transform(self._known)
+            self._linker._known = self._known
 
     # -- querying --------------------------------------------------------------
 

@@ -25,6 +25,13 @@ from repro.core.features import DocumentEncoder, FeatureExtractor, \
     FeatureWeights
 from repro.core.similarity import cosine_similarity, rank_of, top_k
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.metrics import counter
+from repro.obs.spans import span
+
+#: Reduction queries answered (one per unknown alias per reduce call).
+_QUERIES = counter("kattribution_queries_total")
+#: Known aliases discarded by the reduction stage across all queries.
+_PRUNED = counter("candidates_pruned_total")
 
 
 @dataclass(frozen=True)
@@ -95,8 +102,9 @@ class KAttributor:
         """Index the known aliases (the paper's set Z)."""
         if not known:
             raise ConfigurationError("known corpus must not be empty")
-        self._known = list(known)
-        self._known_matrix = self.extractor.fit_transform(self._known)
+        with span("kattribution.fit", n_known=len(known), k=self.k):
+            self._known = list(known)
+            self._known_matrix = self.extractor.fit_transform(self._known)
         return self
 
     def scores(self, unknowns: Sequence[AliasDocument]) -> np.ndarray:
@@ -109,16 +117,21 @@ class KAttributor:
     def reduce(self, unknowns: Sequence[AliasDocument],
                ) -> List[Candidates]:
         """Return the top-k candidate sets for each unknown alias."""
-        score_matrix = self.scores(unknowns)
-        indices, values = top_k(score_matrix, self.k)
-        results: List[Candidates] = []
-        for row, unknown in enumerate(unknowns):
-            docs = tuple(self._known[int(i)] for i in indices[row])
-            results.append(Candidates(
-                unknown=unknown,
-                documents=docs,
-                scores=tuple(float(v) for v in values[row]),
-            ))
+        with span("kattribution.reduce", n_unknowns=len(unknowns),
+                  k=self.k):
+            score_matrix = self.scores(unknowns)
+            indices, values = top_k(score_matrix, self.k)
+            results: List[Candidates] = []
+            for row, unknown in enumerate(unknowns):
+                docs = tuple(self._known[int(i)] for i in indices[row])
+                results.append(Candidates(
+                    unknown=unknown,
+                    documents=docs,
+                    scores=tuple(float(v) for v in values[row]),
+                ))
+            _QUERIES.inc(len(unknowns))
+            _PRUNED.inc(max(0, len(self._known) - self.k)
+                        * len(unknowns))
         return results
 
     def accuracy_at_k(self, unknowns: Sequence[AliasDocument],

@@ -19,7 +19,7 @@ corpus it was diluted across thousands of users.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,24 @@ from repro.core.features import (
 from repro.core.kattribution import Candidates, KAttributor
 from repro.core.similarity import cosine_similarity
 from repro.errors import ConfigurationError, NotFittedError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import SCORE_BUCKETS, SIZE_BUCKETS, counter, \
+    histogram
+from repro.obs.spans import span
+
+log = get_logger(__name__)
+
+#: Unknowns whose best candidate cleared the threshold.
+_ACCEPTED = counter("attribution_accepted_total")
+#: Unknowns whose best candidate fell below the threshold.
+_REJECTED = counter("attribution_rejected_total")
+#: Distribution of winning second-stage scores.
+_BEST_SCORE = histogram("similarity_score", buckets=SCORE_BUCKETS)
+#: Candidate-set sizes entering the final stage.
+_CANDIDATE_SET = histogram("final_candidate_set_size",
+                           buckets=SIZE_BUCKETS)
+#: Total candidates rescored by stage 2.
+_RESCORED = counter("candidates_rescored_total")
 
 
 @dataclass(frozen=True)
@@ -63,6 +81,28 @@ class Match:
     accepted: bool
     first_stage_score: float
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form; the single source of the field list
+        for traces, CLI JSON output and eval reporting."""
+        return {
+            "unknown_id": self.unknown_id,
+            "candidate_id": self.candidate_id,
+            "score": self.score,
+            "accepted": self.accepted,
+            "first_stage_score": self.first_stage_score,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Match":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            unknown_id=str(data["unknown_id"]),
+            candidate_id=str(data["candidate_id"]),
+            score=float(data["score"]),
+            accepted=bool(data["accepted"]),
+            first_stage_score=float(data.get("first_stage_score", 0.0)),
+        )
+
 
 @dataclass(frozen=True)
 class LinkResult:
@@ -86,6 +126,29 @@ class LinkResult:
         for unknown_id, pairs in self.candidate_scores.items():
             for candidate_id, score in pairs:
                 yield unknown_id, candidate_id, score
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (see :meth:`Match.to_dict`)."""
+        return {
+            "matches": [m.to_dict() for m in self.matches],
+            "candidate_scores": {
+                unknown_id: [[cid, score] for cid, score in pairs]
+                for unknown_id, pairs in self.candidate_scores.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LinkResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            matches=[Match.from_dict(m) for m in data.get("matches", [])],
+            candidate_scores={
+                unknown_id: [(str(cid), float(score))
+                             for cid, score in pairs]
+                for unknown_id, pairs in
+                data.get("candidate_scores", {}).items()
+            },
+        )
 
 
 class AliasLinker:
@@ -116,6 +179,9 @@ class AliasLinker:
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
                  use_reduction: bool = True) -> None:
+        if k < 1:
+            raise ConfigurationError(
+                f"k must be a positive integer, got {k}")
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError(
                 f"threshold must be in [0, 1], got {threshold}")
@@ -137,8 +203,10 @@ class AliasLinker:
 
     def fit(self, known: Sequence[AliasDocument]) -> "AliasLinker":
         """Index the known aliases (the paper's set Z)."""
-        self._known = list(known)
-        self.reducer.fit(self._known)
+        with span("linker.fit", n_known=len(known)):
+            self._known = list(known)
+            self.reducer.fit(self._known)
+        log.debug("linker.fit", n_known=len(self._known), k=self.k)
         return self
 
     # -- stage 2 -------------------------------------------------------------
@@ -172,30 +240,50 @@ class AliasLinker:
             raise NotFittedError("AliasLinker.fit has not been called")
         matches: List[Match] = []
         candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
-        if self.use_reduction:
-            reduced = self.reducer.reduce(unknowns)
-        else:
-            reduced = [
-                Candidates(unknown=u, documents=tuple(self._known),
-                           scores=tuple([0.0] * len(self._known)))
-                for u in unknowns
-            ]
-        for candidates in reduced:
-            unknown = candidates.unknown
-            scored = self._rescore(unknown, candidates.documents)
-            candidate_scores[unknown.doc_id] = scored
-            first_stage = dict(
-                (doc.doc_id, score)
-                for doc, score in zip(candidates.documents,
-                                      candidates.scores))
-            best_id, best_score = max(scored, key=lambda pair: pair[1])
-            matches.append(Match(
-                unknown_id=unknown.doc_id,
-                candidate_id=best_id,
-                score=best_score,
-                accepted=best_score >= self.threshold,
-                first_stage_score=first_stage.get(best_id, 0.0),
-            ))
+        n_accepted = 0
+        with span("linker.link", n_unknowns=len(unknowns),
+                  n_known=len(self._known)):
+            with span("linker.stage1", k=self.k,
+                      reduction=self.use_reduction):
+                if self.use_reduction:
+                    reduced = self.reducer.reduce(unknowns)
+                else:
+                    reduced = [
+                        Candidates(unknown=u, documents=tuple(self._known),
+                                   scores=tuple([0.0] * len(self._known)))
+                        for u in unknowns
+                    ]
+            for candidates in reduced:
+                unknown = candidates.unknown
+                with span("linker.stage2", unknown=unknown.doc_id,
+                          k=len(candidates.documents)):
+                    scored = self._rescore(unknown, candidates.documents)
+                _CANDIDATE_SET.observe(len(candidates.documents))
+                _RESCORED.inc(len(scored))
+                candidate_scores[unknown.doc_id] = scored
+                first_stage = dict(
+                    (doc.doc_id, score)
+                    for doc, score in zip(candidates.documents,
+                                          candidates.scores))
+                best_id, best_score = max(scored, key=lambda pair: pair[1])
+                accepted = best_score >= self.threshold
+                _BEST_SCORE.observe(best_score)
+                if accepted:
+                    _ACCEPTED.inc()
+                    n_accepted += 1
+                else:
+                    _REJECTED.inc()
+                matches.append(Match(
+                    unknown_id=unknown.doc_id,
+                    candidate_id=best_id,
+                    score=best_score,
+                    accepted=accepted,
+                    first_stage_score=first_stage.get(best_id, 0.0),
+                ))
+        log.info("linker.link", n_unknowns=len(unknowns),
+                 n_known=len(self._known), accepted=n_accepted,
+                 rejected=len(matches) - n_accepted,
+                 threshold=self.threshold)
         return LinkResult(matches=matches,
                           candidate_scores=candidate_scores)
 

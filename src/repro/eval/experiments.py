@@ -35,8 +35,15 @@ from repro.synth.world import (
     WorldConfig,
     build_world,
 )
+from repro.obs.metrics import counter
+from repro.obs.spans import span
 from repro.textproc.cleaning import CleaningConfig, PolishReport, \
     polish_forum
+
+#: Experiment-cache lookups that found a prebuilt artifact.
+_CACHE_HITS = counter("experiment_cache_hits_total")
+#: Experiment-cache lookups that had to build the artifact.
+_CACHE_MISSES = counter("experiment_cache_misses_total")
 
 # ---------------------------------------------------------------------------
 # Scales
@@ -111,7 +118,11 @@ def get_world(config: Optional[WorldConfig] = None) -> World:
     config = config or scaled_world_config()
     key = _config_key(config)
     if key not in _WORLDS:
-        _WORLDS[key] = build_world(config)
+        _CACHE_MISSES.inc()
+        with span("experiments.get_world", seed=config.seed):
+            _WORLDS[key] = build_world(config)
+    else:
+        _CACHE_HITS.inc()
     return _WORLDS[key]
 
 
@@ -122,7 +133,12 @@ def get_polished(world: World, forum_name: str,
     cleaning = cleaning or CleaningConfig()
     key = (_config_key(world.config) + repr(cleaning.__dict__), forum_name)
     if key not in _POLISHED:
-        _POLISHED[key] = polish_forum(world.forums[forum_name], cleaning)
+        _CACHE_MISSES.inc()
+        with span("experiments.polish", forum=forum_name):
+            _POLISHED[key] = polish_forum(world.forums[forum_name],
+                                          cleaning)
+    else:
+        _CACHE_HITS.inc()
     return _POLISHED[key]
 
 
@@ -132,9 +148,13 @@ def get_alter_egos(world: World, forum_name: str,
     """Alter-ego dataset of one polished forum (cached)."""
     key = (_config_key(world.config), forum_name, words_per_alias, seed)
     if key not in _ALTER_EGOS:
+        _CACHE_MISSES.inc()
         polished, _ = get_polished(world, forum_name)
-        _ALTER_EGOS[key] = build_alter_ego_dataset(
-            polished, seed=seed, words_per_alias=words_per_alias)
+        with span("experiments.alter_egos", forum=forum_name):
+            _ALTER_EGOS[key] = build_alter_ego_dataset(
+                polished, seed=seed, words_per_alias=words_per_alias)
+    else:
+        _CACHE_HITS.inc()
     return _ALTER_EGOS[key]
 
 
@@ -144,9 +164,13 @@ def get_refined(world: World, forum_name: str,
     """Refined alias documents of one polished forum (cached)."""
     key = (_config_key(world.config), forum_name, words_per_alias)
     if key not in _REFINED:
+        _CACHE_MISSES.inc()
         polished, _ = get_polished(world, forum_name)
-        _REFINED[key] = refine_forum(polished,
-                                     words_per_alias=words_per_alias)
+        with span("experiments.refine", forum=forum_name):
+            _REFINED[key] = refine_forum(
+                polished, words_per_alias=words_per_alias)
+    else:
+        _CACHE_HITS.inc()
     return _REFINED[key]
 
 

@@ -1,0 +1,100 @@
+"""repro.obs — the observability layer: spans, metrics, logging.
+
+One import point for the whole telemetry substrate:
+
+* :mod:`repro.obs.spans` — hierarchical trace spans with wall/CPU
+  timing (``with span("linker.stage2", k=10): ...``), disabled by
+  default with a zero-allocation fast path;
+* :mod:`repro.obs.metrics` — process-wide counters, gauges and
+  fixed-bucket histograms with snapshot/reset/merge;
+* :mod:`repro.obs.logging` — structured ``key=value`` / JSON-lines
+  logging on stdlib :mod:`logging` (``REPRO_LOG_LEVEL`` /
+  ``REPRO_LOG_FORMAT``);
+* :mod:`repro.obs.instrument` — the ``@traced`` decorator;
+* :mod:`repro.obs.report` — trace-file persistence and the
+  ``darklight stats`` renderer.
+
+Span and metric naming conventions live in ``docs/observability.md``.
+"""
+
+from repro.obs.instrument import traced
+from repro.obs.logging import (
+    JsonLinesFormatter,
+    KeyValueFormatter,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_MS_BUCKETS,
+    MetricsRegistry,
+    SCORE_BUCKETS,
+    SIZE_BUCKETS,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.report import (
+    build_trace_document,
+    load_trace,
+    render_stats,
+    write_trace,
+)
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_trace,
+    get_tracer,
+    iter_spans,
+    render_flame,
+    reset_trace,
+    span,
+    timer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "traced",
+    "JsonLinesFormatter",
+    "KeyValueFormatter",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_MS_BUCKETS",
+    "MetricsRegistry",
+    "SCORE_BUCKETS",
+    "SIZE_BUCKETS",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "build_trace_document",
+    "load_trace",
+    "render_stats",
+    "write_trace",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "get_trace",
+    "get_tracer",
+    "iter_spans",
+    "render_flame",
+    "reset_trace",
+    "span",
+    "timer",
+    "tracing_enabled",
+]

@@ -1,0 +1,200 @@
+"""Structured logging on top of stdlib :mod:`logging`.
+
+Every module logs through :func:`get_logger`, which returns a thin
+wrapper whose methods take an *event* name plus key/value fields::
+
+    from repro.obs.logging import get_logger
+
+    log = get_logger(__name__)
+    log.info("link.complete", unknowns=40, accepted=31, wall_ms=812.4)
+
+Two output formats are supported, selected by ``REPRO_LOG_FORMAT``:
+
+* ``kv`` (default) — one ``key=value`` line per record::
+
+      2026-08-05T12:00:00Z INFO repro.core.linker link.complete unknowns=40 accepted=31
+
+* ``json`` — one JSON object per line (machine-ingestable).
+
+``REPRO_LOG_LEVEL`` sets the threshold (default ``WARNING``, so the
+library is silent unless asked).  The CLI's ``--log-level`` /
+``--log-format`` flags override both.  Following library convention,
+no handler is attached until :func:`configure_logging` is called.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+from typing import Any, IO, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "LOG_LEVEL_ENV",
+    "LOG_FORMAT_ENV",
+    "KeyValueFormatter",
+    "JsonLinesFormatter",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+]
+
+#: Environment variable naming the minimum level (DEBUG/INFO/...).
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Environment variable selecting the output format (``kv``/``json``).
+LOG_FORMAT_ENV = "REPRO_LOG_FORMAT"
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_VALID_FORMATS = ("kv", "json")
+
+
+def _timestamp(record: logging.LogRecord) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                         time.gmtime(record.created))
+
+
+def _record_fields(record: logging.LogRecord) -> dict:
+    fields = getattr(record, "fields", None)
+    return fields if isinstance(fields, dict) else {}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``key=value`` lines; values with spaces are repr-quoted."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [_timestamp(record), record.levelname, record.name,
+                 record.getMessage()]
+        for key, value in _record_fields(record).items():
+            text = str(value)
+            if " " in text or "=" in text or not text:
+                text = repr(value)
+            parts.append(f"{key}={text}")
+        if record.exc_info and record.exc_info[0] is not None:
+            parts.append(f"exc={record.exc_info[0].__name__}")
+        return " ".join(parts)
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record (``event`` carries the message)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": _timestamp(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(_record_fields(record))
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+        return json.dumps(payload, default=str)
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    name = (level or os.environ.get(LOG_LEVEL_ENV) or "WARNING").upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ConfigurationError(f"unknown log level {name!r}")
+    return resolved
+
+
+def _resolve_format(fmt: Optional[str]) -> str:
+    name = (fmt or os.environ.get(LOG_FORMAT_ENV) or "kv").lower()
+    if name not in _VALID_FORMATS:
+        raise ConfigurationError(
+            f"unknown log format {name!r} (expected one of "
+            f"{'/'.join(_VALID_FORMATS)})")
+    return name
+
+
+def configure_logging(level: Optional[str] = None,
+                      fmt: Optional[str] = None,
+                      stream: Optional[IO[str]] = None,
+                      ) -> logging.Logger:
+    """Attach (or re-attach) the library's single stream handler.
+
+    Parameters
+    ----------
+    level / fmt:
+        Explicit overrides; when omitted the ``REPRO_LOG_LEVEL`` /
+        ``REPRO_LOG_FORMAT`` environment variables are consulted, then
+        the defaults (``WARNING``, ``kv``).
+    stream:
+        Target stream (default ``sys.stderr``).
+
+    Calling again replaces the previous handler, so the CLI can
+    reconfigure freely.  Returns the ``repro`` root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    formatter: logging.Formatter
+    if _resolve_format(fmt) == "json":
+        formatter = JsonLinesFormatter()
+    else:
+        formatter = KeyValueFormatter()
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(formatter)
+    for old in [h for h in root.handlers
+                if getattr(h, "_repro_obs", False)]:
+        root.removeHandler(old)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(_resolve_level(level))
+    root.propagate = False
+    return root
+
+
+class StructuredLogger:
+    """Event + fields façade over one stdlib logger.
+
+    The level check happens before any formatting work, so disabled
+    levels cost one dict lookup and one comparison.
+    """
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        """The wrapped :class:`logging.Logger`."""
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields: Any) -> None:
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.error(event, extra={"fields": fields},
+                               exc_info=True)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy.
+
+    Names outside the hierarchy are re-rooted (``eval.foo`` →
+    ``repro.eval.foo``) so one handler covers everything.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return StructuredLogger(logging.getLogger(name))

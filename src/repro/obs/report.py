@@ -1,0 +1,173 @@
+"""Trace-file persistence and the ``darklight stats`` renderer.
+
+A trace file is one JSON document combining the span tree of
+:mod:`repro.obs.spans` with a metrics snapshot from
+:mod:`repro.obs.metrics`::
+
+    {"version": 1,
+     "spans": [...],            # nested span dicts
+     "metrics": {...},          # registry snapshot
+     "metadata": {...}}         # free-form (CLI argv, scale, ...)
+
+:func:`render_stats` turns that document back into the human view:
+per-stage totals, the slowest individual spans, the metric table and
+the flame-style tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import DatasetError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+
+__all__ = [
+    "build_trace_document",
+    "write_trace",
+    "load_trace",
+    "render_stats",
+    "render_metrics",
+]
+
+
+def build_trace_document(metadata: Optional[Mapping[str, Any]] = None,
+                         tracer: Optional[_spans.Tracer] = None,
+                         registry: Optional[_metrics.MetricsRegistry] = None,
+                         ) -> Dict[str, Any]:
+    """Combine the current trace + metrics into one export dict."""
+    tracer = tracer or _spans.get_tracer()
+    registry = registry or _metrics.get_registry()
+    document = tracer.to_dict()
+    document["metrics"] = registry.snapshot()
+    if metadata:
+        document["metadata"] = dict(metadata)
+    return document
+
+
+def write_trace(path: Union[str, Path],
+                metadata: Optional[Mapping[str, Any]] = None,
+                tracer: Optional[_spans.Tracer] = None,
+                registry: Optional[_metrics.MetricsRegistry] = None,
+                ) -> Path:
+    """Write the current trace + metrics snapshot as JSON to *path*."""
+    path = Path(path)
+    document = build_trace_document(metadata, tracer, registry)
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a trace file, validating the basic shape."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise DatasetError(f"trace file {path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"trace file {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict) or "spans" not in document:
+        raise DatasetError(
+            f"trace file {path} is missing the 'spans' key")
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def _table(headers: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> List[str]:
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return out
+
+
+def _stage_totals(trace: Mapping[str, Any]) -> List[str]:
+    totals = _spans.aggregate_spans(dict(trace))
+    if not totals:
+        return ["(no spans recorded)"]
+    grand = sum(r.get("wall_ms", 0.0) for r in trace.get("spans", ())) or 1.0
+    rows = []
+    for name, entry in sorted(totals.items(),
+                              key=lambda kv: -kv[1]["wall_ms"]):
+        rows.append((
+            name,
+            int(entry["calls"]),
+            f"{entry['wall_ms']:.2f}",
+            f"{entry['cpu_ms']:.2f}",
+            f"{entry['wall_ms'] / entry['calls']:.2f}",
+            f"{entry['wall_ms'] / grand:.1%}",
+        ))
+    return _table(("span", "calls", "wall ms", "cpu ms", "avg ms", "share"),
+                  rows)
+
+
+def _slowest_spans(trace: Mapping[str, Any], top: int = 10) -> List[str]:
+    flat: List[Dict[str, Any]] = []
+    for root in trace.get("spans", ()):
+        flat.extend(_spans.iter_spans(root))
+    flat.sort(key=lambda n: -n.get("wall_ms", 0.0))
+    rows = []
+    for node in flat[:top]:
+        attrs = node.get("attributes") or {}
+        attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
+        rows.append((node["name"], f"{node.get('wall_ms', 0.0):.2f}",
+                     node.get("status", "ok"), attr_text))
+    if not rows:
+        return ["(no spans recorded)"]
+    return _table(("span", "wall ms", "status", "attributes"), rows)
+
+
+def render_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    """Render a metrics snapshot as an aligned text table."""
+    if not metrics:
+        return ["(no metrics recorded)"]
+    rows = []
+    for name in sorted(metrics):
+        data = metrics[name]
+        kind = data.get("type", "?")
+        if kind == "histogram":
+            count = data.get("count", 0)
+            mean = (data.get("sum", 0.0) / count) if count else 0.0
+            detail = (f"count={count} mean={mean:.4f} "
+                      f"min={data.get('min')} max={data.get('max')}")
+            rows.append((name, kind, detail))
+        else:
+            rows.append((name, kind, str(data.get("value"))))
+    return _table(("metric", "type", "value"), rows)
+
+
+def render_stats(trace: Mapping[str, Any]) -> str:
+    """The full ``darklight stats`` report for one trace document."""
+    lines: List[str] = []
+    metadata = trace.get("metadata") or {}
+    if metadata:
+        lines.append("metadata")
+        for key in sorted(metadata):
+            lines.append(f"  {key}: {metadata[key]}")
+        lines.append("")
+    lines.append("per-stage totals")
+    lines.extend(_stage_totals(trace))
+    lines.append("")
+    lines.append("slowest spans")
+    lines.extend(_slowest_spans(trace))
+    lines.append("")
+    lines.append("metrics")
+    lines.extend(render_metrics(trace.get("metrics") or {}))
+    lines.append("")
+    lines.append("trace tree")
+    lines.append(_spans.render_flame(dict(trace)))
+    return "\n".join(lines)

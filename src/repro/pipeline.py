@@ -31,8 +31,12 @@ from repro.core.features import FeatureWeights
 from repro.core.linker import AliasLinker, LinkResult
 from repro.errors import InsufficientDataError
 from repro.forums.models import Forum
+from repro.obs.logging import get_logger
+from repro.obs.spans import span
 from repro.textproc.cleaning import CleaningConfig, PolishReport, \
     polish_forum
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -84,14 +88,21 @@ class LinkingPipeline:
         :func:`repro.core.documents.refine_forum` and an explicit
         ``utc_shift_hours``.
         """
-        polished, polish_report = polish_forum(forum, self.cleaning)
-        documents = refine_forum(
-            polished,
-            words_per_alias=self.config.words_per_alias,
-            min_timestamps=self.config.min_timestamps,
-            use_lemmatization=self.config.use_lemmatization,
-            require_activity=self.config.use_activity,
-        )
+        role = "known" if is_known else "unknown"
+        with span("pipeline.prepare_forum", forum=forum.name, role=role):
+            with span("pipeline.polish", forum=forum.name):
+                polished, polish_report = polish_forum(forum,
+                                                       self.cleaning)
+            with span("pipeline.refine", forum=forum.name):
+                documents = refine_forum(
+                    polished,
+                    words_per_alias=self.config.words_per_alias,
+                    min_timestamps=self.config.min_timestamps,
+                    use_lemmatization=self.config.use_lemmatization,
+                    require_activity=self.config.use_activity,
+                )
+        log.info("pipeline.prepare_forum", forum=forum.name, role=role,
+                 refined=len(documents))
         if is_known:
             self.report.polish_known = polish_report
             self.report.refined_known = len(documents)
@@ -131,9 +142,12 @@ class LinkingPipeline:
         if not unknown:
             raise InsufficientDataError(
                 "no unknown aliases survived refinement")
-        linker = self._make_linker()
-        linker.fit(known)
-        return linker.link(unknown)
+        with span("pipeline.link_documents", n_known=len(known),
+                  n_unknown=len(unknown),
+                  batched=self.batch_size is not None):
+            linker = self._make_linker()
+            linker.fit(known)
+            return linker.link(unknown)
 
     def link_forums(self, known_forum: Forum,
                     unknown_forum: Forum) -> LinkResult:

@@ -16,6 +16,23 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             BatchedLinker(batch_size=10, k=10)
 
+    @pytest.mark.parametrize("k", [0, -3])
+    def test_non_positive_k_rejected_with_value(self, k):
+        with pytest.raises(ConfigurationError) as excinfo:
+            BatchedLinker(batch_size=10, k=k)
+        assert str(k) in str(excinfo.value)
+
+    @pytest.mark.parametrize("batch_size", [0, -5])
+    def test_non_positive_batch_size_rejected_with_value(self,
+                                                         batch_size):
+        with pytest.raises(ConfigurationError) as excinfo:
+            BatchedLinker(batch_size=batch_size)
+        assert str(batch_size) in str(excinfo.value)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            BatchedLinker(threshold=-0.1)
+
     def test_link_before_fit(self, reddit_alter_egos):
         with pytest.raises(ConfigurationError):
             BatchedLinker().link(reddit_alter_egos.alter_egos[:1])

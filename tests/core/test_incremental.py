@@ -20,6 +20,16 @@ class TestLifecycle:
         with pytest.raises(ConfigurationError):
             IncrementalLinker(refit_after=0)
 
+    @pytest.mark.parametrize("k", [0, -2])
+    def test_non_positive_k_rejected_eagerly(self, k):
+        with pytest.raises(ConfigurationError) as excinfo:
+            IncrementalLinker(k=k)
+        assert str(k) in str(excinfo.value)
+
+    def test_invalid_threshold_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalLinker(threshold=2.0)
+
     def test_link_before_fit(self, reddit_alter_egos):
         with pytest.raises(NotFittedError):
             IncrementalLinker().link(reddit_alter_egos.alter_egos[:1])

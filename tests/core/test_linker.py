@@ -19,6 +19,12 @@ class TestConstruction:
         with pytest.raises(ConfigurationError):
             AliasLinker(threshold=1.5)
 
+    @pytest.mark.parametrize("k", [0, -1, -10])
+    def test_non_positive_k_rejected_with_value(self, k):
+        with pytest.raises(ConfigurationError) as excinfo:
+            AliasLinker(k=k)
+        assert str(k) in str(excinfo.value)
+
     def test_link_before_fit(self, reddit_alter_egos):
         with pytest.raises(NotFittedError):
             AliasLinker().link(reddit_alter_egos.alter_egos[:1])

@@ -1,0 +1,108 @@
+"""CLI telemetry: --trace writes valid JSON, stats renders it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.spans import disable_tracing, iter_spans
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace-world")
+    code = main([
+        "generate", "--out", str(out), "--seed", "5",
+        "--reddit-users", "10", "--tmg-users", "8", "--dm-users", "6",
+        "--tmg-dm-overlap", "2", "--reddit-dark-overlap", "2",
+    ])
+    assert code == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def trace_file(world_dir, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "trace.json"
+    code = main([
+        "--trace", str(path), "link",
+        "--known", str(world_dir / "dm.jsonl"),
+        "--unknown", str(world_dir / "tmg.jsonl"),
+        "--threshold", "0.5",
+    ])
+    disable_tracing()  # the CLI enabled process-wide tracing
+    assert code == 0
+    return path
+
+
+class TestTraceFile:
+    def test_valid_json_with_expected_keys(self, trace_file):
+        document = json.loads(trace_file.read_text(encoding="utf-8"))
+        assert set(document) >= {"version", "spans", "metrics",
+                                 "metadata"}
+        assert document["metadata"]["command"] == "link"
+
+    def test_contains_nested_spans_for_both_stages(self, trace_file):
+        document = json.loads(trace_file.read_text(encoding="utf-8"))
+        nodes = [n for root in document["spans"]
+                 for n in iter_spans(root)]
+        names = {n["name"] for n in nodes}
+        assert {"linker.link", "linker.stage1",
+                "linker.stage2"} <= names
+        for node in nodes:
+            if node["name"] in ("linker.stage1", "linker.stage2"):
+                assert node["wall_ms"] > 0
+
+    def test_metrics_snapshot_included(self, trace_file):
+        document = json.loads(trace_file.read_text(encoding="utf-8"))
+        metrics = document["metrics"]
+        accepted = metrics["attribution_accepted_total"]["value"]
+        rejected = metrics["attribution_rejected_total"]["value"]
+        assert accepted + rejected > 0
+
+
+class TestStatsCommand:
+    def test_stats_renders_summary(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage totals" in out
+        assert "linker.stage2" in out
+        assert "slowest spans" in out
+        assert "attribution_accepted_total" in out
+        assert "trace tree" in out
+
+    def test_stats_missing_file_fails(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_invalid_json_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["stats", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_missing_spans_key_fails(self, tmp_path, capsys):
+        bad = tmp_path / "nospans.json"
+        bad.write_text(json.dumps({"metrics": {}}), encoding="utf-8")
+        assert main(["stats", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLinkJson:
+    def test_link_json_output(self, world_dir, capsys):
+        code = main([
+            "link",
+            "--known", str(world_dir / "dm.jsonl"),
+            "--unknown", str(world_dir / "tmg.jsonl"),
+            "--threshold", "0.5", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "matches" in document
+        assert "candidate_scores" in document
+        assert document["report"]["threshold"] == 0.5
+        for match in document["matches"]:
+            assert set(match) == {"unknown_id", "candidate_id",
+                                  "score", "accepted",
+                                  "first_stage_score"}

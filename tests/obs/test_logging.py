@@ -1,0 +1,123 @@
+"""Tests for structured logging: formats, env overrides, levels."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import (
+    LOG_FORMAT_ENV,
+    LOG_LEVEL_ENV,
+    configure_logging,
+    get_logger,
+)
+
+
+@pytest.fixture()
+def capture():
+    stream = io.StringIO()
+    yield stream
+    # detach the handler so other tests are unaffected
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+class TestFormats:
+    def test_kv_format(self, capture):
+        configure_logging(level="INFO", fmt="kv", stream=capture)
+        get_logger("repro.test").info("link.done", accepted=3, k=10)
+        line = capture.getvalue().strip()
+        assert "INFO" in line
+        assert "repro.test" in line
+        assert "link.done" in line
+        assert "accepted=3" in line
+        assert "k=10" in line
+
+    def test_kv_quotes_values_with_spaces(self, capture):
+        configure_logging(level="INFO", fmt="kv", stream=capture)
+        get_logger("repro.test").info("evt", msg="two words")
+        assert "msg='two words'" in capture.getvalue()
+
+    def test_json_format_is_valid_json(self, capture):
+        configure_logging(level="INFO", fmt="json", stream=capture)
+        get_logger("repro.test").info("link.done", accepted=3)
+        record = json.loads(capture.getvalue().strip())
+        assert record["event"] == "link.done"
+        assert record["accepted"] == 3
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.test"
+        assert "ts" in record
+
+
+class TestEnvOverrides:
+    def test_env_level(self, capture, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "DEBUG")
+        configure_logging(stream=capture)
+        get_logger("repro.test").debug("dbg")
+        assert "dbg" in capture.getvalue()
+
+    def test_env_format(self, capture, monkeypatch):
+        monkeypatch.setenv(LOG_FORMAT_ENV, "json")
+        configure_logging(level="INFO", stream=capture)
+        get_logger("repro.test").info("evt")
+        json.loads(capture.getvalue().strip())
+
+    def test_explicit_beats_env(self, capture, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "DEBUG")
+        configure_logging(level="ERROR", stream=capture)
+        get_logger("repro.test").info("hidden")
+        assert capture.getvalue() == ""
+
+    def test_default_level_is_warning(self, capture, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        configure_logging(stream=capture)
+        log = get_logger("repro.test")
+        log.info("hidden")
+        log.warning("shown")
+        out = capture.getvalue()
+        assert "hidden" not in out
+        assert "shown" in out
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ConfigurationError):
+            configure_logging(level="LOUD")
+
+    def test_bad_format_raises(self):
+        with pytest.raises(ConfigurationError):
+            configure_logging(fmt="xml")
+
+
+class TestLoggerNames:
+    def test_names_rerooted_under_repro(self):
+        log = get_logger("eval.foo")
+        assert log.stdlib.name == "repro.eval.foo"
+
+    def test_repro_names_untouched(self):
+        log = get_logger("repro.core.linker")
+        assert log.stdlib.name == "repro.core.linker"
+
+    def test_reconfigure_replaces_handler(self, capture):
+        configure_logging(level="INFO", stream=capture)
+        configure_logging(level="INFO", stream=capture)
+        root = logging.getLogger("repro")
+        obs_handlers = [h for h in root.handlers
+                        if getattr(h, "_repro_obs", False)]
+        assert len(obs_handlers) == 1
+
+    def test_exception_logs_exc_name(self, capture):
+        configure_logging(level="INFO", fmt="json", stream=capture)
+        log = get_logger("repro.test")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            log.exception("failed", stage=2)
+        record = json.loads(capture.getvalue().strip().splitlines()[0])
+        assert record["exc"] == "ValueError"
+        assert record["stage"] == 2

@@ -1,0 +1,188 @@
+"""Tests for repro.obs.metrics: instruments, snapshot/reset/merge."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+    def test_merge_adds(self):
+        c = Counter("c")
+        c.inc(2)
+        c.merge({"type": "counter", "value": 5})
+        assert c.value == 7
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_merge_takes_incoming_value(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.merge({"type": "gauge", "value": 9.0})
+        assert g.value == 9.0
+
+
+class TestHistogramBuckets:
+    def test_value_on_edge_goes_to_that_bucket(self):
+        # edges 1, 2, 5: v <= edge lands in that bucket
+        h = Histogram("h", buckets=(1, 2, 5))
+        h.observe(1.0)        # bucket 0 (<= 1)
+        h.observe(1.5)        # bucket 1 (<= 2)
+        h.observe(2.0)        # bucket 1 (edge inclusive)
+        h.observe(5.0)        # bucket 2
+        h.observe(100.0)      # overflow bucket
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 2, 1, 1]
+        assert snap["count"] == 5
+
+    def test_min_max_sum_mean(self):
+        h = Histogram("h", buckets=(10,))
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 12.0
+        assert h.mean == 4.0
+        snap = h.snapshot()
+        assert snap["min"] == 2.0
+        assert snap["max"] == 6.0
+
+    def test_counts_length_is_edges_plus_one(self):
+        h = Histogram("h", buckets=(1, 2, 3))
+        assert len(h.snapshot()["counts"]) == 4
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+
+    def test_non_increasing_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(1, 1, 2))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(2, 1))
+
+    def test_reset(self):
+        h = Histogram("h", buckets=(1,))
+        h.observe(0.5)
+        h.reset()
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["counts"] == [0, 0]
+        assert snap["min"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+
+    def test_kind_clash_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ConfigurationError):
+            r.gauge("x")
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(1.5)
+        r.histogram("h", buckets=(1, 2)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2}
+        assert snap["g"] == {"type": "gauge", "value": 1.5}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["buckets"] == [1.0, 2.0]
+
+    def test_snapshot_is_sorted(self):
+        r = MetricsRegistry()
+        r.counter("zz")
+        r.counter("aa")
+        assert list(r.snapshot()) == ["aa", "zz"]
+
+    def test_reset_zeroes_but_keeps_instances(self):
+        r = MetricsRegistry()
+        c = r.counter("c")
+        c.inc(5)
+        r.reset()
+        assert r.counter("c") is c
+        assert c.value == 0
+
+    def test_merge_roundtrip(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h", buckets=(1, 2)).observe(1.5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.histogram("h", buckets=(1, 2)).observe(0.5)
+        b.merge(a.snapshot())
+        snap = b.snapshot()
+        assert snap["c"]["value"] == 5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["counts"] == [1, 1, 0]
+
+    def test_merge_creates_missing_instruments(self):
+        a = MetricsRegistry()
+        a.gauge("only_in_a").set(7.0)
+        b = MetricsRegistry()
+        b.merge(a.snapshot())
+        assert b.gauge("only_in_a").value == 7.0
+
+    def test_merge_histogram_bucket_mismatch_raises(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1, 2)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1, 3))
+        with pytest.raises(ConfigurationError):
+            b.merge(a.snapshot())
+
+    def test_merge_unknown_type_raises(self):
+        r = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            r.merge({"m": {"type": "summary", "value": 1}})

@@ -1,0 +1,95 @@
+"""Tests for trace persistence and the stats renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    build_trace_document,
+    load_trace,
+    render_metrics,
+    render_stats,
+    write_trace,
+)
+from repro.obs.spans import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enabled = True
+    with t.span("root"):
+        with t.span("child", k=3):
+            pass
+    return t
+
+
+@pytest.fixture()
+def registry():
+    r = MetricsRegistry()
+    r.counter("hits_total").inc(4)
+    r.gauge("size").set(2.0)
+    r.histogram("lat", buckets=(1, 10)).observe(0.5)
+    return r
+
+
+class TestPersistence:
+    def test_build_document_combines_spans_and_metrics(self, tracer,
+                                                       registry):
+        document = build_trace_document(metadata={"scale": "small"},
+                                        tracer=tracer,
+                                        registry=registry)
+        assert document["metadata"] == {"scale": "small"}
+        assert document["metrics"]["hits_total"]["value"] == 4
+        assert document["spans"][0]["name"] == "root"
+
+    def test_write_then_load_roundtrip(self, tracer, registry,
+                                       tmp_path):
+        path = write_trace(tmp_path / "t.json", tracer=tracer,
+                           registry=registry)
+        loaded = load_trace(path)
+        assert loaded["spans"][0]["children"][0]["name"] == "child"
+        # file is plain JSON readable by anything
+        json.loads(path.read_text(encoding="utf-8"))
+
+    def test_load_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_trace(tmp_path / "absent.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("][", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_trace(bad)
+
+    def test_load_wrong_shape_raises(self, tmp_path):
+        bad = tmp_path / "shape.json"
+        bad.write_text(json.dumps([1, 2]), encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_trace(bad)
+
+
+class TestRendering:
+    def test_render_stats_sections(self, tracer, registry):
+        document = build_trace_document(metadata={"command": "link"},
+                                        tracer=tracer,
+                                        registry=registry)
+        text = render_stats(document)
+        for expected in ("metadata", "per-stage totals",
+                         "slowest spans", "metrics", "trace tree",
+                         "root", "child", "hits_total"):
+            assert expected in text
+
+    def test_render_stats_empty_trace(self):
+        text = render_stats({"spans": [], "metrics": {}})
+        assert "no spans recorded" in text
+        assert "no metrics recorded" in text
+
+    def test_render_metrics_histogram_line(self, registry):
+        lines = "\n".join(render_metrics(registry.snapshot()))
+        assert "lat" in lines
+        assert "count=1" in lines

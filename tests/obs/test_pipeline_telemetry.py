@@ -1,0 +1,127 @@
+"""End-to-end telemetry: the instrumented pipeline emits the expected
+spans and its counters satisfy the accounting invariant
+
+    attribution_accepted_total + attribution_rejected_total
+        == number of unknown aliases linked
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linker import AliasLinker
+from repro.obs.metrics import get_registry
+from repro.obs.spans import (
+    disable_tracing,
+    enable_tracing,
+    get_trace,
+    iter_spans,
+    reset_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_trace():
+    reset_trace()
+    enable_tracing()
+    yield
+    disable_tracing()
+    reset_trace()
+
+
+@pytest.fixture(scope="module")
+def linked(reddit_alter_egos):
+    """One traced linking run over the session alter-ego dataset."""
+    registry = get_registry()
+    before = registry.snapshot()
+    reset_trace()
+    enable_tracing()
+    linker = AliasLinker(threshold=0.5)
+    linker.fit(reddit_alter_egos.originals)
+    result = linker.link(reddit_alter_egos.alter_egos)
+    trace = get_trace()
+    after = registry.snapshot()
+    disable_tracing()
+    return reddit_alter_egos, result, trace, before, after
+
+
+def _names(trace):
+    return [node["name"] for root in trace["spans"]
+            for node in iter_spans(root)]
+
+
+def _counter_delta(before, after, name):
+    old = before.get(name, {}).get("value", 0)
+    return after.get(name, {}).get("value", 0) - old
+
+
+class TestSpanEmission:
+    def test_expected_span_names_present(self, linked):
+        _, _, trace, _, _ = linked
+        names = set(_names(trace))
+        assert {"linker.fit", "linker.link", "linker.stage1",
+                "linker.stage2", "kattribution.fit",
+                "kattribution.reduce", "features.fit",
+                "features.transform"} <= names
+
+    def test_both_stages_nested_under_link(self, linked):
+        _, _, trace, _, _ = linked
+        link_roots = [r for r in trace["spans"]
+                      if r["name"] == "linker.link"]
+        assert len(link_roots) == 1
+        child_names = {c["name"] for c in link_roots[0]["children"]}
+        assert {"linker.stage1", "linker.stage2"} <= child_names
+
+    def test_one_stage2_span_per_unknown(self, linked):
+        dataset, _, trace, _, _ = linked
+        stage2 = [n for n in _names(trace) if n == "linker.stage2"]
+        assert len(stage2) == len(dataset.alter_egos)
+
+    def test_stage_durations_nonzero(self, linked):
+        _, _, trace, _, _ = linked
+        for root in trace["spans"]:
+            for node in iter_spans(root):
+                if node["name"] in ("linker.stage1", "linker.stage2"):
+                    assert node["wall_ms"] > 0
+
+
+class TestCounterInvariants:
+    def test_accepted_plus_rejected_equals_unknowns(self, linked):
+        dataset, _, _, before, after = linked
+        accepted = _counter_delta(before, after,
+                                  "attribution_accepted_total")
+        rejected = _counter_delta(before, after,
+                                  "attribution_rejected_total")
+        assert accepted + rejected == len(dataset.alter_egos)
+
+    def test_counters_match_result(self, linked):
+        dataset, result, _, before, after = linked
+        accepted = _counter_delta(before, after,
+                                  "attribution_accepted_total")
+        assert accepted == len(result.accepted())
+
+    def test_score_histogram_observed_once_per_unknown(self, linked):
+        dataset, _, _, before, after = linked
+        old = before.get("similarity_score", {}).get("count", 0)
+        new = after["similarity_score"]["count"]
+        assert new - old == len(dataset.alter_egos)
+
+    def test_vocab_size_gauge_positive(self, linked):
+        _, _, _, _, after = linked
+        assert after["encoder_vocab_size"]["value"] > 0
+
+
+class TestResultSerialization:
+    def test_link_result_roundtrip(self, linked):
+        from repro.core.linker import LinkResult
+
+        _, result, _, _, _ = linked
+        restored = LinkResult.from_dict(result.to_dict())
+        assert restored.matches == result.matches
+        assert restored.candidate_scores == result.candidate_scores
+
+    def test_match_to_dict_field_list(self, linked):
+        _, result, _, _, _ = linked
+        data = result.matches[0].to_dict()
+        assert set(data) == {"unknown_id", "candidate_id", "score",
+                             "accepted", "first_stage_score"}

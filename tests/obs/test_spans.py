@@ -1,0 +1,200 @@
+"""Tests for repro.obs.spans: nesting, exceptions, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    Span,
+    Tracer,
+    aggregate_spans,
+    iter_spans,
+    render_flame,
+)
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enabled = True
+    return t
+
+
+class TestNesting:
+    def test_children_attach_to_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        roots = tracer.roots()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == \
+            ["inner.a", "inner.b"]
+
+    def test_three_levels_deep(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        (root,) = tracer.roots()
+        assert root.children[0].children[0].name == "c"
+
+    def test_durations_nonzero_and_nested_le_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(10_000))
+        (root,) = tracer.roots()
+        inner = root.children[0]
+        assert root.wall_ms > 0
+        assert inner.wall_ms > 0
+        assert inner.wall_ms <= root.wall_ms
+
+    def test_current_span_tracks_stack(self, tracer):
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+    def test_attributes_recorded(self, tracer):
+        with tracer.span("s", k=10, label="x") as s:
+            s.set_attribute("extra", 1)
+        (root,) = tracer.roots()
+        assert root.attributes == {"k": 10, "label": "x", "extra": 1}
+
+
+class TestExceptions:
+    def test_exception_restores_active_span(self, tracer):
+        with tracer.span("outer"):
+            with pytest.raises(ValueError):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+            # the active span must be back to "outer"
+            assert tracer.current_span().name == "outer"
+            with tracer.span("after"):
+                pass
+        (root,) = tracer.roots()
+        assert [c.name for c in root.children] == ["failing", "after"]
+
+    def test_exception_marks_status_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (root,) = tracer.roots()
+        assert root.status == "error"
+        assert "boom" in root.error
+        assert root.wall_ms >= 0
+
+    def test_ok_status_by_default(self, tracer):
+        with tracer.span("fine"):
+            pass
+        assert tracer.roots()[0].status == "ok"
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        with t.span("invisible"):
+            pass
+        assert t.roots() == []
+
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        a = t.span("x")
+        b = t.span("y")
+        assert a is b  # no allocation on the fast path
+
+    def test_timer_measures_even_when_disabled(self):
+        t = Tracer()
+        with t.timer("bench") as clock:
+            sum(range(10_000))
+        assert clock.wall_ms > 0
+        assert t.roots() == []  # not recorded while disabled
+
+    def test_timer_records_when_enabled(self):
+        t = Tracer()
+        t.enabled = True
+        with t.timer("bench"):
+            pass
+        assert [s.name for s in t.roots()] == ["bench"]
+
+
+class TestThreads:
+    def test_each_thread_gets_own_stack(self, tracer):
+        errors = []
+
+        def worker(i):
+            try:
+                with tracer.span(f"thread-{i}"):
+                    with tracer.span("child"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = tracer.roots()
+        assert len(roots) == 8
+        assert all(len(r.children) == 1 for r in roots)
+
+
+class TestExportAndAnalysis:
+    def _trace(self, tracer):
+        with tracer.span("root", k=10):
+            with tracer.span("stage"):
+                pass
+            with tracer.span("stage"):
+                pass
+        return tracer.to_dict()
+
+    def test_to_dict_shape(self, tracer):
+        trace = self._trace(tracer)
+        assert trace["version"] == 1
+        (root,) = trace["spans"]
+        assert root["name"] == "root"
+        assert root["attributes"] == {"k": 10}
+        assert len(root["children"]) == 2
+
+    def test_iter_spans_walks_everything(self, tracer):
+        trace = self._trace(tracer)
+        names = [n["name"] for n in iter_spans(trace["spans"][0])]
+        assert names == ["root", "stage", "stage"]
+
+    def test_aggregate_spans_sums_by_name(self, tracer):
+        trace = self._trace(tracer)
+        totals = aggregate_spans(trace)
+        assert totals["stage"]["calls"] == 2
+        assert totals["root"]["calls"] == 1
+        assert totals["root"]["wall_ms"] >= totals["stage"]["wall_ms"]
+
+    def test_render_flame_collapses_siblings(self, tracer):
+        trace = self._trace(tracer)
+        text = render_flame(trace)
+        assert "root" in text
+        assert "stage [x2]" in text
+
+    def test_render_flame_empty(self):
+        assert "empty" in render_flame({"spans": []})
+
+    def test_reset_drops_roots(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+
+    def test_span_repr_roundtrip_keys(self):
+        s = Span("n", {"a": 1})
+        s._start()
+        s._finish()
+        d = s.to_dict()
+        assert set(d) >= {"name", "wall_ms", "cpu_ms", "status"}
