@@ -17,7 +17,10 @@ worlds (see DESIGN.md for the substitution rationale):
   manual-evaluation protocol of Section V-A;
 * :mod:`repro.profiling` — personal-information extraction (§V-D);
 * :mod:`repro.obs` — observability: tracing spans, metrics registry,
-  structured logging (``docs/observability.md``).
+  structured logging (``docs/observability.md``);
+* :mod:`repro.resilience` — fault tolerance: retry policies,
+  deterministic fault injection, resumable checkpoints
+  (``docs/robustness.md``).
 
 Quick start::
 
@@ -52,16 +55,22 @@ from repro.core import (
     ThresholdCalibrator,
 )
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     DatasetError,
     InsufficientDataError,
     LanguageDetectionError,
     NotFittedError,
     ReproError,
+    ResilienceError,
+    RetryExhaustedError,
     ScrapeError,
+    TransientError,
 )
 from repro import obs
+from repro import resilience
 from repro.pipeline import LinkingPipeline, PipelineReport
+from repro.resilience import CheckpointStore, FaultPlan, RetryPolicy
 
 __version__ = "1.0.0"
 
@@ -82,15 +91,23 @@ __all__ = [
     "Match",
     "StandardBaseline",
     "ThresholdCalibrator",
+    "CheckpointError",
+    "CheckpointStore",
     "ConfigurationError",
     "DatasetError",
+    "FaultPlan",
     "InsufficientDataError",
     "LanguageDetectionError",
     "NotFittedError",
     "ReproError",
+    "ResilienceError",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "ScrapeError",
+    "TransientError",
     "LinkingPipeline",
     "PipelineReport",
     "obs",
+    "resilience",
     "__version__",
 ]

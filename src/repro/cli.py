@@ -7,7 +7,9 @@ Six subcommands cover the end-to-end workflow of the paper:
 * ``calibrate`` — find the acceptance threshold on a forum's alter
   egos (Section IV-E);
 * ``link`` — link the aliases of one forum against another
-  (Sections IV-I/IV-J);
+  (Sections IV-I/IV-J); ``--checkpoint FILE``/``--resume`` make long
+  runs crash-safe, ``--max-retries``/``--retry-deadline`` bound
+  transient-failure retries (see ``docs/robustness.md``);
 * ``profile`` — extract the §V-D personal profile of one alias;
 * ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
   slowest spans, metric table).
@@ -36,6 +38,7 @@ from repro.obs.report import load_trace, render_stats, write_trace
 from repro.obs.spans import enable_tracing, reset_trace
 from repro.pipeline import LinkingPipeline
 from repro.profiling.extractor import ProfileExtractor
+from repro.resilience.policy import RetryPolicy
 from repro.profiling.report import render_report
 from repro.synth.world import WorldConfig, build_world
 from repro.textproc.cleaning import CleaningConfig, polish_forum
@@ -96,13 +99,23 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def _cmd_link(args: argparse.Namespace) -> int:
+    retry_policy = None
+    if args.max_retries is not None or args.retry_deadline is not None:
+        retry_policy = RetryPolicy(
+            max_retries=args.max_retries
+            if args.max_retries is not None else 3,
+            deadline=args.retry_deadline,
+        )
     known = load_forum(args.known)
     unknown = load_forum(args.unknown)
     pipeline = LinkingPipeline(
         PipelineConfig(threshold=args.threshold),
         batch_size=args.batch_size,
+        retry_policy=retry_policy,
     )
-    result = pipeline.link_forums(known, unknown)
+    result = pipeline.link_forums(known, unknown,
+                                  checkpoint=args.checkpoint,
+                                  resume=args.resume)
     accepted = result.accepted()
     if args.json:
         document = result.to_dict()
@@ -121,6 +134,11 @@ def _cmd_link(args: argparse.Namespace) -> int:
     for match in sorted(accepted, key=lambda m: -m.score):
         print(f"  {match.unknown_id} -> {match.candidate_id} "
               f"(score {match.score:.4f})")
+    if result.skipped:
+        print(f"skipped unknowns: {len(result.skipped)}")
+        for entry in result.skipped:
+            print(f"  {entry.unknown_id} [{entry.stage}] "
+                  f"{entry.reason}")
     return 0
 
 
@@ -194,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="enable the IV-J batched pipeline")
     link.add_argument("--json", action="store_true",
                       help="print the full LinkResult as JSON")
+    link.add_argument("--checkpoint", metavar="FILE", default=None,
+                      help="persist each finished unknown to FILE "
+                           "(atomic; enables --resume after a crash)")
+    link.add_argument("--resume", action="store_true",
+                      help="skip unknowns already completed in "
+                           "--checkpoint FILE")
+    link.add_argument("--max-retries", type=int, default=None,
+                      help="retries per pipeline stage on transient "
+                           "failures (default 3 when retries are "
+                           "enabled)")
+    link.add_argument("--retry-deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="total retry budget per stage in seconds")
     link.set_defaults(func=_cmd_link)
 
     stats = sub.add_parser("stats",

@@ -36,7 +36,8 @@ from repro.core.features import (
     frequency_features,
 )
 from repro.core.kattribution import Candidates, KAttributor
-from repro.core.linker import AliasLinker, LinkResult, Match
+from repro.core.linker import AliasLinker, LinkResult, Match, \
+    SkippedUnknown, check_document
 from repro.core.similarity import cosine_pair, cosine_similarity, top_k
 from repro.core.tfidf import TfidfModel, l2_normalize_rows
 from repro.core.threshold import (
@@ -75,6 +76,8 @@ __all__ = [
     "AliasLinker",
     "LinkResult",
     "Match",
+    "SkippedUnknown",
+    "check_document",
     "cosine_pair",
     "cosine_similarity",
     "top_k",

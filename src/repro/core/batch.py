@@ -28,9 +28,19 @@ from repro.config import (
 from repro.core.documents import AliasDocument
 from repro.core.features import DocumentEncoder, FeatureWeights
 from repro.core.kattribution import KAttributor
-from repro.core.linker import AliasLinker, LinkResult, Match
-from repro.errors import ConfigurationError
+from repro.core.linker import (
+    AliasLinker,
+    LinkResult,
+    Match,
+    SkippedUnknown,
+    _assemble,
+    _placeholder_id,
+    _quarantine,
+    check_document,
+)
+from repro.errors import ConfigurationError, DatasetError
 from repro.obs.logging import get_logger
+from repro.resilience.checkpoint import CheckpointStore, open_store
 from repro.obs.metrics import SIZE_BUCKETS, counter, histogram
 from repro.obs.spans import span
 
@@ -116,34 +126,114 @@ class BatchedLinker:
                     survivors[i].extend(candidates.documents)
         return survivors
 
-    def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
-        """Run the batched pipeline for a set of unknown aliases."""
+    def _fingerprint(self) -> Dict[str, object]:
+        """Run configuration pinned into checkpoint files."""
+        return {"algo": "batched-linker",
+                "n_known": len(self._known or ()),
+                "k": self.k,
+                "threshold": self.threshold,
+                "batch_size": self.batch_size}
+
+    def _shared_round(self, pending: Sequence[AliasDocument],
+                      skipped: Dict[str, SkippedUnknown],
+                      store: Optional[CheckpointStore],
+                      ) -> List[Tuple[AliasDocument,
+                                      List[AliasDocument]]]:
+        """Round 1 with per-document error isolation.
+
+        Normally one pass batches the full known set against every
+        pending unknown at once; if that raises, each unknown is
+        retried alone so only the bad ones are quarantined.
+        """
+        if not pending:
+            return []
+        try:
+            pools = self._reduce_pool(self._known, pending)
+            return list(zip(pending, pools))
+        except Exception:
+            pairs: List[Tuple[AliasDocument, List[AliasDocument]]] = []
+            for unknown in pending:
+                try:
+                    pairs.append(
+                        (unknown,
+                         self._reduce_pool(self._known, [unknown])[0]))
+                except Exception as exc:
+                    _quarantine(unknown.doc_id,
+                                f"search-space reduction failed: {exc}",
+                                "reduce", skipped, store)
+            return pairs
+
+    def link(self, unknowns: Sequence[AliasDocument],
+             checkpoint: Optional[object] = None,
+             resume: bool = False) -> LinkResult:
+        """Run the batched pipeline for a set of unknown aliases.
+
+        Malformed or failing unknowns land in ``LinkResult.skipped``
+        instead of aborting the run.  With *checkpoint* set, each
+        finished unknown is persisted atomically; *resume* skips the
+        unknowns a previous (interrupted) run completed and yields a
+        result identical to an uninterrupted run.
+        """
         if self._known is None:
             raise ConfigurationError("BatchedLinker.fit has not been called")
+        unknowns = list(unknowns)
+        store = open_store(checkpoint, fingerprint=self._fingerprint(),
+                           resume=resume)
+        skipped: Dict[str, SkippedUnknown] = {}
+        results: Dict[str, Tuple[List[Match],
+                                 List[Tuple[str, float]]]] = {}
+        valid: List[AliasDocument] = []
+        for position, unknown in enumerate(unknowns):
+            try:
+                check_document(unknown)
+            except DatasetError as exc:
+                _quarantine(_placeholder_id(unknown, position),
+                            str(exc), "validate", skipped, store)
+                continue
+            valid.append(unknown)
+        pending = [u for u in valid
+                   if store is None or u.doc_id not in store]
         with span("batch.link", n_unknowns=len(unknowns),
                   n_known=len(self._known), batch_size=self.batch_size):
             # Round 1 is shared: every unknown faces the same batches.
-            pools = self._reduce_pool(self._known, unknowns)
-            matches: List[Match] = []
-            candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
-            for unknown, pool in zip(unknowns, pools):
-                # Subsequent rounds shrink each unknown's private pool.
-                while len(pool) > self.batch_size:
-                    pool = self._reduce_pool(pool, [unknown])[0]
-                linker = AliasLinker(
-                    k=min(self.k, len(pool)),
-                    threshold=self.threshold,
-                    reduction_budget=self.reduction_budget,
-                    final_budget=self.final_budget,
-                    weights=self.weights,
-                    use_activity=self.use_activity,
-                )
-                linker.fit(pool)
-                result = linker.link([unknown])
-                matches.extend(result.matches)
-                candidate_scores.update(result.candidate_scores)
+            for unknown, pool in self._shared_round(pending, skipped,
+                                                    store):
+                try:
+                    # Subsequent rounds shrink each unknown's private
+                    # pool.
+                    while len(pool) > self.batch_size:
+                        pool = self._reduce_pool(pool, [unknown])[0]
+                    linker = AliasLinker(
+                        k=min(self.k, len(pool)),
+                        threshold=self.threshold,
+                        reduction_budget=self.reduction_budget,
+                        final_budget=self.final_budget,
+                        weights=self.weights,
+                        use_activity=self.use_activity,
+                    )
+                    linker.fit(pool)
+                    result = linker.link([unknown])
+                except Exception as exc:
+                    _quarantine(unknown.doc_id,
+                                f"batched attribution failed: {exc}",
+                                "attribute", skipped, store)
+                    continue
+                if result.skipped:
+                    # The inner linker already counted and logged the
+                    # quarantine; just adopt its verdict.
+                    entry = result.skipped[0]
+                    skipped[unknown.doc_id] = entry
+                    if store is not None:
+                        store.record(unknown.doc_id, [], [],
+                                     skipped=entry.to_dict())
+                    continue
+                scored = result.candidate_scores.get(unknown.doc_id, [])
+                results[unknown.doc_id] = (list(result.matches), scored)
+                if store is not None:
+                    store.record(unknown.doc_id, result.matches, scored)
+        final = _assemble(unknowns, results, skipped, store)
         log.info("batch.link", n_unknowns=len(unknowns),
                  n_known=len(self._known), batch_size=self.batch_size,
-                 accepted=sum(1 for m in matches if m.accepted))
-        return LinkResult(matches=matches,
-                          candidate_scores=candidate_scores)
+                 accepted=sum(1 for m in final.matches if m.accepted),
+                 skipped=len(final.skipped))
+        return final

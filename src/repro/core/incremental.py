@@ -157,8 +157,15 @@ class IncrementalLinker:
 
     # -- querying --------------------------------------------------------------
 
-    def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
-        """Link unknowns against everything known so far."""
+    def link(self, unknowns: Sequence[AliasDocument],
+             checkpoint: Optional[object] = None,
+             resume: bool = False) -> LinkResult:
+        """Link unknowns against everything known so far.
+
+        *checkpoint* / *resume* and the quarantine semantics are those
+        of :meth:`repro.core.linker.AliasLinker.link`.
+        """
         if self._linker is None:
             raise NotFittedError("IncrementalLinker.fit not called")
-        return self._linker.link(list(unknowns))
+        return self._linker.link(list(unknowns), checkpoint=checkpoint,
+                                 resume=resume)

@@ -18,7 +18,7 @@ corpus it was diluted across thousands of users.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,11 +38,12 @@ from repro.core.features import (
 )
 from repro.core.kattribution import Candidates, KAttributor
 from repro.core.similarity import cosine_similarity
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import ConfigurationError, DatasetError, NotFittedError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import SCORE_BUCKETS, SIZE_BUCKETS, counter, \
     histogram
 from repro.obs.spans import span
+from repro.resilience.checkpoint import CheckpointStore, open_store
 
 log = get_logger(__name__)
 
@@ -50,6 +51,8 @@ log = get_logger(__name__)
 _ACCEPTED = counter("attribution_accepted_total")
 #: Unknowns whose best candidate fell below the threshold.
 _REJECTED = counter("attribution_rejected_total")
+#: Unknowns quarantined instead of linked (malformed or failing).
+_SKIPPED = counter("attribution_skipped_total")
 #: Distribution of winning second-stage scores.
 _BEST_SCORE = histogram("similarity_score", buckets=SCORE_BUCKETS)
 #: Candidate-set sizes entering the final stage.
@@ -105,17 +108,58 @@ class Match:
 
 
 @dataclass(frozen=True)
+class SkippedUnknown:
+    """One unknown alias quarantined instead of linked.
+
+    A malformed or failing document must not abort a multi-hour batch
+    run (graceful degradation); it is set aside with enough context to
+    audit — or re-feed — it later.
+
+    Attributes
+    ----------
+    unknown_id:
+        Document id (or a positional placeholder when the document has
+        none).
+    reason:
+        Human-readable account of what was wrong.
+    stage:
+        Where it failed: ``"validate"``, ``"reduce"`` or
+        ``"attribute"``.
+    """
+
+    unknown_id: str
+    reason: str
+    stage: str = "validate"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form."""
+        return {"unknown_id": self.unknown_id, "reason": self.reason,
+                "stage": self.stage}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SkippedUnknown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(unknown_id=str(data["unknown_id"]),
+                   reason=str(data.get("reason", "")),
+                   stage=str(data.get("stage", "validate")))
+
+
+@dataclass(frozen=True)
 class LinkResult:
     """Everything a linking run produced.
 
     ``matches`` holds one entry per unknown alias (its best candidate,
     accepted or not); ``candidate_scores`` holds the second-stage score
     of *every* candidate of every unknown, which the evaluation uses to
-    draw precision-recall curves without re-running the pipeline.
+    draw precision-recall curves without re-running the pipeline;
+    ``skipped`` lists the unknowns quarantined instead of linked, so
+    ``len(matches) + len(skipped)`` always equals the number of
+    unknowns submitted.
     """
 
     matches: List[Match]
     candidate_scores: Dict[str, List[Tuple[str, float]]]
+    skipped: List[SkippedUnknown] = field(default_factory=list)
 
     def accepted(self) -> List[Match]:
         """Only the pairs the algorithm actually outputs."""
@@ -135,6 +179,7 @@ class LinkResult:
                 unknown_id: [[cid, score] for cid, score in pairs]
                 for unknown_id, pairs in self.candidate_scores.items()
             },
+            "skipped": [s.to_dict() for s in self.skipped],
         }
 
     @classmethod
@@ -148,7 +193,116 @@ class LinkResult:
                 for unknown_id, pairs in
                 data.get("candidate_scores", {}).items()
             },
+            skipped=[SkippedUnknown.from_dict(s)
+                     for s in data.get("skipped", [])],
         )
+
+
+def check_document(document: Any) -> None:
+    """Validate that *document* can safely enter the linking stages.
+
+    Raises :class:`~repro.errors.DatasetError` with a precise reason on
+    anything the feature extractors would choke on — the linkers call
+    this up front so one bad record is quarantined instead of aborting
+    a whole run half-way through stage 1.
+    """
+    if not isinstance(document, AliasDocument):
+        raise DatasetError(
+            f"not an AliasDocument: {type(document).__name__}")
+    if not isinstance(document.doc_id, str) or not document.doc_id:
+        raise DatasetError("document has no doc_id")
+    if not isinstance(document.text, str):
+        raise DatasetError(
+            f"{document.doc_id}: text is "
+            f"{type(document.text).__name__}, expected str")
+    try:
+        words_ok = all(isinstance(w, str) for w in document.words)
+    except TypeError:
+        words_ok = False
+    if not words_ok:
+        raise DatasetError(
+            f"{document.doc_id}: words must be an iterable of strings")
+    if document.activity is not None:
+        try:
+            activity = np.asarray(document.activity, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"{document.doc_id}: activity profile is not "
+                f"numeric") from exc
+        if activity.ndim != 1:
+            raise DatasetError(
+                f"{document.doc_id}: activity profile must be "
+                f"1-dimensional, got shape {activity.shape}")
+        if not np.all(np.isfinite(activity)):
+            raise DatasetError(
+                f"{document.doc_id}: activity profile contains "
+                f"non-finite values")
+    if not document.text and not document.words \
+            and document.activity is None:
+        raise DatasetError(f"{document.doc_id}: document is empty")
+
+
+def _placeholder_id(document: Any, position: int) -> str:
+    """A stable id for quarantine records of id-less documents."""
+    doc_id = getattr(document, "doc_id", None)
+    if isinstance(doc_id, str) and doc_id:
+        return doc_id
+    return f"<unknown #{position}>"
+
+
+def _quarantine(unknown_id: str, reason: str, stage: str,
+                skipped: Dict[str, "SkippedUnknown"],
+                store: Optional[CheckpointStore]) -> None:
+    """Set one unknown aside (shared by every linker variant)."""
+    entry = SkippedUnknown(unknown_id=unknown_id, reason=reason,
+                           stage=stage)
+    skipped[unknown_id] = entry
+    _SKIPPED.inc()
+    log.warning("linker.skip", unknown=unknown_id, stage=stage,
+                reason=reason)
+    if store is not None:
+        store.record(unknown_id, [], [], skipped=entry.to_dict())
+
+
+def _assemble(unknowns: Sequence[Any],
+              results: Dict[str, Tuple[List[Match],
+                                       List[Tuple[str, float]]]],
+              skipped: Dict[str, "SkippedUnknown"],
+              store: Optional[CheckpointStore]) -> LinkResult:
+    """Build the final :class:`LinkResult` in submission order.
+
+    When a checkpoint store is active, *everything* is read back from
+    it (fresh results were recorded there too), so a resumed run and an
+    uninterrupted run assemble byte-identical results.
+    """
+    matches: List[Match] = []
+    candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
+    skipped_list: List[SkippedUnknown] = []
+    for position, unknown in enumerate(unknowns):
+        unknown_id = _placeholder_id(unknown, position)
+        if unknown_id in skipped:
+            skipped_list.append(skipped[unknown_id])
+            continue
+        if store is not None and unknown_id in store:
+            quarantined = store.skipped_for(unknown_id)
+            if quarantined is not None:
+                skipped_list.append(
+                    SkippedUnknown.from_dict(quarantined))
+                continue
+            matches.extend(store.matches_for(unknown_id))
+            candidate_scores[unknown_id] = store.scores_for(unknown_id)
+            continue
+        entry = results.get(unknown_id)
+        if entry is None:  # defensive: should be unreachable
+            skipped_list.append(SkippedUnknown(
+                unknown_id=unknown_id, reason="no result produced",
+                stage="attribute"))
+            continue
+        unknown_matches, scored = entry
+        matches.extend(unknown_matches)
+        candidate_scores[unknown_id] = scored
+    return LinkResult(matches=matches, candidate_scores=candidate_scores,
+                      skipped=skipped_list)
 
 
 class AliasLinker:
@@ -234,38 +388,102 @@ class AliasLinker:
         return [(doc.doc_id, float(score))
                 for doc, score in zip(candidates, scores)]
 
-    def link(self, unknowns: Sequence[AliasDocument]) -> LinkResult:
-        """Run the full pipeline for a batch of unknown aliases."""
+    def _fingerprint(self) -> Dict[str, Any]:
+        """Run configuration pinned into checkpoint files."""
+        return {"algo": "alias-linker",
+                "n_known": len(self._known or ()),
+                "k": self.k,
+                "threshold": self.threshold}
+
+    def _reduce_isolated(self, pending: Sequence[AliasDocument],
+                         skipped: Dict[str, SkippedUnknown],
+                         store: Optional[CheckpointStore],
+                         ) -> List[Candidates]:
+        """Stage 1 with per-document error isolation.
+
+        The fast path reduces the whole batch in one matrix operation;
+        if that raises, the batch is retried one document at a time so
+        only the genuinely bad documents are quarantined.
+        """
+        if not pending:
+            return []
+        with span("linker.stage1", k=self.k,
+                  reduction=self.use_reduction):
+            if not self.use_reduction:
+                return [
+                    Candidates(unknown=u, documents=tuple(self._known),
+                               scores=tuple([0.0] * len(self._known)))
+                    for u in pending
+                ]
+            try:
+                return self.reducer.reduce(pending)
+            except Exception:
+                survivors: List[Candidates] = []
+                for unknown in pending:
+                    try:
+                        survivors.extend(self.reducer.reduce([unknown]))
+                    except Exception as exc:
+                        _quarantine(
+                            unknown.doc_id,
+                            f"search-space reduction failed: {exc}",
+                            "reduce", skipped, store)
+                return survivors
+
+    def link(self, unknowns: Sequence[AliasDocument],
+             checkpoint: Optional[Any] = None,
+             resume: bool = False) -> LinkResult:
+        """Run the full pipeline for a batch of unknown aliases.
+
+        Malformed or failing unknowns are quarantined into
+        ``LinkResult.skipped`` instead of aborting the run.  With
+        *checkpoint* set, every finished unknown is persisted
+        atomically to that path; *resume* additionally skips the
+        unknowns an earlier (interrupted) run already completed, and
+        the assembled result is identical to an uninterrupted run.
+        """
         if self._known is None:
             raise NotFittedError("AliasLinker.fit has not been called")
-        matches: List[Match] = []
-        candidate_scores: Dict[str, List[Tuple[str, float]]] = {}
+        unknowns = list(unknowns)
+        store = open_store(checkpoint, fingerprint=self._fingerprint(),
+                           resume=resume)
+        skipped: Dict[str, SkippedUnknown] = {}
+        results: Dict[str, Tuple[List[Match],
+                                 List[Tuple[str, float]]]] = {}
+        valid: List[AliasDocument] = []
+        for position, unknown in enumerate(unknowns):
+            try:
+                check_document(unknown)
+            except DatasetError as exc:
+                _quarantine(_placeholder_id(unknown, position),
+                            str(exc), "validate", skipped, store)
+                continue
+            valid.append(unknown)
+        pending = [u for u in valid
+                   if store is None or u.doc_id not in store]
         n_accepted = 0
         with span("linker.link", n_unknowns=len(unknowns),
                   n_known=len(self._known)):
-            with span("linker.stage1", k=self.k,
-                      reduction=self.use_reduction):
-                if self.use_reduction:
-                    reduced = self.reducer.reduce(unknowns)
-                else:
-                    reduced = [
-                        Candidates(unknown=u, documents=tuple(self._known),
-                                   scores=tuple([0.0] * len(self._known)))
-                        for u in unknowns
-                    ]
-            for candidates in reduced:
+            for candidates in self._reduce_isolated(pending, skipped,
+                                                    store):
                 unknown = candidates.unknown
-                with span("linker.stage2", unknown=unknown.doc_id,
-                          k=len(candidates.documents)):
-                    scored = self._rescore(unknown, candidates.documents)
+                try:
+                    with span("linker.stage2", unknown=unknown.doc_id,
+                              k=len(candidates.documents)):
+                        scored = self._rescore(unknown,
+                                               candidates.documents)
+                    best_id, best_score = max(scored,
+                                              key=lambda pair: pair[1])
+                except Exception as exc:
+                    _quarantine(unknown.doc_id,
+                                f"final attribution failed: {exc}",
+                                "attribute", skipped, store)
+                    continue
                 _CANDIDATE_SET.observe(len(candidates.documents))
                 _RESCORED.inc(len(scored))
-                candidate_scores[unknown.doc_id] = scored
                 first_stage = dict(
                     (doc.doc_id, score)
                     for doc, score in zip(candidates.documents,
                                           candidates.scores))
-                best_id, best_score = max(scored, key=lambda pair: pair[1])
                 accepted = best_score >= self.threshold
                 _BEST_SCORE.observe(best_score)
                 if accepted:
@@ -273,20 +491,31 @@ class AliasLinker:
                     n_accepted += 1
                 else:
                     _REJECTED.inc()
-                matches.append(Match(
+                match = Match(
                     unknown_id=unknown.doc_id,
                     candidate_id=best_id,
                     score=best_score,
                     accepted=accepted,
                     first_stage_score=first_stage.get(best_id, 0.0),
-                ))
+                )
+                results[unknown.doc_id] = ([match], scored)
+                if store is not None:
+                    store.record(unknown.doc_id, [match], scored)
         log.info("linker.link", n_unknowns=len(unknowns),
                  n_known=len(self._known), accepted=n_accepted,
-                 rejected=len(matches) - n_accepted,
-                 threshold=self.threshold)
-        return LinkResult(matches=matches,
-                          candidate_scores=candidate_scores)
+                 skipped=len(skipped), threshold=self.threshold)
+        return _assemble(unknowns, results, skipped, store)
 
     def link_one(self, unknown: AliasDocument) -> Match:
-        """Convenience: link a single unknown alias."""
-        return self.link([unknown]).matches[0]
+        """Convenience: link a single unknown alias.
+
+        Unlike :meth:`link`, a malformed document raises here — with a
+        single unknown there is no batch to protect.
+        """
+        result = self.link([unknown])
+        if result.skipped and not result.matches:
+            entry = result.skipped[0]
+            raise DatasetError(
+                f"{entry.unknown_id}: {entry.reason} "
+                f"(stage: {entry.stage})")
+        return result.matches[0]

@@ -154,12 +154,13 @@ class StyleObfuscator:
             last = match.end()
         pieces.append(text[last:])
         out = "".join(pieces)
-        if self.config.regularize_punctuation:
-            # single-char replacements can create fresh runs ("!." ->
-            # ".."); collapse them so the transform is idempotent
-            out = re.sub(r"\.{2,}", ".", out)
         out = re.sub(r"\s+", " ", out).strip()
         out = re.sub(r"\s+([.,])", r"\1", out)
+        if self.config.regularize_punctuation:
+            # single-char replacements and the space-before-punctuation
+            # fix can create fresh runs ("!." -> "..", ". ." -> "..");
+            # collapse them last so the transform is idempotent
+            out = re.sub(r"\.{2,}", ".", out)
         return out
 
     def obfuscate_record(self, record: UserRecord) -> UserRecord:

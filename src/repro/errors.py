@@ -39,6 +39,53 @@ class ScrapeError(ReproError):
     """The simulated scraper could not complete a collection run."""
 
 
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance failures (retries, checkpoints).
+
+    The resilience layer (:mod:`repro.resilience`) distinguishes
+    *transient* conditions, which a :class:`~repro.resilience.policy.
+    RetryPolicy` may retry, from *terminal* ones, which abort.  This
+    branch of the hierarchy covers the terminal ones.
+    """
+
+
+class TransientError(ResilienceError):
+    """A failure that is expected to succeed when retried.
+
+    Raised by the fault-injection harness and by simulated I/O; retry
+    policies treat it (and any exception type registered as retryable)
+    as a signal to back off and try again rather than to abort.
+    """
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every permitted retry attempt failed (or the deadline passed).
+
+    Attributes
+    ----------
+    attempts:
+        Number of attempts actually made.
+    backoff_seconds:
+        Total backoff time consumed between attempts.
+    last_error:
+        The exception raised by the final attempt, also chained as
+        ``__cause__``.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 backoff_seconds: float = 0.0,
+                 last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.backoff_seconds = backoff_seconds
+        self.last_error = last_error
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file is missing, corrupt, or inconsistent with the
+    run attempting to resume from it."""
+
+
 class NotFittedError(ReproError):
     """A model-like object was used before being fitted.
 

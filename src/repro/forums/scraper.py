@@ -23,11 +23,20 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ScrapeError
+from repro.errors import RetryExhaustedError, ScrapeError, TransientError
 from repro.forums.models import HOUR, Forum, Message, Thread, UserRecord
+from repro.obs.metrics import counter
+from repro.resilience.policy import RetryPolicy
 
 #: Messages returned per page by the simulated forum software.
 PAGE_SIZE = 25
+
+#: Simulated requests issued across all sessions.
+_REQUESTS = counter("scrape_requests_total")
+#: Transient request failures observed (before retrying).
+_FAILURES = counter("scrape_failures_total")
+#: Retries performed after transient failures.
+_RETRIES = counter("scrape_retries_total")
 
 
 @dataclass
@@ -57,39 +66,73 @@ class ScrapeSession:
         higher value for hidden services).
     max_retries:
         Transient failures are retried this many times before a
-        :class:`~repro.errors.ScrapeError` is raised.
+        :class:`~repro.errors.ScrapeError` is raised.  Shorthand for
+        the default *retry_policy*.
+    retry_policy:
+        Full control over backoff: any
+        :class:`~repro.resilience.policy.RetryPolicy`.  Backoff and
+        deadline accounting run on the session's *virtual* clock, so
+        a policy deadline bounds virtual collection time, not wall
+        time.
     """
 
     def __init__(self, seed: int = 0, min_interval: float = 1.0,
                  failure_rate: float = 0.01, mean_latency: float = 0.4,
-                 max_retries: int = 3) -> None:
+                 max_retries: int = 3,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError("failure_rate must be in [0, 1)")
         self._rng = np.random.default_rng(seed)
         self.min_interval = min_interval
         self.failure_rate = failure_rate
         self.mean_latency = mean_latency
-        self.max_retries = max_retries
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy(max_retries=max_retries, base_delay=1.0,
+                             multiplier=2.0, max_delay=64.0,
+                             retryable=(TransientError,))
+        self.max_retries = self.retry_policy.max_retries
         self.stats = ScrapeStats()
+
+    def _attempt(self, resource: str) -> None:
+        """One request attempt on the virtual clock."""
+        self.stats.requests += 1
+        _REQUESTS.inc()
+        latency = float(self._rng.exponential(self.mean_latency))
+        self.stats.virtual_seconds += max(self.min_interval, latency)
+        if self._rng.random() < self.failure_rate:
+            self.stats.failures += 1
+            _FAILURES.inc()
+            raise TransientError(
+                f"simulated transient failure fetching {resource!r}")
 
     def request(self, resource: str) -> None:
         """Simulate one request (advances the virtual clock).
 
-        Raises :class:`ScrapeError` when every retry fails.
+        Transient failures are retried under :attr:`retry_policy`, with
+        the exponential backoff spent on the virtual clock.  Raises
+        :class:`~repro.errors.ScrapeError` — carrying the attempt count
+        and the total backoff consumed — when every retry fails.
         """
-        for attempt in range(self.max_retries + 1):
-            self.stats.requests += 1
-            latency = float(self._rng.exponential(self.mean_latency))
-            self.stats.virtual_seconds += max(self.min_interval, latency)
-            if self._rng.random() >= self.failure_rate:
-                return
-            self.stats.failures += 1
-            if attempt < self.max_retries:
-                self.stats.retries += 1
-                # exponential backoff on the virtual clock
-                self.stats.virtual_seconds += 2.0 ** attempt
-        raise ScrapeError(
-            f"giving up on {resource!r} after {self.max_retries} retries")
+
+        def _sleep(seconds: float) -> None:
+            self.stats.virtual_seconds += seconds
+
+        def _on_retry(attempt: int, error: BaseException) -> None:
+            self.stats.retries += 1
+            _RETRIES.inc()
+
+        try:
+            self.retry_policy.call(
+                self._attempt, resource,
+                sleep=_sleep,
+                clock=lambda: self.stats.virtual_seconds,
+                on_retry=_on_retry,
+            )
+        except RetryExhaustedError as exc:
+            raise ScrapeError(
+                f"giving up on {resource!r} after {exc.attempts} "
+                f"attempt(s) and {exc.backoff_seconds:.1f}s of "
+                f"backoff") from exc
 
 
 class ForumScraper:

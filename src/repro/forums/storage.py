@@ -4,6 +4,26 @@ Forums are stored as one JSON object per line: a header line describing
 the forum, followed by one line per user record.  JSONL keeps memory
 bounded on load (users stream one at a time) and diffs well under
 version control.  A whole-directory layout maps one forum per file.
+
+Crash safety (the collection runs the paper describes were multi-hour
+scrapes; losing a dataset to a crash mid-save is not acceptable):
+
+* :func:`save_forum` writes to a sibling temp file and atomically
+  :func:`os.replace`-s it into place, so readers never observe a
+  half-written file;
+* the header records ``n_users``, and loaders verify it — a truncated
+  file (power loss, full disk, torn copy) raises
+  :class:`~repro.errors.DatasetError` instead of silently yielding a
+  smaller forum;
+* ``recover=True`` flips loaders into salvage mode: corrupt lines and
+  the truncated tail are skipped (and counted in the
+  ``storage_recovered_records_total`` metric) and everything parseable
+  is returned.
+
+Storage I/O is fault-injection aware: when a
+:class:`~repro.resilience.faults.FaultPlan` is active, loads and saves
+run under a retry policy so injected transient failures are absorbed,
+exactly like flaky disks or network filesystems would be in production.
 """
 
 from __future__ import annotations
@@ -16,25 +36,58 @@ from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.errors import DatasetError
 from repro.forums.models import Forum, Thread, UserRecord
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter
+from repro.resilience.faults import guarded_call
+
+log = get_logger(__name__)
 
 PathLike = Union[str, os.PathLike]
 
 #: Schema version written in every header; bumped on breaking changes.
 SCHEMA_VERSION = 1
 
+#: Corrupt or surplus records skipped by ``recover=True`` loads.
+_RECOVERED = counter("storage_recovered_records_total")
+#: Atomic save_forum completions.
+_SAVES = counter("storage_saves_total")
 
-def _open(path: Path, mode: str):
-    """Open *path*, transparently handling ``.gz`` suffixes."""
-    if path.suffix == ".gz":
+
+def _is_gz(path: Path) -> bool:
+    return path.name.endswith(".gz")
+
+
+def _open(path: Path, mode: str, compressed: Optional[bool] = None):
+    """Open *path*, transparently handling gzip compression.
+
+    *compressed* overrides suffix sniffing — needed when writing to a
+    ``*.tmp`` staging file that will be renamed over a ``.gz`` target.
+    """
+    if compressed is None:
+        compressed = _is_gz(path)
+    if compressed:
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
 
-def save_forum(forum: Forum, path: PathLike) -> None:
+def _fsync_path(path: Path) -> None:
+    """Flush *path*'s contents to stable storage (best effort)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def save_forum(forum: Forum, path: PathLike, atomic: bool = True) -> None:
     """Write *forum* to *path* in JSONL format.
 
-    The first line is a header with the forum name, UTC offset, sections
-    and threads; each following line is one user record.
+    The first line is a header with the forum name, UTC offset,
+    sections, threads and the user-record count; each following line is
+    one user record.  With *atomic* (the default) the bytes land in a
+    sibling ``*.tmp`` file that is fsynced and renamed over *path*, so
+    a crash mid-save leaves any previous version intact and never a
+    torn file.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -47,34 +100,94 @@ def save_forum(forum: Forum, path: PathLike) -> None:
         "threads": [t.to_dict() for t in forum.threads.values()],
         "n_users": forum.n_users,
     }
-    with _open(path, "w") as fh:
-        fh.write(json.dumps(header, ensure_ascii=False) + "\n")
-        for record in forum.users.values():
-            fh.write(json.dumps(record.to_dict(), ensure_ascii=False) + "\n")
+    target = path.with_name(path.name + ".tmp") if atomic else path
+
+    def _write() -> None:
+        with _open(target, "w", compressed=_is_gz(path)) as fh:
+            fh.write(json.dumps(header, ensure_ascii=False) + "\n")
+            for record in forum.users.values():
+                fh.write(json.dumps(record.to_dict(),
+                                    ensure_ascii=False) + "\n")
+        if atomic:
+            _fsync_path(target)
+            os.replace(target, path)
+
+    try:
+        guarded_call("storage.save", _write)
+    except BaseException:
+        if atomic:
+            try:
+                target.unlink()
+            except FileNotFoundError:
+                pass
+        raise
+    _SAVES.inc()
 
 
-def iter_user_records(path: PathLike) -> Iterator[UserRecord]:
-    """Stream the user records of a stored forum without loading it all."""
+def _parse_record(path: Path, lineno: int, line: str) -> UserRecord:
+    """One JSONL body line -> UserRecord, with uniform error wrapping."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"{path}:{lineno}: invalid JSON") from exc
+    try:
+        return UserRecord.from_dict(data)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise DatasetError(
+            f"{path}:{lineno}: malformed user record: {exc}") from exc
+
+
+def _check_complete(path: Path, header: Dict, n_read: int) -> None:
+    """Raise on a short (or padded) read vs. the header's promise."""
+    expected = header.get("n_users")
+    if expected is None:
+        return
+    expected = int(expected)
+    if n_read != expected:
+        kind = "truncated" if n_read < expected else "overlong"
+        raise DatasetError(
+            f"{path}: {kind} dataset: header promises {expected} user "
+            f"record(s), found {n_read}")
+
+
+def iter_user_records(path: PathLike,
+                      recover: bool = False) -> Iterator[UserRecord]:
+    """Stream the user records of a stored forum without loading it all.
+
+    Validates the header's ``n_users`` against what the file actually
+    contains and raises :class:`~repro.errors.DatasetError` on a short
+    read.  With *recover*, corrupt lines and a truncated tail are
+    skipped instead (salvage mode).
+    """
     path = Path(path)
     with _open(path, "r") as fh:
         header_line = fh.readline()
         if not header_line:
             raise DatasetError(f"{path}: empty dataset file")
         header = _parse_header(path, header_line)
-        del header  # header validated; users follow
+        n_read = 0
         for lineno, line in enumerate(fh, start=2):
             line = line.strip()
             if not line:
                 continue
             try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(f"{path}:{lineno}: invalid JSON") from exc
-            yield UserRecord.from_dict(data)
+                record = _parse_record(path, lineno, line)
+            except DatasetError as exc:
+                if recover:
+                    _RECOVERED.inc()
+                    log.warning("storage.recover", path=str(path),
+                                line=lineno, reason=str(exc))
+                    continue
+                raise
+            n_read += 1
+            yield record
+        if not recover:
+            _check_complete(path, header, n_read)
 
 
 def load_forum(path: PathLike,
-               keep: Optional[Callable[[UserRecord], bool]] = None) -> Forum:
+               keep: Optional[Callable[[UserRecord], bool]] = None,
+               recover: bool = False) -> Forum:
     """Load a forum from *path*.
 
     Parameters
@@ -84,37 +197,61 @@ def load_forum(path: PathLike,
     keep:
         Optional predicate; user records for which it returns ``False``
         are skipped at load time (useful to subsample huge datasets).
+    recover:
+        Salvage mode for damaged files: corrupt lines, duplicate
+        aliases and a truncated tail are skipped (and counted in the
+        ``storage_recovered_records_total`` metric) instead of raising.
     """
     path = Path(path)
-    with _open(path, "r") as fh:
-        header_line = fh.readline()
-        if not header_line:
-            raise DatasetError(f"{path}: empty dataset file")
-        header = _parse_header(path, header_line)
-        forum = Forum(
-            name=str(header["name"]),
-            utc_offset_hours=int(header.get("utc_offset_hours", 0)),
-            sections=list(header.get("sections", [])),
-        )
-        for raw in header.get("threads", ()):
-            thread = Thread.from_dict(raw)
-            forum.threads[thread.thread_id] = thread
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise DatasetError(f"{path}:{lineno}: invalid JSON") from exc
-            record = UserRecord.from_dict(data)
-            if keep is not None and not keep(record):
-                continue
-            if record.alias in forum.users:
-                raise DatasetError(
-                    f"{path}:{lineno}: duplicate alias {record.alias!r}")
-            forum.users[record.alias] = record
-    return forum
+
+    def _load() -> Forum:
+        with _open(path, "r") as fh:
+            header_line = fh.readline()
+            if not header_line:
+                raise DatasetError(f"{path}: empty dataset file")
+            header = _parse_header(path, header_line)
+            forum = Forum(
+                name=str(header["name"]),
+                utc_offset_hours=int(header.get("utc_offset_hours", 0)),
+                sections=list(header.get("sections", [])),
+            )
+            for raw in header.get("threads", ()):
+                thread = Thread.from_dict(raw)
+                forum.threads[thread.thread_id] = thread
+            n_read = 0
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = _parse_record(path, lineno, line)
+                except DatasetError as exc:
+                    if recover:
+                        _RECOVERED.inc()
+                        log.warning("storage.recover", path=str(path),
+                                    line=lineno, reason=str(exc))
+                        continue
+                    raise
+                if record.alias in forum.users:
+                    if recover:
+                        _RECOVERED.inc()
+                        log.warning("storage.recover", path=str(path),
+                                    line=lineno,
+                                    reason=f"duplicate alias "
+                                           f"{record.alias!r}")
+                        continue
+                    raise DatasetError(
+                        f"{path}:{lineno}: duplicate alias "
+                        f"{record.alias!r}")
+                n_read += 1
+                if keep is not None and not keep(record):
+                    continue
+                forum.users[record.alias] = record
+            if not recover:
+                _check_complete(path, header, n_read)
+        return forum
+
+    return guarded_call("storage.load", _load)
 
 
 def _parse_header(path: Path, line: str) -> Dict:
@@ -149,15 +286,18 @@ def save_world(forums: List[Forum], directory: PathLike) -> List[Path]:
     return paths
 
 
-def load_world(directory: PathLike) -> Dict[str, Forum]:
+def load_world(directory: PathLike,
+               recover: bool = False) -> Dict[str, Forum]:
     """Load every ``*.jsonl`` / ``*.jsonl.gz`` forum file in *directory*."""
     directory = Path(directory)
     if not directory.is_dir():
         raise DatasetError(f"{directory} is not a directory")
     forums: Dict[str, Forum] = {}
     for path in sorted(directory.iterdir()):
+        if path.name.endswith(".tmp"):
+            continue  # an interrupted atomic save; never a dataset
         if path.suffix == ".jsonl" or path.name.endswith(".jsonl.gz"):
-            forum = load_forum(path)
+            forum = load_forum(path, recover=recover)
             forums[forum.name] = forum
     if not forums:
         raise DatasetError(f"no forum files found in {directory}")

@@ -29,10 +29,12 @@ from repro.core.batch import BatchedLinker
 from repro.core.documents import AliasDocument, refine_forum
 from repro.core.features import FeatureWeights
 from repro.core.linker import AliasLinker, LinkResult
-from repro.errors import InsufficientDataError
+from repro.errors import ConfigurationError, InsufficientDataError
 from repro.forums.models import Forum
 from repro.obs.logging import get_logger
 from repro.obs.spans import span
+from repro.resilience.faults import GUARD_POLICY_DELAYS, get_fault_plan
+from repro.resilience.policy import RetryPolicy
 from repro.textproc.cleaning import CleaningConfig, PolishReport, \
     polish_forum
 
@@ -64,17 +66,42 @@ class LinkingPipeline:
     batch_size:
         When set, the RAM-bounded batched procedure of Section IV-J is
         used with this *B* instead of the in-memory linker.
+    retry_policy:
+        Retry budget for transient stage failures (injected faults,
+        flaky I/O).  ``None`` retries only when a fault plan is active
+        (with a default policy); pass an explicit
+        :class:`~repro.resilience.policy.RetryPolicy` to also absorb
+        real ``TransientError`` / ``ConnectionError`` / ``TimeoutError``
+        from the stages, or to tune attempts and the deadline.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
                  cleaning: CleaningConfig | None = None,
                  weights: FeatureWeights | None = None,
-                 batch_size: Optional[int] = None) -> None:
+                 batch_size: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.config = config or PipelineConfig()
         self.cleaning = cleaning or CleaningConfig()
         self.weights = weights or FeatureWeights()
         self.batch_size = batch_size
+        self.retry_policy = retry_policy
         self.report = PipelineReport()
+
+    def _guard(self, site: str, fn, *args, **kwargs):
+        """Run one pipeline stage under fault injection + retries.
+
+        Stages are pure functions of their inputs, so retrying a whole
+        stage after a transient failure reproduces exactly the result
+        an undisturbed run would have produced.
+        """
+        plan = get_fault_plan()
+        target = plan.wrap(site, fn) if plan is not None else fn
+        policy = self.retry_policy
+        if policy is None:
+            if plan is None:
+                return fn(*args, **kwargs)
+            policy = RetryPolicy(seed=plan.seed, **GUARD_POLICY_DELAYS)
+        return policy.call(target, *args, **kwargs)
 
     def prepare_forum(self, forum: Forum,
                       is_known: bool = True) -> List[AliasDocument]:
@@ -91,10 +118,12 @@ class LinkingPipeline:
         role = "known" if is_known else "unknown"
         with span("pipeline.prepare_forum", forum=forum.name, role=role):
             with span("pipeline.polish", forum=forum.name):
-                polished, polish_report = polish_forum(forum,
-                                                       self.cleaning)
+                polished, polish_report = self._guard(
+                    "pipeline.polish", polish_forum, forum,
+                    self.cleaning)
             with span("pipeline.refine", forum=forum.name):
-                documents = refine_forum(
+                documents = self._guard(
+                    "pipeline.refine", refine_forum,
                     polished,
                     words_per_alias=self.config.words_per_alias,
                     min_timestamps=self.config.min_timestamps,
@@ -134,8 +163,19 @@ class LinkingPipeline:
         )
 
     def link_documents(self, known: List[AliasDocument],
-                       unknown: List[AliasDocument]) -> LinkResult:
-        """Link already-refined document sets."""
+                       unknown: List[AliasDocument],
+                       checkpoint: Optional[object] = None,
+                       resume: bool = False) -> LinkResult:
+        """Link already-refined document sets.
+
+        *checkpoint* persists every finished unknown atomically to that
+        path; *resume* additionally skips the unknowns an interrupted
+        run already completed (the result equals an uninterrupted
+        run's).
+        """
+        if resume and checkpoint is None:
+            raise ConfigurationError(
+                "resume requires a checkpoint path")
         if not known:
             raise InsufficientDataError(
                 "no known aliases survived refinement")
@@ -146,17 +186,22 @@ class LinkingPipeline:
                   n_unknown=len(unknown),
                   batched=self.batch_size is not None):
             linker = self._make_linker()
-            linker.fit(known)
-            return linker.link(unknown)
+            self._guard("pipeline.fit", linker.fit, known)
+            return self._guard("pipeline.link", linker.link, unknown,
+                               checkpoint=checkpoint, resume=resume)
 
     def link_forums(self, known_forum: Forum,
-                    unknown_forum: Forum) -> LinkResult:
+                    unknown_forum: Forum,
+                    checkpoint: Optional[object] = None,
+                    resume: bool = False) -> LinkResult:
         """The one-call API: polish, refine and link two raw forums.
 
         *known_forum* plays the paper's set Z (e.g. Reddit); every
         refined alias of *unknown_forum* (e.g. a dark-web forum) is
-        linked against it.
+        linked against it.  See :meth:`link_documents` for
+        *checkpoint* / *resume*.
         """
         known = self.prepare_forum(known_forum, is_known=True)
         unknown = self.prepare_forum(unknown_forum, is_known=False)
-        return self.link_documents(known, unknown)
+        return self.link_documents(known, unknown,
+                                   checkpoint=checkpoint, resume=resume)

@@ -1,0 +1,49 @@
+"""repro.resilience — fault tolerance for long-running linking runs.
+
+The paper's environment (scraped hidden services, multi-hour batch
+attribution over messy data) fails constantly; this package gives every
+layer one shared vocabulary for surviving it:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`: exponential
+  backoff with deterministic jitter, attempt caps, and a total-deadline
+  budget (used by the scraper, storage I/O, and pipeline stages);
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`: seeded,
+  reproducible injection of transient failures, record corruption, and
+  clock skew (``REPRO_FAULT_SEED`` / ``REPRO_FAULT_RATE`` activate it
+  process-wide, which is how the CI chaos job runs);
+* :mod:`repro.resilience.checkpoint` — :class:`CheckpointStore`:
+  atomic per-unknown checkpoints that make
+  :class:`~repro.core.batch.BatchedLinker` runs resumable with output
+  identical to an uninterrupted run.
+
+Semantics and file formats: ``docs/robustness.md``.
+"""
+
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
+from repro.resilience.faults import (
+    DEFAULT_FAULT_RATE,
+    FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+    FaultPlan,
+    get_fault_plan,
+    guarded_call,
+    install_fault_plan,
+    plan_from_env,
+)
+from repro.resilience.policy import DEFAULT_RETRYABLE, NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "DEFAULT_FAULT_RATE",
+    "DEFAULT_RETRYABLE",
+    "FAULT_RATE_ENV",
+    "FAULT_SEED_ENV",
+    "FaultPlan",
+    "NO_RETRY",
+    "RetryPolicy",
+    "get_fault_plan",
+    "guarded_call",
+    "install_fault_plan",
+    "plan_from_env",
+]

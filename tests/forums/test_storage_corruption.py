@@ -1,0 +1,153 @@
+"""Crash-safety tests for JSONL storage: torn writes, damaged files."""
+
+import json
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.forums import storage
+from repro.forums.storage import (
+    iter_user_records,
+    load_forum,
+    load_world,
+    save_forum,
+)
+from repro.obs.metrics import counter
+
+_RECOVERED = counter("storage_recovered_records_total")
+
+
+@pytest.fixture
+def saved(world, tmp_path):
+    path = tmp_path / "tmg.jsonl"
+    save_forum(world.forums["tmg"], path)
+    return path
+
+
+def _lines(path):
+    return path.read_text().splitlines()
+
+
+def _write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCorruptedLines:
+    def test_bit_flipped_line_raises(self, saved):
+        lines = _lines(saved)
+        # flip one bit in the opening brace of the first record line
+        victim = bytearray(lines[1].encode("utf-8"))
+        victim[0] ^= 0x08  # '{' -> 's': guaranteed invalid JSON
+        lines[1] = victim.decode("utf-8", errors="replace")
+        _write_lines(saved, lines)
+        with pytest.raises(DatasetError):
+            load_forum(saved)
+
+    def test_non_json_line_raises_with_lineno(self, saved):
+        lines = _lines(saved)
+        lines[2] = "!! scribble !!"
+        _write_lines(saved, lines)
+        with pytest.raises(DatasetError, match=r":3: invalid JSON"):
+            load_forum(saved)
+
+    def test_wrong_shape_record_raises(self, saved):
+        lines = _lines(saved)
+        lines[1] = json.dumps({"alias": "ghost"})  # missing fields
+        _write_lines(saved, lines)
+        with pytest.raises(DatasetError, match="malformed user record"):
+            load_forum(saved)
+
+    def test_recover_skips_corrupt_lines(self, world, saved):
+        lines = _lines(saved)
+        lines[1] = "{torn"
+        _write_lines(saved, lines)
+        before = _RECOVERED.value
+        forum = load_forum(saved, recover=True)
+        assert forum.n_users == world.forums["tmg"].n_users - 1
+        assert _RECOVERED.value == before + 1
+
+
+class TestTruncation:
+    def test_missing_trailer_records_raise(self, saved):
+        lines = _lines(saved)
+        _write_lines(saved, lines[:-3])
+        with pytest.raises(DatasetError,
+                           match="truncated dataset") as excinfo:
+            load_forum(saved)
+        assert "header promises" in str(excinfo.value)
+
+    def test_half_written_last_line_raises(self, saved):
+        text = saved.read_text()
+        saved.write_text(text[:len(text) - 40])  # tear mid-record
+        with pytest.raises(DatasetError):
+            load_forum(saved)
+
+    def test_surplus_records_raise(self, saved):
+        lines = _lines(saved)
+        lines.append(lines[-1].replace(
+            json.loads(lines[-1])["alias"], "impostor"))
+        _write_lines(saved, lines)
+        with pytest.raises(DatasetError, match="overlong dataset"):
+            load_forum(saved)
+
+    def test_empty_tail_lines_are_harmless(self, world, saved):
+        saved.write_text(saved.read_text() + "\n\n\n")
+        forum = load_forum(saved)
+        assert forum.n_users == world.forums["tmg"].n_users
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "void.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty dataset"):
+            load_forum(path)
+
+    def test_recover_salvages_truncated_file(self, world, saved):
+        lines = _lines(saved)
+        _write_lines(saved, lines[:-3])
+        forum = load_forum(saved, recover=True)
+        assert forum.n_users == world.forums["tmg"].n_users - 3
+
+    def test_iter_user_records_checks_completeness(self, saved):
+        lines = _lines(saved)
+        _write_lines(saved, lines[:-1])
+        with pytest.raises(DatasetError, match="truncated dataset"):
+            list(iter_user_records(saved))
+
+
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, world, tmp_path):
+        save_forum(world.forums["tmg"], tmp_path / "ok.jsonl")
+        assert [p.name for p in tmp_path.iterdir()] == ["ok.jsonl"]
+
+    def test_crash_mid_save_preserves_previous(self, world, tmp_path,
+                                               monkeypatch):
+        path = tmp_path / "tmg.jsonl"
+        save_forum(world.forums["tmg"], path)
+        good = path.read_text()
+
+        def explode(target):
+            raise OSError("power loss")
+
+        monkeypatch.setattr(storage, "_fsync_path", explode)
+        with pytest.raises(OSError):
+            save_forum(world.forums["dm"], path)
+        monkeypatch.undo()
+
+        # previous version intact, no torn temp file
+        assert path.read_text() == good
+        assert not list(tmp_path.glob("*.tmp"))
+        assert load_forum(path).name == "tmg"
+
+    def test_gzip_atomic_roundtrip(self, world, tmp_path):
+        path = tmp_path / "tmg.jsonl.gz"
+        save_forum(world.forums["tmg"], path)
+        assert not list(tmp_path.glob("*.tmp"))
+        forum = load_forum(path)
+        assert forum.n_users == world.forums["tmg"].n_users
+
+    def test_load_world_ignores_stale_temp(self, world, tmp_path):
+        save_forum(world.forums["tmg"], tmp_path / "tmg.jsonl")
+        # a crashed non-atomic writer left a torn staging file behind
+        (tmp_path / "dm.jsonl.tmp").write_text("{half a head")
+        forums = load_world(tmp_path)
+        assert sorted(forums) == ["tmg"]

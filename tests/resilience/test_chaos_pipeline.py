@@ -1,0 +1,110 @@
+"""Chaos tests: the pipeline under deterministic fault injection.
+
+The acceptance criterion: a :class:`LinkingPipeline` run with transient
+faults injected at a 30% rate completes and produces matches identical
+to a fault-free run (stages are pure, so stage-level retries are
+exact).
+"""
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.pipeline import LinkingPipeline
+from repro.resilience.faults import FaultPlan, install_fault_plan
+from repro.resilience.policy import RetryPolicy
+
+
+@pytest.fixture
+def chaos_30():
+    """Install a 30%-transient-rate plan; always restore the previous."""
+    plan = FaultPlan(seed=2026, transient_rate=0.3)
+    previous = install_fault_plan(plan)
+    yield plan
+    install_fault_plan(previous)
+
+
+def _pipeline():
+    return LinkingPipeline(
+        PipelineConfig(words_per_alias=600, threshold=0.0))
+
+
+class TestChaosPipeline:
+    def test_forum_run_matches_fault_free(self, world, chaos_30):
+        known = world.forums["dm"]
+        unknown = world.forums["tmg"]
+
+        install_fault_plan(None)
+        clean = _pipeline().link_forums(known, unknown)
+
+        install_fault_plan(chaos_30)
+        chaotic = _pipeline().link_forums(known, unknown)
+
+        assert chaos_30.injected > 0, \
+            "the chaos run never actually saw a fault"
+        assert chaotic.matches == clean.matches
+        assert chaotic.candidate_scores == clean.candidate_scores
+        assert chaotic.skipped == clean.skipped
+
+    def test_documents_run_matches_fault_free(self, reddit_alter_egos,
+                                              chaos_30):
+        known = reddit_alter_egos.originals
+        unknown = reddit_alter_egos.alter_egos[:5]
+
+        install_fault_plan(None)
+        clean = _pipeline().link_documents(known, unknown)
+
+        install_fault_plan(chaos_30)
+        chaotic = _pipeline().link_documents(known, unknown)
+
+        assert chaotic == clean
+
+    def test_explicit_policy_honored(self, reddit_alter_egos,
+                                     chaos_30):
+        pipeline = LinkingPipeline(
+            PipelineConfig(words_per_alias=600, threshold=0.0),
+            retry_policy=RetryPolicy(max_retries=12, base_delay=0.0,
+                                     seed=chaos_30.seed))
+        result = pipeline.link_documents(
+            reddit_alter_egos.originals,
+            reddit_alter_egos.alter_egos[:3])
+        assert len(result.matches) == 3
+
+    def test_no_retries_exhausts_under_heavy_faults(self,
+                                                    reddit_alter_egos):
+        previous = install_fault_plan(
+            FaultPlan(seed=4, transient_rate=0.99))
+        try:
+            pipeline = LinkingPipeline(
+                PipelineConfig(words_per_alias=600, threshold=0.0),
+                retry_policy=RetryPolicy(max_retries=1,
+                                         base_delay=0.0))
+            with pytest.raises(RetryExhaustedError):
+                pipeline.link_documents(
+                    reddit_alter_egos.originals,
+                    reddit_alter_egos.alter_egos[:2])
+        finally:
+            install_fault_plan(previous)
+
+    def test_resume_without_checkpoint_rejected(self,
+                                                reddit_alter_egos):
+        with pytest.raises(ConfigurationError,
+                           match="resume requires a checkpoint"):
+            _pipeline().link_documents(
+                reddit_alter_egos.originals,
+                reddit_alter_egos.alter_egos[:1],
+                resume=True)
+
+    def test_checkpointed_chaos_run(self, tmp_path, reddit_alter_egos,
+                                    chaos_30):
+        """Checkpointing and fault injection compose."""
+        known = reddit_alter_egos.originals
+        unknown = reddit_alter_egos.alter_egos[:4]
+
+        install_fault_plan(None)
+        clean = _pipeline().link_documents(known, unknown)
+
+        install_fault_plan(chaos_30)
+        chaotic = _pipeline().link_documents(
+            known, unknown, checkpoint=tmp_path / "chaos.ckpt")
+        assert chaotic == clean

@@ -1,0 +1,194 @@
+"""Checkpoint store + resume-equals-uninterrupted (repro.resilience)."""
+
+import json
+
+import pytest
+
+from repro.core.batch import BatchedLinker
+from repro.core.linker import AliasLinker, Match
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import CheckpointStore, open_store
+
+
+def _match(uid="tmg/u1", cid="reddit/u9", score=0.5):
+    return Match(unknown_id=uid, candidate_id=cid, score=score,
+                 accepted=score >= 0.419, first_stage_score=0.4)
+
+
+class TestStore:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path, fingerprint={"k": 10})
+        store.record("tmg/u1", [_match()], [("reddit/u9", 0.5),
+                                            ("reddit/u3", 0.1)])
+        again = CheckpointStore(path, fingerprint={"k": 10}).load()
+        assert "tmg/u1" in again
+        assert again.matches_for("tmg/u1") == [_match()]
+        assert again.scores_for("tmg/u1") == [("reddit/u9", 0.5),
+                                              ("reddit/u3", 0.1)]
+
+    def test_file_always_parseable_between_records(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        for i in range(5):
+            store.record(f"u{i}", [_match(uid=f"u{i}")], [])
+            # every on-disk state must be a loadable checkpoint
+            assert len(CheckpointStore(path).load()) == i + 1
+
+    def test_skipped_entries_roundtrip(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.record("bad/doc", [], [],
+                     skipped={"unknown_id": "bad/doc",
+                              "reason": "text is None",
+                              "stage": "validate"})
+        again = CheckpointStore(path).load()
+        assert again.skipped_for("bad/doc")["stage"] == "validate"
+        assert again.matches_for("bad/doc") == []
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path, fingerprint={"k": 10}).record(
+            "u", [_match()], [])
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path, fingerprint={"k": 20}).load()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(tmp_path / "nope.ckpt").load()
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text("{not json\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        path.write_text(json.dumps({"kind": "forum-header"}) + "\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_corrupt_entry_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).record("u", [_match()], [])
+        with open(path, "a") as fh:
+            fh.write("{torn line\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+
+    def test_no_stray_temp_file(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).record("u", [_match()], [])
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_discard(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        store = CheckpointStore(path)
+        store.record("u", [_match()], [])
+        store.discard()
+        assert not path.exists()
+        assert len(store) == 0
+
+
+class TestOpenStore:
+    def test_none_path_disables(self):
+        assert open_store(None) is None
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        store = open_store(tmp_path / "new.ckpt", resume=True)
+        assert len(store) == 0
+
+    def test_resume_existing_loads(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CheckpointStore(path).record("u", [_match()], [])
+        assert "u" in open_store(path, resume=True)
+
+
+def _crash_after(n):
+    """A CheckpointStore.record replacement raising KeyboardInterrupt
+    (a real kill, not an Exception the quarantine logic would swallow)
+    after *n* successful records."""
+    original = CheckpointStore.record
+    state = {"recorded": 0}
+
+    def record(store, unknown_id, matches, scores, skipped=None):
+        original(store, unknown_id, matches, scores, skipped=skipped)
+        state["recorded"] += 1
+        if state["recorded"] >= n:
+            raise KeyboardInterrupt("simulated kill -9")
+
+    return record
+
+
+class TestResumeEqualsUninterrupted:
+    def test_batched_linker_resume(self, tmp_path, monkeypatch,
+                                   reddit_alter_egos):
+        unknowns = reddit_alter_egos.alter_egos[:8]
+        known = reddit_alter_egos.originals
+
+        def fresh():
+            return BatchedLinker(batch_size=20, k=5,
+                                 threshold=0.0).fit(known)
+
+        uninterrupted = fresh().link(unknowns)
+
+        path = tmp_path / "batched.ckpt"
+        monkeypatch.setattr(CheckpointStore, "record", _crash_after(3))
+        with pytest.raises(KeyboardInterrupt):
+            fresh().link(unknowns, checkpoint=path)
+        monkeypatch.undo()
+
+        done_before = len(CheckpointStore(path).load())
+        assert 0 < done_before < len(unknowns)
+
+        resumed = fresh().link(unknowns, checkpoint=path, resume=True)
+        assert resumed == uninterrupted
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == \
+            json.dumps(uninterrupted.to_dict(), sort_keys=True)
+
+    def test_alias_linker_resume(self, tmp_path, monkeypatch,
+                                 reddit_alter_egos):
+        unknowns = reddit_alter_egos.alter_egos[:8]
+        known = reddit_alter_egos.originals
+
+        def fresh():
+            return AliasLinker(threshold=0.0).fit(known)
+
+        uninterrupted = fresh().link(unknowns)
+
+        path = tmp_path / "alias.ckpt"
+        monkeypatch.setattr(CheckpointStore, "record", _crash_after(4))
+        with pytest.raises(KeyboardInterrupt):
+            fresh().link(unknowns, checkpoint=path)
+        monkeypatch.undo()
+
+        resumed = fresh().link(unknowns, checkpoint=path, resume=True)
+        assert resumed == uninterrupted
+
+    def test_checkpointed_equals_plain(self, tmp_path,
+                                       reddit_alter_egos):
+        """Turning checkpointing on must not change the result."""
+        unknowns = reddit_alter_egos.alter_egos[:6]
+        known = reddit_alter_egos.originals
+        plain = AliasLinker(threshold=0.0).fit(known).link(unknowns)
+        ckpt = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, checkpoint=tmp_path / "c.ckpt")
+        assert ckpt == plain
+
+    def test_completed_resume_recomputes_nothing(self, tmp_path,
+                                                 reddit_alter_egos,
+                                                 monkeypatch):
+        unknowns = reddit_alter_egos.alter_egos[:4]
+        known = reddit_alter_egos.originals
+        path = tmp_path / "done.ckpt"
+        first = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, checkpoint=path)
+
+        def exploding_rescore(self, unknown, candidates):
+            raise AssertionError("stage 2 ran on a completed resume")
+
+        monkeypatch.setattr(AliasLinker, "_rescore", exploding_rescore)
+        resumed = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, checkpoint=path, resume=True)
+        assert resumed == first

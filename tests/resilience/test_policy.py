@@ -1,0 +1,177 @@
+"""Unit tests for retry policies (repro.resilience.policy)."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    RetryExhaustedError,
+    TransientError,
+)
+from repro.resilience.policy import NO_RETRY, RetryPolicy
+
+
+class Flaky:
+    """Fails the first *n* calls with TransientError, then succeeds."""
+
+    def __init__(self, n):
+        self.n = n
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise TransientError(f"boom #{self.calls}")
+        return "ok"
+
+
+class FakeTime:
+    def __init__(self):
+        self.now = 0.0
+        self.slept = []
+
+    def sleep(self, seconds):
+        self.slept.append(seconds)
+        self.now += seconds
+
+    def clock(self):
+        return self.now
+
+
+class TestSchedule:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(max_retries=4, base_delay=1.0,
+                             multiplier=2.0, max_delay=100.0)
+        assert list(policy.delays()) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_max_delay_cap(self):
+        policy = RetryPolicy(max_retries=6, base_delay=1.0,
+                             multiplier=10.0, max_delay=50.0)
+        assert max(policy.delays()) == 50.0
+
+    def test_jitter_is_deterministic(self):
+        a = RetryPolicy(max_retries=5, base_delay=1.0, jitter=0.5,
+                        seed=42)
+        b = RetryPolicy(max_retries=5, base_delay=1.0, jitter=0.5,
+                        seed=42)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_jitter_depends_on_seed(self):
+        a = RetryPolicy(max_retries=5, base_delay=1.0, jitter=0.5,
+                        seed=1)
+        b = RetryPolicy(max_retries=5, base_delay=1.0, jitter=0.5,
+                        seed=2)
+        assert list(a.delays()) != list(b.delays())
+
+    def test_jitter_stays_in_bounds(self):
+        policy = RetryPolicy(max_retries=20, base_delay=1.0,
+                             multiplier=1.0, jitter=0.25, seed=7)
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_total_backoff(self):
+        policy = RetryPolicy(max_retries=3, base_delay=1.0,
+                             multiplier=2.0)
+        assert policy.total_backoff() == 1.0 + 2.0 + 4.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"base_delay": -0.5},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+        {"deadline": 0.0},
+    ])
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_success_passthrough(self):
+        fake = FakeTime()
+        policy = RetryPolicy(max_retries=3)
+        assert policy.call(lambda: 41 + 1, sleep=fake.sleep,
+                           clock=fake.clock) == 42
+        assert fake.slept == []
+
+    def test_recovers_after_transient_failures(self):
+        fake = FakeTime()
+        flaky = Flaky(2)
+        policy = RetryPolicy(max_retries=3, base_delay=1.0)
+        assert policy.call(flaky, sleep=fake.sleep,
+                           clock=fake.clock) == "ok"
+        assert flaky.calls == 3
+        assert fake.slept == [1.0, 2.0]
+
+    def test_exhaustion_raises_with_accounting(self):
+        fake = FakeTime()
+        flaky = Flaky(10)
+        policy = RetryPolicy(max_retries=2, base_delay=1.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(flaky, sleep=fake.sleep, clock=fake.clock)
+        err = excinfo.value
+        assert err.attempts == 3
+        assert err.backoff_seconds == 1.0 + 2.0
+        assert isinstance(err.last_error, TransientError)
+        assert isinstance(err.__cause__, TransientError)
+        assert "3 attempt(s)" in str(err)
+
+    def test_non_retryable_propagates_immediately(self):
+        fake = FakeTime()
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        policy = RetryPolicy(max_retries=5)
+        with pytest.raises(ValueError):
+            policy.call(bad, sleep=fake.sleep, clock=fake.clock)
+        assert len(calls) == 1
+
+    def test_deadline_stops_early(self):
+        fake = FakeTime()
+        flaky = Flaky(100)
+        policy = RetryPolicy(max_retries=10, base_delay=10.0,
+                             multiplier=1.0, deadline=25.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            policy.call(flaky, sleep=fake.sleep, clock=fake.clock)
+        # 10 + 10 sleeps fit in 25 s, a third would not.
+        assert excinfo.value.attempts == 3
+
+    def test_on_retry_callback(self):
+        fake = FakeTime()
+        seen = []
+        policy = RetryPolicy(max_retries=3, base_delay=1.0)
+        policy.call(Flaky(2), sleep=fake.sleep, clock=fake.clock,
+                    on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [0, 1]
+
+    def test_wrap_returns_retrying_callable(self):
+        fake = FakeTime()
+        policy = RetryPolicy(max_retries=3, base_delay=1.0)
+        retrying = policy.wrap(Flaky(1), sleep=fake.sleep,
+                               clock=fake.clock)
+        assert retrying() == "ok"
+
+    def test_no_retry_is_single_attempt(self):
+        flaky = Flaky(1)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            NO_RETRY.call(flaky, sleep=lambda s: None)
+        assert excinfo.value.attempts == 1
+        assert flaky.calls == 1
+
+    def test_retryable_builtin_families(self):
+        fake = FakeTime()
+        calls = []
+
+        def flaky_io():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ConnectionError("reset by peer")
+            return "ok"
+
+        policy = RetryPolicy(max_retries=2, base_delay=0.1)
+        assert policy.call(flaky_io, sleep=fake.sleep,
+                           clock=fake.clock) == "ok"
