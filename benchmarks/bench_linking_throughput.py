@@ -1,0 +1,164 @@
+"""Linking throughput at corpus sizes the paper never touched.
+
+The paper stops at ~4,100 known aliases (Table IV).  This bench pushes
+the two-stage linker across growing synthetic corpora and decomposes
+the cost into the three phases the ``repro.perf`` subsystem attacks:
+
+* **fit** — stage-1 feature-space fit over the known corpus;
+* **reduce** — blocked stage-1 scoring of every unknown;
+* **restage** — the per-unknown stage-2 re-fit, with the profile
+  cache on vs off, and serial vs parallel.
+
+Corpus sizes come from ``REPRO_BENCH_SIZES`` (comma-separated
+``<known>x<unknown>`` pairs, e.g. ``"2000x200"``); the parallel runs
+use ``REPRO_BENCH_WORKERS`` workers (default 4).  Results are printed,
+persisted as text, and written machine-readable to
+``benchmarks/results/BENCH_linking.json`` with per-size wall times and
+the process's peak RSS high-water mark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+
+import numpy as np
+
+from _util import RESULTS_DIR, emit, seconds, table, timed
+from repro.core.documents import AliasDocument
+from repro.core.linker import AliasLinker
+
+SIZES_ENV = "REPRO_BENCH_SIZES"
+WORKERS_ENV_BENCH = "REPRO_BENCH_WORKERS"
+DEFAULT_SIZES = "300x60,1200x150"
+
+
+def _sizes():
+    raw = os.environ.get(SIZES_ENV, DEFAULT_SIZES)
+    pairs = []
+    for chunk in raw.split(","):
+        known, unknown = chunk.strip().lower().split("x")
+        pairs.append((int(known), int(unknown)))
+    return pairs
+
+
+def _peak_rss_mb():
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    scale = 1024 if sys.platform != "darwin" else 1024 * 1024
+    return usage / scale
+
+
+def _make_docs(n, seed, prefix, vocab_size=1500, words_per_doc=200):
+    """Synthesize alias documents directly (no world-building cost).
+
+    Each document samples from a per-author slice of a shared
+    vocabulary so candidates are distinguishable, like real corpora.
+    """
+    rng = np.random.default_rng(seed)
+    vocab = np.array([f"tok{i:05d}" for i in range(vocab_size)])
+    docs = []
+    for i in range(n):
+        start = (i * 37) % (vocab_size - 300)
+        pool = vocab[start:start + 300]
+        words = tuple(rng.choice(pool, size=words_per_doc))
+        activity = rng.random(24)
+        docs.append(AliasDocument(
+            doc_id=f"{prefix}{i}", alias=f"{prefix}{i}", forum=prefix,
+            text=" ".join(words), words=words, timestamps=(),
+            activity=activity / activity.sum()))
+    return docs
+
+
+def _restage_time(linker, reduced):
+    with timed("bench.restage") as span:
+        for candidates in reduced:
+            linker.rescore(candidates.unknown, candidates.documents)
+    return seconds(span)
+
+
+def _measure(n_known, n_unknown, workers):
+    known = _make_docs(n_known, seed=1, prefix="k")
+    unknown = _make_docs(n_unknown, seed=2, prefix="u")
+    row = {"n_known": n_known, "n_unknown": n_unknown,
+           "workers": workers}
+
+    cached = AliasLinker(threshold=0.0)
+    with timed("bench.fit", n_known=n_known) as span:
+        cached.fit(known)
+    row["fit_s"] = seconds(span)
+    with timed("bench.reduce", n_unknown=n_unknown) as span:
+        reduced = cached.reducer.reduce(unknown)
+    row["reduce_s"] = seconds(span)
+    row["restage_cached_s"] = _restage_time(cached, reduced)
+
+    uncached = AliasLinker(threshold=0.0, cache=False)
+    uncached.fit(known)
+    uncached_reduced = uncached.reducer.reduce(unknown)
+    row["restage_uncached_s"] = _restage_time(uncached,
+                                              uncached_reduced)
+    row["restage_speedup"] = (row["restage_uncached_s"]
+                              / max(row["restage_cached_s"], 1e-9))
+
+    # Parallel scaling of the full link() call on the warm linker.
+    with timed("bench.link_serial") as span:
+        serial_result = cached.link(unknown)
+    row["link_serial_s"] = seconds(span)
+    cached.workers = workers
+    with timed("bench.link_parallel", workers=workers) as span:
+        parallel_result = cached.link(unknown)
+    row["link_parallel_s"] = seconds(span)
+    cached.workers = 1
+    row["parallel_speedup"] = (row["link_serial_s"]
+                               / max(row["link_parallel_s"], 1e-9))
+    row["outputs_identical"] = (serial_result.to_dict()
+                                == parallel_result.to_dict())
+    row["peak_rss_mb"] = _peak_rss_mb()
+    return row
+
+
+def _cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_linking_throughput():
+    workers = int(os.environ.get(WORKERS_ENV_BENCH, "4"))
+    rows = [_measure(nk, nu, workers) for nk, nu in _sizes()]
+    cores = _cores()
+
+    lines = ["Linking throughput — profile cache + parallel restage",
+             f"(workers={workers}, cores={cores}; "
+             f"sizes via {SIZES_ENV})", ""]
+    lines += table(
+        ("known", "unknown", "fit s", "reduce s", "restage s",
+         "no-cache s", "cache x", "serial s", f"x{workers} s",
+         "par x", "peak MB"),
+        [(r["n_known"], r["n_unknown"], f"{r['fit_s']:.2f}",
+          f"{r['reduce_s']:.2f}", f"{r['restage_cached_s']:.2f}",
+          f"{r['restage_uncached_s']:.2f}",
+          f"{r['restage_speedup']:.1f}", f"{r['link_serial_s']:.2f}",
+          f"{r['link_parallel_s']:.2f}",
+          f"{r['parallel_speedup']:.1f}", f"{r['peak_rss_mb']:.0f}")
+         for r in rows])
+    if cores < workers:
+        lines += ["", f"note: only {cores} core(s) available — the "
+                  "parallel column measures pool overhead, not "
+                  "scaling; re-run on a multi-core host."]
+    emit("linking_throughput", lines)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"workers": workers, "cores": cores, "sizes": rows}
+    (RESULTS_DIR / "BENCH_linking.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in rows:
+        # Any worker count must produce bit-identical links.
+        assert row["outputs_identical"]
+        # The cache must eliminate enough re-tokenization to pay for
+        # itself decisively (the 2000x200 acceptance run shows >= 3x).
+        assert row["restage_speedup"] > 1.5

@@ -20,7 +20,10 @@ worlds (see DESIGN.md for the substitution rationale):
   structured logging (``docs/observability.md``);
 * :mod:`repro.resilience` — fault tolerance: retry policies,
   deterministic fault injection, resumable checkpoints
-  (``docs/robustness.md``).
+  (``docs/robustness.md``);
+* :mod:`repro.perf` — performance: compute-once profile caching,
+  fork-pool parallel restage, blocked stage-1 scoring
+  (``docs/performance.md``).
 
 Quick start::
 
@@ -68,7 +71,9 @@ from repro.errors import (
     TransientError,
 )
 from repro import obs
+from repro import perf
 from repro import resilience
+from repro.perf import ParallelExecutor, ProfileCache
 from repro.pipeline import LinkingPipeline, PipelineReport
 from repro.resilience import CheckpointStore, FaultPlan, RetryPolicy
 
@@ -106,8 +111,11 @@ __all__ = [
     "ScrapeError",
     "TransientError",
     "LinkingPipeline",
+    "ParallelExecutor",
     "PipelineReport",
+    "ProfileCache",
     "obs",
+    "perf",
     "resilience",
     "__version__",
 ]

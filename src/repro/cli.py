@@ -9,7 +9,9 @@ Six subcommands cover the end-to-end workflow of the paper:
 * ``link`` — link the aliases of one forum against another
   (Sections IV-I/IV-J); ``--checkpoint FILE``/``--resume`` make long
   runs crash-safe, ``--max-retries``/``--retry-deadline`` bound
-  transient-failure retries (see ``docs/robustness.md``);
+  transient-failure retries (see ``docs/robustness.md``),
+  ``--workers N``/``--no-cache``/``--block-size`` tune the perf
+  subsystem (see ``docs/performance.md``);
 * ``profile`` — extract the §V-D personal profile of one alias;
 * ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
   slowest spans, metric table).
@@ -112,6 +114,9 @@ def _cmd_link(args: argparse.Namespace) -> int:
         PipelineConfig(threshold=args.threshold),
         batch_size=args.batch_size,
         retry_policy=retry_policy,
+        workers=args.workers,
+        cache=not args.no_cache,
+        block_size=args.block_size,
     )
     result = pipeline.link_forums(known, unknown,
                                   checkpoint=args.checkpoint,
@@ -225,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("--retry-deadline", type=float, default=None,
                       metavar="SECONDS",
                       help="total retry budget per stage in seconds")
+    link.add_argument("--workers", type=int, default=None, metavar="N",
+                      help="worker processes for the stage-2 restage "
+                           "(default from REPRO_WORKERS, else serial; "
+                           "output is identical at any worker count)")
+    link.add_argument("--no-cache", action="store_true",
+                      help="disable the per-document profile cache "
+                           "(same results, more recomputation)")
+    link.add_argument("--block-size", type=int, default=None,
+                      metavar="ROWS",
+                      help="known aliases scored per stage-1 block "
+                           "(default from REPRO_BLOCK_SIZE, else 4096)")
     link.set_defaults(func=_cmd_link)
 
     stats = sub.add_parser("stats",

@@ -15,7 +15,7 @@ the batch bench reproduces.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import (
     DEFAULT_BATCH_SIZE,
@@ -40,6 +40,8 @@ from repro.core.linker import (
 )
 from repro.errors import ConfigurationError, DatasetError
 from repro.obs.logging import get_logger
+from repro.perf.cache import ProfileCache
+from repro.perf.parallel import ParallelExecutor, resolve_workers
 from repro.resilience.checkpoint import CheckpointStore, open_store
 from repro.obs.metrics import SIZE_BUCKETS, counter, histogram
 from repro.obs.spans import span
@@ -63,6 +65,16 @@ class BatchedLinker:
         Candidate-set size inside each batch (paper: 10).
     threshold:
         Final acceptance threshold.
+    workers:
+        Worker processes for the per-unknown pool-shrinking and final
+        attribution (``None`` reads ``REPRO_WORKERS``; serial default).
+    cache:
+        Profile caching policy or a shared
+        :class:`~repro.perf.cache.ProfileCache`; with the cache every
+        batch of every round reuses the same raw profiles instead of
+        re-tokenizing the pool per batch.
+    block_size:
+        Stage-1 scoring block size forwarded to every reducer.
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
@@ -71,7 +83,10 @@ class BatchedLinker:
                  reduction_budget: FeatureBudget = SPACE_REDUCTION_FEATURES,
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
-                 use_activity: bool = True) -> None:
+                 use_activity: bool = True,
+                 workers: Optional[int] = None,
+                 cache: Union[bool, ProfileCache] = True,
+                 block_size: Optional[int] = None) -> None:
         if batch_size < 2:
             raise ConfigurationError(
                 f"batch_size must be >= 2, got {batch_size}")
@@ -91,6 +106,12 @@ class BatchedLinker:
         self.final_budget = final_budget
         self.weights = weights or FeatureWeights()
         self.use_activity = use_activity
+        self.workers = resolve_workers(workers)
+        if isinstance(cache, ProfileCache):
+            self.cache = cache
+        else:
+            self.cache = ProfileCache(enabled=bool(cache))
+        self.block_size = block_size
         self._known: Optional[List[AliasDocument]] = None
 
     def fit(self, known: Sequence[AliasDocument]) -> "BatchedLinker":
@@ -119,7 +140,10 @@ class BatchedLinker:
                     budget=self.reduction_budget,
                     weights=self.weights,
                     use_activity=self.use_activity,
-                    encoder=DocumentEncoder(),
+                    # Shared cache: every batch of every round reuses
+                    # the same raw profiles (one tokenization per doc).
+                    encoder=DocumentEncoder(cache=self.cache),
+                    block_size=self.block_size,
                 )
                 reducer.fit(batch)
                 for i, candidates in enumerate(reducer.reduce(unknowns)):
@@ -163,6 +187,42 @@ class BatchedLinker:
                                 "reduce", skipped, store)
             return pairs
 
+    def _attribute_task(self, pair: Tuple[AliasDocument,
+                                          List[AliasDocument]],
+                        ) -> Tuple[str, Any]:
+        """Shrink one unknown's private pool and attribute it.
+
+        A pure function of the fitted state (round 1 warmed the shared
+        cache, so no new words are ever interned here), which makes it
+        safe to fan across forked workers.  Returns ``("ok", (matches,
+        scored))``, ``("skipped", entry)`` (the inner linker already
+        counted the quarantine) or ``("error", reason)``.
+        """
+        unknown, pool = pair
+        try:
+            # Subsequent rounds shrink each unknown's private pool.
+            while len(pool) > self.batch_size:
+                pool = self._reduce_pool(pool, [unknown])[0]
+            linker = AliasLinker(
+                k=min(self.k, len(pool)),
+                threshold=self.threshold,
+                reduction_budget=self.reduction_budget,
+                final_budget=self.final_budget,
+                weights=self.weights,
+                use_activity=self.use_activity,
+                workers=1,  # never nest pools inside a worker
+                cache=self.cache,
+                block_size=self.block_size,
+            )
+            linker.fit(pool)
+            result = linker.link([unknown])
+        except Exception as exc:  # noqa: BLE001 - quarantined by caller
+            return ("error", f"batched attribution failed: {exc}")
+        if result.skipped:
+            return ("skipped", result.skipped[0])
+        scored = result.candidate_scores.get(unknown.doc_id, [])
+        return ("ok", (list(result.matches), scored))
+
     def link(self, unknowns: Sequence[AliasDocument],
              checkpoint: Optional[object] = None,
              resume: bool = False) -> LinkResult:
@@ -196,41 +256,34 @@ class BatchedLinker:
         with span("batch.link", n_unknowns=len(unknowns),
                   n_known=len(self._known), batch_size=self.batch_size):
             # Round 1 is shared: every unknown faces the same batches.
-            for unknown, pool in self._shared_round(pending, skipped,
-                                                    store):
-                try:
-                    # Subsequent rounds shrink each unknown's private
-                    # pool.
-                    while len(pool) > self.batch_size:
-                        pool = self._reduce_pool(pool, [unknown])[0]
-                    linker = AliasLinker(
-                        k=min(self.k, len(pool)),
-                        threshold=self.threshold,
-                        reduction_budget=self.reduction_budget,
-                        final_budget=self.final_budget,
-                        weights=self.weights,
-                        use_activity=self.use_activity,
-                    )
-                    linker.fit(pool)
-                    result = linker.link([unknown])
-                except Exception as exc:
-                    _quarantine(unknown.doc_id,
-                                f"batched attribution failed: {exc}",
-                                "attribute", skipped, store)
+            # It runs in the parent, which also warms the shared cache
+            # with every document's profile before any fork.
+            pairs = self._shared_round(pending, skipped, store)
+            executor = ParallelExecutor(self.workers)
+            with span("batch.restage", n_unknowns=len(pairs),
+                      workers=executor.workers):
+                outcomes = executor.map(self._attribute_task, pairs)
+            # Checkpoint records happen in the parent, in round-1 order,
+            # so any worker count writes the same file.
+            for (unknown, _pool), (status, payload) in zip(pairs,
+                                                           outcomes):
+                if status == "error":
+                    _quarantine(unknown.doc_id, payload, "attribute",
+                                skipped, store)
                     continue
-                if result.skipped:
+                if status == "skipped":
                     # The inner linker already counted and logged the
                     # quarantine; just adopt its verdict.
-                    entry = result.skipped[0]
+                    entry = payload
                     skipped[unknown.doc_id] = entry
                     if store is not None:
                         store.record(unknown.doc_id, [], [],
                                      skipped=entry.to_dict())
                     continue
-                scored = result.candidate_scores.get(unknown.doc_id, [])
-                results[unknown.doc_id] = (list(result.matches), scored)
+                matches, scored = payload
+                results[unknown.doc_id] = (matches, scored)
                 if store is not None:
-                    store.record(unknown.doc_id, result.matches, scored)
+                    store.record(unknown.doc_id, matches, scored)
         final = _assemble(unknowns, results, skipped, store)
         log.info("batch.link", n_unknowns=len(unknowns),
                  n_known=len(self._known), batch_size=self.batch_size,

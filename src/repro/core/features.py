@@ -33,6 +33,7 @@ from repro.core import ngrams
 from repro.core.documents import AliasDocument
 from repro.core.tfidf import TfidfModel, l2_normalize_rows
 from repro.errors import ConfigurationError, NotFittedError
+from repro.perf.cache import ProfileCache
 from repro.obs.metrics import counter, gauge
 from repro.obs.spans import span
 
@@ -108,51 +109,40 @@ def frequency_features(text: str) -> np.ndarray:
 
 
 class DocumentEncoder:
-    """Cache of per-document n-gram profiles over a shared word vocab.
+    """Per-document n-gram profiles over a shared word vocab.
 
     Both pipeline stages re-extract features on different document
     subsets; the encoder guarantees tokenized text is only encoded once
-    per document.
+    per document.  Since the perf subsystem landed the encoder is a
+    thin facade over :class:`repro.perf.cache.ProfileCache`, which owns
+    the memoization (and its hit/miss/bytes telemetry); pass a shared
+    cache to make several extractors — or several linkers — reuse one
+    set of profiles.
     """
 
-    def __init__(self) -> None:
-        self.vocab = ngrams.WordVocab()
-        self._word_profiles: Dict[str, ngrams.CodeCounts] = {}
-        self._char_profiles: Dict[str, ngrams.CodeCounts] = {}
-        self._freq: Dict[str, np.ndarray] = {}
+    def __init__(self, cache: "ProfileCache | None" = None) -> None:
+        self.cache = cache if cache is not None else ProfileCache()
+
+    @property
+    def vocab(self) -> ngrams.WordVocab:
+        """The shared word-interning table (lives on the cache)."""
+        return self.cache.vocab
 
     def word_profile(self, document: AliasDocument) -> ngrams.CodeCounts:
         """Word 1–3-gram counts of *document* (cached)."""
-        profile = self._word_profiles.get(document.doc_id)
-        if profile is None:
-            codes = ngrams.word_ngram_codes(document.words, self.vocab)
-            profile = ngrams.CodeCounts.from_occurrences(codes)
-            self._word_profiles[document.doc_id] = profile
-        return profile
+        return self.cache.word_profile(document)
 
     def char_profile(self, document: AliasDocument) -> ngrams.CodeCounts:
         """Character 1–5-gram counts of *document* (cached)."""
-        profile = self._char_profiles.get(document.doc_id)
-        if profile is None:
-            codes = ngrams.char_ngram_codes(document.text)
-            profile = ngrams.CodeCounts.from_occurrences(codes)
-            self._char_profiles[document.doc_id] = profile
-        return profile
+        return self.cache.char_profile(document)
 
     def freq_features(self, document: AliasDocument) -> np.ndarray:
         """Frequency features of *document* (cached)."""
-        features = self._freq.get(document.doc_id)
-        if features is None:
-            features = frequency_features(document.text)
-            self._freq[document.doc_id] = features
-        return features
+        return self.cache.freq_features(document)
 
     def drop(self, doc_ids: Iterable[str]) -> None:
         """Forget cached profiles (memory control for huge corpora)."""
-        for doc_id in doc_ids:
-            self._word_profiles.pop(doc_id, None)
-            self._char_profiles.pop(doc_id, None)
-            self._freq.pop(doc_id, None)
+        self.cache.drop(doc_ids)
 
 
 def _counts_matrix(profiles: Sequence[ngrams.CodeCounts],
@@ -260,21 +250,23 @@ class FeatureExtractor:
                          ) -> sparse.csr_matrix:
         text = self._tfidf.transform(self._text_counts(documents))
         blocks: List[sparse.spmatrix] = [text * self.weights.text]
+        cache = self.encoder.cache
         if self.weights.frequencies > 0:
             freq = np.vstack([self.encoder.freq_features(d)
                               for d in documents])
-            freq = l2_normalize_rows(sparse.csr_matrix(freq))
+            freq = l2_normalize_rows(sparse.csr_matrix(freq), copy=False)
             blocks.append(freq * self.weights.frequencies)
         if self.use_activity and self.weights.activity > 0:
             activity = np.vstack([
-                d.activity if d.activity is not None
-                else np.zeros(self.budget.activity_bins)
+                cache.activity_row(d, self.budget.activity_bins)
                 for d in documents
             ])
-            activity = l2_normalize_rows(sparse.csr_matrix(activity))
+            activity = l2_normalize_rows(sparse.csr_matrix(activity),
+                                         copy=False)
             blocks.append(activity * self.weights.activity)
-        stacked = sparse.hstack(blocks, format="csr")
-        return l2_normalize_rows(sparse.csr_matrix(stacked))
+        # hstack builds fresh arrays; normalize them in place.
+        stacked = sparse.csr_matrix(sparse.hstack(blocks, format="csr"))
+        return l2_normalize_rows(stacked, copy=False)
 
     def fit_transform(self, documents: Sequence[AliasDocument],
                       ) -> sparse.csr_matrix:

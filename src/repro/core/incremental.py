@@ -17,7 +17,7 @@ error is measurable (see ``tests/core/test_incremental.py``) and a
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -34,6 +34,7 @@ from repro.core.features import DocumentEncoder, FeatureWeights
 from repro.core.linker import AliasLinker, LinkResult
 from repro.errors import ConfigurationError, NotFittedError
 from repro.obs.metrics import counter
+from repro.perf.cache import ProfileCache
 from repro.obs.spans import span
 
 #: Known aliases appended through the incremental path.
@@ -53,6 +54,11 @@ class IncrementalLinker:
         becomes ``True`` to signal that a full :meth:`refit` is
         advisable (the frozen feature space is drifting away from the
         corpus).
+    workers / cache / block_size:
+        Forwarded to every underlying
+        :class:`~repro.core.linker.AliasLinker` (see there); a refit
+        builds a fresh cache unless a shared
+        :class:`~repro.perf.cache.ProfileCache` instance is supplied.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -61,7 +67,10 @@ class IncrementalLinker:
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
-                 refit_after: int = 100) -> None:
+                 refit_after: int = 100,
+                 workers: Optional[int] = None,
+                 cache: Union[bool, ProfileCache] = True,
+                 block_size: Optional[int] = None) -> None:
         if refit_after < 1:
             raise ConfigurationError(
                 f"refit_after must be >= 1, got {refit_after}")
@@ -75,7 +84,8 @@ class IncrementalLinker:
             k=k, threshold=threshold,
             reduction_budget=reduction_budget,
             final_budget=final_budget,
-            weights=weights, use_activity=use_activity)
+            weights=weights, use_activity=use_activity,
+            workers=workers, cache=cache, block_size=block_size)
         self.refit_after = refit_after
         self._linker: Optional[AliasLinker] = None
         self._known: List[AliasDocument] = []

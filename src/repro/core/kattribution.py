@@ -23,8 +23,9 @@ from repro.config import DEFAULT_K, SPACE_REDUCTION_FEATURES, FeatureBudget
 from repro.core.documents import AliasDocument
 from repro.core.features import DocumentEncoder, FeatureExtractor, \
     FeatureWeights
-from repro.core.similarity import cosine_similarity, rank_of, top_k
+from repro.core.similarity import cosine_similarity, rank_of
 from repro.errors import ConfigurationError, NotFittedError
+from repro.perf.blocked import blocked_top_k
 from repro.obs.metrics import counter
 from repro.obs.spans import span
 
@@ -73,16 +74,22 @@ class KAttributor:
         Append the daily-activity block.
     encoder:
         Optional shared :class:`DocumentEncoder`.
+    block_size:
+        Known-corpus rows scored per block during :meth:`reduce`
+        (memory bound for the stage-1 similarity matrix); ``None``
+        resolves through ``REPRO_BLOCK_SIZE`` and the default.
     """
 
     def __init__(self, k: int = DEFAULT_K,
                  budget: FeatureBudget = SPACE_REDUCTION_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
-                 encoder: DocumentEncoder | None = None) -> None:
+                 encoder: DocumentEncoder | None = None,
+                 block_size: Optional[int] = None) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
+        self.block_size = block_size
         self.extractor = FeatureExtractor(
             budget=budget,
             weights=weights,
@@ -117,10 +124,17 @@ class KAttributor:
     def reduce(self, unknowns: Sequence[AliasDocument],
                ) -> List[Candidates]:
         """Return the top-k candidate sets for each unknown alias."""
+        if self._known_matrix is None:
+            raise NotFittedError("KAttributor.fit has not been called")
         with span("kattribution.reduce", n_unknowns=len(unknowns),
                   k=self.k):
-            score_matrix = self.scores(unknowns)
-            indices, values = top_k(score_matrix, self.k)
+            unknown_matrix = self.extractor.transform(unknowns)
+            # Score in column blocks so the dense (unknowns x known)
+            # matrix never materializes whole; the fold is bit-equal
+            # to top_k over the one-shot scores.
+            indices, values = blocked_top_k(
+                unknown_matrix, self._known_matrix, self.k,
+                self.block_size)
             results: List[Candidates] = []
             for row, unknown in enumerate(unknowns):
                 docs = tuple(self._known[int(i)] for i in indices[row])

@@ -19,7 +19,8 @@ corpus it was diluted across thousands of users.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, \
+    Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +44,8 @@ from repro.obs.logging import get_logger
 from repro.obs.metrics import SCORE_BUCKETS, SIZE_BUCKETS, counter, \
     histogram
 from repro.obs.spans import span
+from repro.perf.cache import ProfileCache
+from repro.perf.parallel import ParallelExecutor, resolve_workers
 from repro.resilience.checkpoint import CheckpointStore, open_store
 
 log = get_logger(__name__)
@@ -324,6 +327,18 @@ class AliasLinker:
         When ``False``, skip stage 1 and score the unknown against
         *every* known alias with the final feature space — the
         "without reduction" rows of Table VI / Fig. 5.
+    workers:
+        Worker processes for the stage-2 restage; ``None`` reads
+        ``REPRO_WORKERS`` and defaults to serial.  Output is
+        bit-identical at any worker count.
+    cache:
+        ``True`` (default) computes every document's raw profiles
+        exactly once; ``False`` recomputes on every use (same numbers,
+        more work).  Pass a :class:`~repro.perf.cache.ProfileCache`
+        instance to share profiles across linkers.
+    block_size:
+        Known-corpus rows scored per stage-1 block (memory bound);
+        ``None`` resolves through ``REPRO_BLOCK_SIZE``.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -332,7 +347,10 @@ class AliasLinker:
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
-                 use_reduction: bool = True) -> None:
+                 use_reduction: bool = True,
+                 workers: Optional[int] = None,
+                 cache: Union[bool, ProfileCache] = True,
+                 block_size: Optional[int] = None) -> None:
         if k < 1:
             raise ConfigurationError(
                 f"k must be a positive integer, got {k}")
@@ -345,13 +363,20 @@ class AliasLinker:
         self.weights = weights or FeatureWeights()
         self.use_activity = use_activity
         self.use_reduction = use_reduction
-        self.encoder = DocumentEncoder()
+        self.workers = resolve_workers(workers)
+        if isinstance(cache, ProfileCache):
+            profile_cache = cache
+        else:
+            profile_cache = ProfileCache(enabled=bool(cache))
+        self.cache = profile_cache
+        self.encoder = DocumentEncoder(cache=profile_cache)
         self.reducer = KAttributor(
             k=k,
             budget=reduction_budget,
             weights=self.weights,
             use_activity=use_activity,
             encoder=self.encoder,
+            block_size=block_size,
         )
         self._known: Optional[List[AliasDocument]] = None
 
@@ -387,6 +412,61 @@ class AliasLinker:
         scores = cosine_similarity(unknown_matrix, candidate_matrix)[0]
         return [(doc.doc_id, float(score))
                 for doc, score in zip(candidates, scores)]
+
+    def rescore(self, unknown: AliasDocument,
+                candidates: Sequence[AliasDocument],
+                ) -> List[Tuple[str, float]]:
+        """Public second-stage restage of one unknown.
+
+        Exposed so benchmarks and callers with their own candidate sets
+        can time or drive the restage in isolation; :meth:`link` goes
+        through the same code path.
+        """
+        return self._rescore(unknown, list(candidates))
+
+    def _warm(self, unknowns: Iterable[AliasDocument]) -> None:
+        """Intern every unknown's profiles in submission order.
+
+        The restage may run in forked workers whose vocabulary copies
+        are frozen at fork time; interning everything in the parent
+        first keeps word-id assignment — and therefore n-gram codes and
+        tie-breaking — identical across worker counts.  With stage 1
+        enabled this is all cache hits (the reduce already touched
+        every pending unknown); it only does real work for
+        ``use_reduction=False`` runs.  Failing documents are left for
+        the restage to quarantine with its usual error message.
+        """
+        cache = self.encoder.cache
+        for unknown in unknowns:
+            try:
+                self.encoder.word_profile(unknown)
+                self.encoder.char_profile(unknown)
+                if self.weights.frequencies > 0:
+                    self.encoder.freq_features(unknown)
+                if self.use_activity and self.weights.activity > 0:
+                    cache.activity_row(unknown,
+                                       self.final_budget.activity_bins)
+            except Exception:  # noqa: BLE001 - requarantined in stage 2
+                continue
+
+    def _stage2_task(self, candidates: Candidates,
+                     ) -> Tuple[str, Any]:
+        """One unknown's restage: a pure function of the fitted state.
+
+        Returns ``("ok", (scored, best_id, best_score))`` or
+        ``("error", reason)`` — exceptions are folded into the return
+        value so the parallel map never aborts the batch and the parent
+        quarantines with the exact message the serial path would use.
+        """
+        unknown = candidates.unknown
+        try:
+            with span("linker.stage2", unknown=unknown.doc_id,
+                      k=len(candidates.documents)):
+                scored = self._rescore(unknown, candidates.documents)
+            best_id, best_score = max(scored, key=lambda pair: pair[1])
+        except Exception as exc:  # noqa: BLE001 - quarantined by caller
+            return ("error", f"final attribution failed: {exc}")
+        return ("ok", (scored, best_id, float(best_score)))
 
     def _fingerprint(self) -> Dict[str, Any]:
         """Run configuration pinned into checkpoint files."""
@@ -463,21 +543,22 @@ class AliasLinker:
         n_accepted = 0
         with span("linker.link", n_unknowns=len(unknowns),
                   n_known=len(self._known)):
-            for candidates in self._reduce_isolated(pending, skipped,
-                                                    store):
+            reduced = self._reduce_isolated(pending, skipped, store)
+            self._warm(c.unknown for c in reduced)
+            executor = ParallelExecutor(self.workers)
+            with span("linker.restage", n_unknowns=len(reduced),
+                      workers=executor.workers):
+                outcomes = executor.map(self._stage2_task, reduced)
+            # Match construction, metrics and checkpoint records stay in
+            # the parent, in reduced order — a workers=4 run writes the
+            # same records in the same order as workers=1.
+            for candidates, (status, payload) in zip(reduced, outcomes):
                 unknown = candidates.unknown
-                try:
-                    with span("linker.stage2", unknown=unknown.doc_id,
-                              k=len(candidates.documents)):
-                        scored = self._rescore(unknown,
-                                               candidates.documents)
-                    best_id, best_score = max(scored,
-                                              key=lambda pair: pair[1])
-                except Exception as exc:
-                    _quarantine(unknown.doc_id,
-                                f"final attribution failed: {exc}",
-                                "attribute", skipped, store)
+                if status == "error":
+                    _quarantine(unknown.doc_id, payload, "attribute",
+                                skipped, store)
                     continue
+                scored, best_id, best_score = payload
                 _CANDIDATE_SET.observe(len(candidates.documents))
                 _RESCORED.inc(len(scored))
                 first_stage = dict(

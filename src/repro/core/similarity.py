@@ -43,7 +43,9 @@ def cosine_similarity(queries: sparse.spmatrix,
     if not assume_normalized:
         q = l2_normalize_rows(q)
         c = l2_normalize_rows(c)
-    return np.asarray((q @ c.T).todense())
+    # .toarray() yields a plain ndarray directly; .todense() returns
+    # np.matrix and forces an extra conversion.
+    return (q @ c.T).toarray()
 
 
 def cosine_pair(vector_a: sparse.spmatrix,
@@ -58,18 +60,19 @@ def top_k(scores: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
     Returns ``(indices, values)``, both of shape ``(n_rows, k)``, with
     candidates sorted by descending score within each row.  ``k`` is
     clamped to the number of columns.
+
+    Ties are broken by ascending column index (stable sort), making
+    the selection fully deterministic — the invariant the blocked
+    stage-1 fold (:func:`repro.perf.blocked.blocked_top_k`) relies on
+    to be exactly equivalent to the one-shot computation.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     n_rows, n_cols = scores.shape
     k = min(k, n_cols)
-    # argpartition gets the k best in O(n); a small sort orders them.
-    part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
-    part_scores = np.take_along_axis(scores, part, axis=1)
-    order = np.argsort(-part_scores, axis=1, kind="stable")
-    indices = np.take_along_axis(part, order, axis=1)
-    values = np.take_along_axis(part_scores, order, axis=1)
-    return indices, values
+    order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    values = np.take_along_axis(scores, order, axis=1)
+    return order, values
 
 
 def rank_of(scores_row: np.ndarray, target_index: int) -> int:

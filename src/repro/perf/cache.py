@@ -1,0 +1,203 @@
+"""Per-document feature-profile caching.
+
+The two-stage linker touches every document many times: stage 1 fits
+the reduction feature space over the full known corpus, and stage 2
+re-fits a fresh Tf-Idf on each unknown's candidate set — candidate
+sets that overlap heavily between unknowns while the underlying
+documents never change.  Narayanan et al.'s internet-scale stylometry
+(100k authors) hinges on exactly one idea: compute each author's raw
+feature profile **once** and reuse it across every query.
+
+:class:`ProfileCache` is that idea for this pipeline.  It owns the
+shared :class:`~repro.core.ngrams.WordVocab` and memoizes, per
+document id:
+
+* the word 1–3-gram :class:`~repro.core.ngrams.CodeCounts`,
+* the character 1–5-gram :class:`~repro.core.ngrams.CodeCounts`,
+* the punctuation/digit/special-character frequency vector,
+* the (zero-filled when absent) daily-activity row.
+
+With warm profiles the stage-2 restage is pure numpy work — re-select
+top-N codes from cached counts, re-fit Tf-Idf on the candidate slice,
+re-normalize — with **zero** re-tokenization.
+
+Everything is observable through ``repro.obs``:
+``profile_cache_hits_total`` / ``profile_cache_misses_total`` count
+lookups, ``profile_cache_bytes`` gauges resident profile bytes, and
+``tokenizations_total`` counts every raw text walk (one per n-gram
+encode), which is what the CI smoke asserts goes *down* when the cache
+is on.
+
+A cache constructed with ``enabled=False`` recomputes every profile on
+every call but still shares the word vocabulary — interning order, and
+therefore n-gram code values and feature-column order, are identical
+either way, which is what makes cached and uncached linking runs
+**bit-identical** (see ``tests/perf/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core import ngrams
+from repro.obs.metrics import counter, gauge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.documents import AliasDocument
+
+__all__ = ["ProfileCache"]
+
+#: Profile lookups answered from memory.
+_HITS = counter("profile_cache_hits_total")
+#: Profile lookups that had to (re)compute.
+_MISSES = counter("profile_cache_misses_total")
+#: Bytes of profile arrays currently resident in the cache.
+_BYTES = gauge("profile_cache_bytes")
+#: Raw text walks: every word- or char-n-gram encode of a document.
+_TOKENIZATIONS = counter("tokenizations_total")
+
+
+class ProfileCache:
+    """Compute-once store of per-document raw feature profiles.
+
+    Parameters
+    ----------
+    vocab:
+        The shared word-interning table.  A private one is created when
+        omitted.  Sharing the vocab is what keeps n-gram codes
+        comparable across every consumer of the cache.
+    enabled:
+        When ``False`` nothing is memoized: every lookup recomputes
+        (and re-tokenizes).  The vocabulary is still shared, so a
+        disabled cache changes *nothing* about the numbers a linking
+        run produces — only how often they are recomputed.
+    """
+
+    def __init__(self, vocab: Optional[ngrams.WordVocab] = None,
+                 enabled: bool = True) -> None:
+        self.vocab = vocab if vocab is not None else ngrams.WordVocab()
+        self.enabled = enabled
+        self._word: Dict[str, ngrams.CodeCounts] = {}
+        self._char: Dict[str, ngrams.CodeCounts] = {}
+        self._freq: Dict[str, np.ndarray] = {}
+        self._activity: Dict[Tuple[str, int], np.ndarray] = {}
+        self._bytes = 0
+
+    # -- accounting -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of cached profile entries (all families)."""
+        return (len(self._word) + len(self._char) + len(self._freq)
+                + len(self._activity))
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes held by cached profile arrays."""
+        return self._bytes
+
+    def _grow(self, amount: int) -> None:
+        self._bytes += amount
+        _BYTES.set(self._bytes)
+
+    # -- profiles -------------------------------------------------------------
+
+    def word_profile(self, document: "AliasDocument") -> ngrams.CodeCounts:
+        """Word 1–3-gram counts of *document*, computed at most once."""
+        if self.enabled:
+            profile = self._word.get(document.doc_id)
+            if profile is not None:
+                _HITS.inc()
+                return profile
+        _MISSES.inc()
+        _TOKENIZATIONS.inc()
+        codes = ngrams.word_ngram_codes(document.words, self.vocab)
+        profile = ngrams.CodeCounts.from_occurrences(codes)
+        if self.enabled:
+            self._word[document.doc_id] = profile
+            self._grow(profile.codes.nbytes + profile.counts.nbytes)
+        return profile
+
+    def char_profile(self, document: "AliasDocument") -> ngrams.CodeCounts:
+        """Character 1–5-gram counts of *document*, computed at most once."""
+        if self.enabled:
+            profile = self._char.get(document.doc_id)
+            if profile is not None:
+                _HITS.inc()
+                return profile
+        _MISSES.inc()
+        _TOKENIZATIONS.inc()
+        codes = ngrams.char_ngram_codes(document.text)
+        profile = ngrams.CodeCounts.from_occurrences(codes)
+        if self.enabled:
+            self._char[document.doc_id] = profile
+            self._grow(profile.codes.nbytes + profile.counts.nbytes)
+        return profile
+
+    def freq_features(self, document: "AliasDocument") -> np.ndarray:
+        """Frequency features of *document*, computed at most once."""
+        if self.enabled:
+            features = self._freq.get(document.doc_id)
+            if features is not None:
+                _HITS.inc()
+                return features
+        _MISSES.inc()
+        # Local import: repro.core.features imports this module.
+        from repro.core.features import frequency_features
+
+        features = frequency_features(document.text)
+        if self.enabled:
+            self._freq[document.doc_id] = features
+            self._grow(features.nbytes)
+        return features
+
+    def activity_row(self, document: "AliasDocument",
+                     bins: int) -> np.ndarray:
+        """The daily-activity row of *document* as float64.
+
+        Documents without an activity profile get a zero row of *bins*
+        entries (their activity contributes nothing to any cosine).
+        The returned array is shared — callers must not mutate it
+        (every pipeline consumer copies it into a stacked matrix).
+        """
+        key = (document.doc_id, bins)
+        if self.enabled:
+            row = self._activity.get(key)
+            if row is not None:
+                _HITS.inc()
+                return row
+        _MISSES.inc()
+        if document.activity is not None:
+            row = np.asarray(document.activity, dtype=np.float64)
+        else:
+            row = np.zeros(bins, dtype=np.float64)
+        if self.enabled:
+            self._activity[key] = row
+            self._grow(row.nbytes)
+        return row
+
+    # -- memory control -------------------------------------------------------
+
+    def drop(self, doc_ids: Iterable[str]) -> None:
+        """Forget cached profiles (memory control for huge corpora)."""
+        for doc_id in doc_ids:
+            for family in (self._word, self._char, self._freq):
+                entry = family.pop(doc_id, None)
+                if entry is None:
+                    continue
+                if isinstance(entry, ngrams.CodeCounts):
+                    self._grow(-(entry.codes.nbytes + entry.counts.nbytes))
+                else:
+                    self._grow(-entry.nbytes)
+            for key in [k for k in self._activity if k[0] == doc_id]:
+                self._grow(-self._activity.pop(key).nbytes)
+
+    def clear(self) -> None:
+        """Drop every cached profile (the vocabulary is kept)."""
+        self._word.clear()
+        self._char.clear()
+        self._freq.clear()
+        self._activity.clear()
+        self._bytes = 0
+        _BYTES.set(0)

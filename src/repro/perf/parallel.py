@@ -1,0 +1,153 @@
+"""Process-parallel fan-out for per-unknown stage-2 work.
+
+The restage is embarrassingly parallel: each unknown's candidate-set
+re-fit is a pure function of the fitted linker state, so the unknowns
+can be scored on separate cores with no coordination.  The executor
+here uses a **fork** process pool so the parent's fitted matrices and
+warm :class:`~repro.perf.cache.ProfileCache` are shared with every
+worker read-only (copy-on-write pages — no serialization of the index,
+no per-worker re-tokenization).
+
+Determinism is non-negotiable: results come back in submission order,
+each task is a pure function of inherited state, and a run with
+``workers=4`` is bit-identical to ``workers=1`` (asserted by
+``tests/perf/test_equivalence.py``).
+
+Telemetry: each task runs against the worker's (inherited, then reset)
+metrics registry and ships a per-task snapshot back with its result;
+the parent merges counters and histograms into the live registry, so
+``feature_fits_total`` and the cache counters stay truthful under
+parallelism.  Worker-side *gauges* are instantaneous values of a dead
+process and are dropped.  Tracing spans opened inside workers are not
+transported.
+
+Worker count resolution, in priority order: explicit argument, the
+``REPRO_WORKERS`` environment variable, then serial (1).  On platforms
+without ``fork`` (or when already inside a worker) the executor
+degrades to the serial path — same results, no parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter, gauge, get_registry
+
+__all__ = ["ParallelExecutor", "resolve_workers", "WORKERS_ENV"]
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+log = get_logger(__name__)
+
+#: Tasks dispatched through executors (serial and parallel).
+_TASKS = counter("parallel_tasks_total")
+#: Process pools actually forked (serial runs never touch this).
+_POOLS = counter("parallel_pools_total")
+#: Worker count of the most recent executor.
+_WORKERS_GAUGE = gauge("parallel_workers")
+
+#: The in-flight (fn, items) payload, published to forked workers via
+#: inherited memory; also the re-entrancy latch that forces nested
+#: executors (a worker starting its own pool) onto the serial path.
+_PAYLOAD: Optional[Tuple[Callable[[Any], Any], Sequence[Any]]] = None
+
+
+def _run_task(index: int) -> Tuple[Any, dict]:
+    """Worker-side entry: run one task, return (result, metrics delta).
+
+    The worker's registry is reset before the task so the snapshot it
+    ships back is exactly this task's increments — the parent can merge
+    deltas from any number of tasks without double counting.
+    """
+    fn, items = _PAYLOAD  # type: ignore[misc]  # set before fork
+    registry = get_registry()
+    registry.reset()
+    result = fn(items[index])
+    return result, registry.snapshot()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_WORKERS`` > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is None or not raw.strip():
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}") from None
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError(
+            f"workers must be a positive integer, got {workers}")
+    return workers
+
+
+class ParallelExecutor:
+    """Order-stable map over a fork process pool (serial at 1 worker).
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``None`` reads ``REPRO_WORKERS``
+        and defaults to 1.  ``workers=1`` runs inline with zero
+        process overhead.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn: Callable[[Any], Any],
+            items: Iterable[Any]) -> List[Any]:
+        """Apply *fn* to every item, results in submission order.
+
+        The parallel path requires *fn*'s return values to be
+        picklable; *fn* itself and its closed-over state travel to the
+        workers by fork inheritance, never by pickling.  Exceptions
+        raised by *fn* propagate (callers wanting isolation catch
+        inside *fn*).
+        """
+        items = list(items)
+        _WORKERS_GAUGE.set(self.workers)
+        _TASKS.inc(len(items))
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        global _PAYLOAD
+        if _PAYLOAD is not None:
+            # Nested use from inside a worker: stay serial.
+            log.debug("parallel.nested_serial", n_items=len(items))
+            return [fn(item) for item in items]
+        if "fork" not in multiprocessing.get_all_start_methods():
+            log.warning("parallel.no_fork", n_items=len(items),
+                        workers=self.workers)
+            return [fn(item) for item in items]
+        context = multiprocessing.get_context("fork")
+        n_workers = min(self.workers, len(items))
+        chunksize = max(1, len(items) // (n_workers * 4))
+        _POOLS.inc()
+        log.debug("parallel.map", n_items=len(items), workers=n_workers,
+                  chunksize=chunksize)
+        _PAYLOAD = (fn, items)
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=context) as pool:
+                outcomes = list(pool.map(_run_task, range(len(items)),
+                                         chunksize=chunksize))
+        finally:
+            _PAYLOAD = None
+        registry = get_registry()
+        results: List[Any] = []
+        for result, snapshot in outcomes:
+            # Gauges are instantaneous values of a dead worker; merging
+            # them would clobber live parent values (last-write-wins).
+            registry.merge({name: data for name, data in snapshot.items()
+                            if data.get("type") != "gauge"})
+            results.append(result)
+        return results

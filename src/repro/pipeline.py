@@ -73,18 +73,32 @@ class LinkingPipeline:
         :class:`~repro.resilience.policy.RetryPolicy` to also absorb
         real ``TransientError`` / ``ConnectionError`` / ``TimeoutError``
         from the stages, or to tune attempts and the deadline.
+    workers:
+        Worker processes for the stage-2 restage (``None`` reads
+        ``REPRO_WORKERS``; 1 = serial).  Any worker count produces
+        bit-identical output.
+    cache / block_size:
+        Profile-caching policy and stage-1 scoring block size,
+        forwarded to the linker (see
+        :class:`~repro.core.linker.AliasLinker`).
     """
 
     def __init__(self, config: PipelineConfig | None = None,
                  cleaning: CleaningConfig | None = None,
                  weights: FeatureWeights | None = None,
                  batch_size: Optional[int] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 workers: Optional[int] = None,
+                 cache: bool = True,
+                 block_size: Optional[int] = None) -> None:
         self.config = config or PipelineConfig()
         self.cleaning = cleaning or CleaningConfig()
         self.weights = weights or FeatureWeights()
         self.batch_size = batch_size
         self.retry_policy = retry_policy
+        self.workers = workers
+        self.cache = cache
+        self.block_size = block_size
         self.report = PipelineReport()
 
     def _guard(self, site: str, fn, *args, **kwargs):
@@ -152,6 +166,9 @@ class LinkingPipeline:
                 final_budget=self.config.final_budget,
                 weights=weights,
                 use_activity=self.config.use_activity,
+                workers=self.workers,
+                cache=self.cache,
+                block_size=self.block_size,
             )
         return AliasLinker(
             k=self.config.k,
@@ -160,6 +177,9 @@ class LinkingPipeline:
             final_budget=self.config.final_budget,
             weights=weights,
             use_activity=self.config.use_activity,
+            workers=self.workers,
+            cache=self.cache,
+            block_size=self.block_size,
         )
 
     def link_documents(self, known: List[AliasDocument],

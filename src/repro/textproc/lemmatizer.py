@@ -228,17 +228,10 @@ def _strip_comparative(word: str) -> str | None:
     return None
 
 
-@lru_cache(maxsize=65536)
-def lemmatize_word(word: str) -> str:
-    """Return the lemma of a single (already casefolded) word.
-
-    The lookup order is: irregular tables first, protected words next,
-    then the suffix rules from most to least specific.  Unknown shapes
-    pass through unchanged.
-    """
-    if not word:
-        return word
-    word = word.lower()
+def _lemmatize_once(word: str) -> str:
+    """One pass of the lookup order: irregular tables first, protected
+    words next, then the suffix rules from most to least specific.
+    Unknown shapes pass through unchanged."""
     for table in (_IRREGULAR_VERBS, _IRREGULAR_NOUNS, _IRREGULAR_ADJECTIVES):
         if word in table:
             return table[word]
@@ -248,6 +241,28 @@ def lemmatize_word(word: str) -> str:
         stem = rule(word)
         if stem is not None and len(stem) >= _MIN_STEM and _has_vowel(stem):
             return stem
+    return word
+
+
+@lru_cache(maxsize=65536)
+def lemmatize_word(word: str) -> str:
+    """Return the lemma of a single (already casefolded) word.
+
+    The suffix rules are applied to a fixpoint so the lemmatizer is
+    idempotent: a stripped stem that itself still matches a rule (e.g.
+    an ``-ed`` form whose stem ends in ``-s``) is reduced again until
+    stable.  Real vocabulary rarely needs a second pass — the guard
+    mostly matters for the stability invariant that downstream feature
+    spaces rely on (a lemma must map to itself).
+    """
+    if not word:
+        return word
+    word = word.lower()
+    for _ in range(8):  # defensive bound; rules strictly shrink words
+        reduced = _lemmatize_once(word)
+        if reduced == word:
+            return word
+        word = reduced
     return word
 
 

@@ -70,7 +70,12 @@ class TestSpanEmission:
                       if r["name"] == "linker.link"]
         assert len(link_roots) == 1
         child_names = {c["name"] for c in link_roots[0]["children"]}
-        assert {"linker.stage1", "linker.stage2"} <= child_names
+        assert {"linker.stage1", "linker.restage"} <= child_names
+        # stage-2 spans live under the restage fan-out span
+        restage = [c for c in link_roots[0]["children"]
+                   if c["name"] == "linker.restage"]
+        stage2 = {c["name"] for r in restage for c in r["children"]}
+        assert stage2 == {"linker.stage2"}
 
     def test_one_stage2_span_per_unknown(self, linked):
         dataset, _, trace, _, _ = linked

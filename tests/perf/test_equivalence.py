@@ -1,0 +1,107 @@
+"""Bit-identity of linking output across every perf configuration.
+
+The perf subsystem's contract is that caching, parallelism and blocked
+scoring are pure mechanics: ``link()`` output is **identical** — not
+approximately equal — whether the cache is on or off, at any worker
+count, at any block size, and under checkpoint/resume.  Everything here
+compares full ``LinkResult.to_dict()`` payloads for exact equality.
+"""
+
+import pytest
+
+from repro.core.batch import BatchedLinker
+from repro.core.linker import AliasLinker
+
+
+def _run(dataset, **kwargs):
+    linker = AliasLinker(threshold=0.4, **kwargs)
+    linker.fit(dataset.originals)
+    return linker.link(dataset.alter_egos)
+
+
+@pytest.fixture(scope="module")
+def baseline(reddit_alter_egos):
+    """The reference run: serial, cached, default block size."""
+    return _run(reddit_alter_egos).to_dict()
+
+
+class TestAliasLinkerEquivalence:
+    def test_cache_off_is_bit_identical(self, reddit_alter_egos,
+                                        baseline):
+        assert _run(reddit_alter_egos,
+                    cache=False).to_dict() == baseline
+
+    def test_workers_4_is_bit_identical(self, reddit_alter_egos,
+                                        baseline):
+        assert _run(reddit_alter_egos,
+                    workers=4).to_dict() == baseline
+
+    def test_workers_4_without_cache_is_bit_identical(
+            self, reddit_alter_egos, baseline):
+        assert _run(reddit_alter_egos, workers=4,
+                    cache=False).to_dict() == baseline
+
+    def test_tiny_blocks_are_bit_identical(self, reddit_alter_egos,
+                                           baseline):
+        assert _run(reddit_alter_egos,
+                    block_size=3).to_dict() == baseline
+
+    def test_everything_at_once_is_bit_identical(self,
+                                                 reddit_alter_egos,
+                                                 baseline):
+        assert _run(reddit_alter_egos, workers=4, cache=False,
+                    block_size=5).to_dict() == baseline
+
+
+class TestResumeEquivalence:
+    def test_resumed_parallel_equals_uninterrupted_serial(
+            self, reddit_alter_egos, baseline, tmp_path):
+        checkpoint = tmp_path / "link.ckpt"
+        # Interrupted run: a parallel worker pool finishes only the
+        # first few unknowns before the "crash".
+        partial = AliasLinker(threshold=0.4, workers=4)
+        partial.fit(reddit_alter_egos.originals)
+        partial.link(reddit_alter_egos.alter_egos[:3],
+                     checkpoint=checkpoint)
+        # Resume with a different worker count: same bits.
+        resumed = AliasLinker(threshold=0.4, workers=2)
+        resumed.fit(reddit_alter_egos.originals)
+        result = resumed.link(reddit_alter_egos.alter_egos,
+                              checkpoint=checkpoint, resume=True)
+        assert result.to_dict() == baseline
+
+    def test_resume_cache_off_equals_baseline(self, reddit_alter_egos,
+                                              baseline, tmp_path):
+        checkpoint = tmp_path / "link.ckpt"
+        first = AliasLinker(threshold=0.4, cache=False)
+        first.fit(reddit_alter_egos.originals)
+        first.link(reddit_alter_egos.alter_egos[:2],
+                   checkpoint=checkpoint)
+        second = AliasLinker(threshold=0.4, workers=3)
+        second.fit(reddit_alter_egos.originals)
+        result = second.link(reddit_alter_egos.alter_egos,
+                             checkpoint=checkpoint, resume=True)
+        assert result.to_dict() == baseline
+
+
+class TestBatchedEquivalence:
+    @pytest.fixture(scope="class")
+    def batched_baseline(self, reddit_alter_egos):
+        linker = BatchedLinker(batch_size=12, threshold=0.4)
+        linker.fit(reddit_alter_egos.originals)
+        return linker.link(reddit_alter_egos.alter_egos).to_dict()
+
+    def test_workers_4_is_bit_identical(self, reddit_alter_egos,
+                                        batched_baseline):
+        linker = BatchedLinker(batch_size=12, threshold=0.4, workers=4)
+        linker.fit(reddit_alter_egos.originals)
+        result = linker.link(reddit_alter_egos.alter_egos)
+        assert result.to_dict() == batched_baseline
+
+    def test_cache_off_is_bit_identical(self, reddit_alter_egos,
+                                        batched_baseline):
+        linker = BatchedLinker(batch_size=12, threshold=0.4,
+                               cache=False)
+        linker.fit(reddit_alter_egos.originals)
+        result = linker.link(reddit_alter_egos.alter_egos)
+        assert result.to_dict() == batched_baseline

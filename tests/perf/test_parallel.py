@@ -1,0 +1,104 @@
+"""Unit tests for the parallel executor (repro.perf.parallel)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import counter, get_registry
+from repro.perf.parallel import WORKERS_ENV, ParallelExecutor, \
+    resolve_workers
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers() == 3
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(2) == 2
+
+    def test_blank_env_ignored(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "  ")
+        assert resolve_workers() == 1
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+    @pytest.mark.parametrize("workers", [0, -1])
+    def test_non_positive_rejected(self, workers):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(workers)
+
+
+class TestMap:
+    def test_serial_preserves_order(self):
+        result = ParallelExecutor(workers=1).map(lambda x: x * x,
+                                                 range(10))
+        assert result == [x * x for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        result = ParallelExecutor(workers=3).map(lambda x: x * x,
+                                                 range(20))
+        assert result == [x * x for x in range(20)]
+
+    def test_single_item_stays_serial(self):
+        pools = get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0)
+        assert ParallelExecutor(workers=4).map(str, [1]) == ["1"]
+        after = get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0)
+        assert after == pools
+
+    def test_serial_exception_propagates(self):
+        def boom(_):
+            raise ValueError("bad item")
+
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=1).map(boom, [1, 2])
+
+    def test_closure_state_inherited_by_fork(self):
+        offset = 41
+        result = ParallelExecutor(workers=2).map(
+            lambda x: x + offset, [1, 2, 3, 4])
+        assert result == [42, 43, 44, 45]
+
+    def test_nested_executor_stays_serial(self):
+        def outer(x):
+            inner = ParallelExecutor(workers=4).map(
+                lambda y: y + 1, [x, x * 10])
+            return sum(inner)
+
+        result = ParallelExecutor(workers=2).map(outer, [1, 2, 3, 4])
+        assert result == [13, 24, 35, 46]
+
+
+class TestWorkerMetrics:
+    def test_counters_merged_from_workers(self):
+        probe = counter("test_parallel_probe_total")
+
+        def task(x):
+            counter("test_parallel_probe_total").inc()
+            return x
+
+        before = probe.value
+        ParallelExecutor(workers=3).map(task, range(8))
+        assert probe.value == before + 8
+
+    def test_gauges_not_clobbered_by_workers(self):
+        from repro.obs.metrics import gauge
+
+        probe = gauge("test_parallel_probe_gauge")
+        probe.set(7)
+
+        def task(x):
+            gauge("test_parallel_probe_gauge").set(x)
+            return x
+
+        ParallelExecutor(workers=2).map(task, range(4))
+        assert probe.value == 7
