@@ -10,33 +10,44 @@ the cost into the three phases the ``repro.perf`` subsystem attacks:
   cache on vs off, and serial vs parallel.
 
 Corpus sizes come from ``REPRO_BENCH_SIZES`` (comma-separated
-``<known>x<unknown>`` pairs, e.g. ``"2000x200"``); the parallel runs
-use ``REPRO_BENCH_WORKERS`` workers (default 4).  Results are printed,
-persisted as text, and written machine-readable to
-``benchmarks/results/BENCH_linking.json`` with per-size wall times and
-the process's peak RSS high-water mark.
+``<known>x<unknown>`` pairs, e.g. ``"2000x200"``, or the literal
+``sweep`` for the 2k/10k/50k known-side trajectory); the parallel
+runs use ``REPRO_BENCH_WORKERS`` workers (default 4).  Results are
+printed, persisted as text, and merged machine-readable into
+``benchmarks/results/BENCH_linking.json``: rows are keyed by corpus
+size + worker count and *appended* to the existing trajectory instead
+of overwriting it, each row carries per-stage wall times, current and
+peak RSS, and the fork-pool overhead counters
+(``parallel.pickle_bytes``/``fork_ms``/``merge_ms``), and the file
+gains a run manifest — which is what lets ``darklight bench-diff``
+gate regressions against the committed baseline.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import resource
-import sys
 
 import numpy as np
 
-from _util import RESULTS_DIR, emit, seconds, table, timed
+from _util import emit, seconds, table, timed, update_trajectory
 from repro.core.documents import AliasDocument
 from repro.core.linker import AliasLinker
+from repro.obs.manifest import build_manifest
+from repro.obs.metrics import get_registry
+from repro.obs.prof import peak_rss_kb, read_rss_kb
 
 SIZES_ENV = "REPRO_BENCH_SIZES"
 WORKERS_ENV_BENCH = "REPRO_BENCH_WORKERS"
 DEFAULT_SIZES = "300x60,1200x150"
+#: The known-side scaling trajectory from the ROADMAP
+#: (``REPRO_BENCH_SIZES=sweep``).
+SWEEP_SIZES = "2000x200,10000x400,50000x800"
 
 
 def _sizes():
     raw = os.environ.get(SIZES_ENV, DEFAULT_SIZES)
+    if raw.strip().lower() == "sweep":
+        raw = SWEEP_SIZES
     pairs = []
     for chunk in raw.split(","):
         known, unknown = chunk.strip().lower().split("x")
@@ -45,10 +56,12 @@ def _sizes():
 
 
 def _peak_rss_mb():
-    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB, macOS bytes.
-    scale = 1024 if sys.platform != "darwin" else 1024 * 1024
-    return usage / scale
+    return peak_rss_kb() / 1024.0
+
+
+def _counter_value(name):
+    snap = get_registry().snapshot().get(name, {})
+    return float(snap.get("value", 0.0) or 0.0)
 
 
 def _make_docs(n, seed, prefix, vocab_size=1500, words_per_doc=200):
@@ -83,7 +96,8 @@ def _measure(n_known, n_unknown, workers):
     known = _make_docs(n_known, seed=1, prefix="k")
     unknown = _make_docs(n_unknown, seed=2, prefix="u")
     row = {"n_known": n_known, "n_unknown": n_unknown,
-           "workers": workers}
+           "workers": workers,
+           "rss_before_mb": read_rss_kb() / 1024.0}
 
     cached = AliasLinker(threshold=0.0)
     with timed("bench.fit", n_known=n_known) as span:
@@ -102,10 +116,15 @@ def _measure(n_known, n_unknown, workers):
     row["restage_speedup"] = (row["restage_uncached_s"]
                               / max(row["restage_cached_s"], 1e-9))
 
-    # Parallel scaling of the full link() call on the warm linker.
+    # Parallel scaling of the full link() call on the warm linker,
+    # with the fork-pool overhead counters captured as deltas so the
+    # speedup (or lack of it) is attributable.
     with timed("bench.link_serial") as span:
         serial_result = cached.link(unknown)
     row["link_serial_s"] = seconds(span)
+    overhead_before = {name: _counter_value(name) for name in
+                       ("parallel.pickle_bytes", "parallel.fork_ms",
+                        "parallel.merge_ms")}
     cached.workers = workers
     with timed("bench.link_parallel", workers=workers) as span:
         parallel_result = cached.link(unknown)
@@ -113,8 +132,16 @@ def _measure(n_known, n_unknown, workers):
     cached.workers = 1
     row["parallel_speedup"] = (row["link_serial_s"]
                                / max(row["link_parallel_s"], 1e-9))
+    row["parallel_pickle_bytes"] = (
+        _counter_value("parallel.pickle_bytes")
+        - overhead_before["parallel.pickle_bytes"])
+    row["parallel_fork_ms"] = (_counter_value("parallel.fork_ms")
+                               - overhead_before["parallel.fork_ms"])
+    row["parallel_merge_ms"] = (_counter_value("parallel.merge_ms")
+                                - overhead_before["parallel.merge_ms"])
     row["outputs_identical"] = (serial_result.to_dict()
                                 == parallel_result.to_dict())
+    row["rss_after_mb"] = read_rss_kb() / 1024.0
     row["peak_rss_mb"] = _peak_rss_mb()
     return row
 
@@ -137,13 +164,18 @@ def test_linking_throughput():
     lines += table(
         ("known", "unknown", "fit s", "reduce s", "restage s",
          "no-cache s", "cache x", "serial s", f"x{workers} s",
-         "par x", "peak MB"),
+         "par x", "fork ms", "merge ms", "ipc KB", "rss MB",
+         "peak MB"),
         [(r["n_known"], r["n_unknown"], f"{r['fit_s']:.2f}",
           f"{r['reduce_s']:.2f}", f"{r['restage_cached_s']:.2f}",
           f"{r['restage_uncached_s']:.2f}",
           f"{r['restage_speedup']:.1f}", f"{r['link_serial_s']:.2f}",
           f"{r['link_parallel_s']:.2f}",
-          f"{r['parallel_speedup']:.1f}", f"{r['peak_rss_mb']:.0f}")
+          f"{r['parallel_speedup']:.1f}",
+          f"{r['parallel_fork_ms']:.0f}",
+          f"{r['parallel_merge_ms']:.0f}",
+          f"{r['parallel_pickle_bytes'] / 1024:.0f}",
+          f"{r['rss_after_mb']:.0f}", f"{r['peak_rss_mb']:.0f}")
          for r in rows])
     if cores < workers:
         lines += ["", f"note: only {cores} core(s) available — the "
@@ -151,10 +183,17 @@ def test_linking_throughput():
                   "scaling; re-run on a multi-core host."]
     emit("linking_throughput", lines)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {"workers": workers, "cores": cores, "sizes": rows}
-    (RESULTS_DIR / "BENCH_linking.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    manifest = build_manifest(
+        command="bench_linking_throughput",
+        config={"sizes": os.environ.get(SIZES_ENV, DEFAULT_SIZES),
+                "workers": workers},
+        seed=1,
+    )
+    update_trajectory(
+        "BENCH_linking", rows,
+        key_fields=("n_known", "n_unknown", "workers"),
+        extra={"workers": workers, "cores": cores,
+               "manifest": manifest})
 
     for row in rows:
         # Any worker count must produce bit-identical links.

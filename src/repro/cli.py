@@ -14,10 +14,19 @@ Six subcommands cover the end-to-end workflow of the paper:
   subsystem (see ``docs/performance.md``);
 * ``profile`` — extract the §V-D personal profile of one alias;
 * ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
-  slowest spans, metric table).
+  slowest spans, metric table with p50/p95/p99); ``--compare OTHER``
+  diffs two trace files per stage instead;
+* ``bench-diff`` — compare two benchmark result JSONs metric by
+  metric and exit nonzero on regressions beyond ``--threshold``.
 
 Global telemetry flags (before the subcommand): ``--trace FILE.json``
 records every pipeline span plus a metrics snapshot to *FILE*;
+``--trace-chrome FILE.json`` additionally exports the span tree —
+including per-worker restage lanes — as Chrome Trace Event JSON for
+``about://tracing``/Perfetto; ``--profile``/``--profile-alloc``
+attach RSS/GC (and tracemalloc) resource payloads to every span.
+Every trace output gains a ``*.manifest.json`` sidecar recording
+config, seeds, env knobs, versions, git rev and input digests.
 ``--log-level``/``--log-format`` configure structured logging (see
 ``docs/observability.md``).
 """
@@ -28,15 +37,28 @@ import argparse
 import json
 import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.config import PAPER_THRESHOLD, PipelineConfig
 from repro.core.threshold import ThresholdCalibrator
-from repro.errors import ReproError
+from repro.errors import DatasetError, ReproError
 from repro.forums.storage import load_forum, save_forum, save_world
+from repro.obs.diff import (
+    DEFAULT_THRESHOLD,
+    diff_benchmarks,
+    diff_traces,
+    render_diff,
+    render_trace_diff,
+)
 from repro.obs.logging import LOG_FORMAT_ENV, LOG_LEVEL_ENV, configure_logging
-from repro.obs.report import load_trace, render_stats, write_trace
+from repro.obs.manifest import build_manifest, manifest_path_for, \
+    write_manifest
+from repro.obs.prof import disable_profiling, enable_profiling, \
+    profiling_from_env
+from repro.obs.report import load_trace, render_stats, \
+    write_chrome_trace, write_trace
 from repro.obs.spans import enable_tracing, reset_trace
 from repro.pipeline import LinkingPipeline
 from repro.profiling.extractor import ProfileExtractor
@@ -44,6 +66,10 @@ from repro.resilience.policy import RetryPolicy
 from repro.profiling.report import render_report
 from repro.synth.world import WorldConfig, build_world
 from repro.textproc.cleaning import CleaningConfig, polish_forum
+
+#: Subcommands that only *read* telemetry; the global --trace /
+#: --trace-chrome flags never record a trace of these.
+_ANALYSIS_COMMANDS = ("stats", "bench-diff")
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -118,6 +144,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
         cache=not args.no_cache,
         block_size=args.block_size,
     )
+    args.manifest_config = pipeline.manifest_config()
     result = pipeline.link_forums(known, unknown,
                                   checkpoint=args.checkpoint,
                                   resume=args.resume)
@@ -149,7 +176,43 @@ def _cmd_link(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace_file)
+    if args.compare is not None:
+        other = load_trace(args.compare)
+        result = diff_traces(trace, other,
+                             threshold=args.compare_threshold)
+        print(f"stage diff: {args.trace_file} -> {args.compare}")
+        print(render_trace_diff(result))
+        return 0
     print(render_stats(trace))
+    return 0
+
+
+def _load_bench_results(path: str) -> dict:
+    """Load one benchmark results JSON (e.g. BENCH_linking.json)."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise DatasetError(f"benchmark file {path} does not exist")
+    except json.JSONDecodeError as exc:
+        raise DatasetError(
+            f"benchmark file {path} is not valid JSON: {exc}")
+    if not isinstance(document, dict):
+        raise DatasetError(
+            f"benchmark file {path} is not a JSON object")
+    return document
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    old = _load_bench_results(args.old)
+    new = _load_bench_results(args.new)
+    result = diff_benchmarks(old, new, threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(f"bench diff: {args.old} -> {args.new}")
+        print(render_diff(result))
+    if result["regressions"] and not args.warn_only:
+        return 1
     return 0
 
 
@@ -174,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE.json", default=None,
                         help="record a span trace + metrics snapshot "
                              "of this run to FILE.json")
+    parser.add_argument("--trace-chrome", metavar="FILE.json",
+                        default=None,
+                        help="additionally export the span tree as "
+                             "Chrome Trace Event JSON (open in "
+                             "about://tracing or Perfetto; workers "
+                             "render as separate process lanes)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach RSS/GC resource payloads to "
+                             "every span (requires --trace or "
+                             "--trace-chrome to be useful)")
+    parser.add_argument("--profile-alloc", action="store_true",
+                        help="like --profile, plus tracemalloc "
+                             "net/peak allocation per span (slower)")
     parser.add_argument("--log-level", default=None,
                         help="structured-log level (DEBUG/INFO/...; "
                              "default from REPRO_LOG_LEVEL)")
@@ -247,7 +323,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="summarize a --trace JSON file")
     stats.add_argument("trace_file",
                        help="trace file written by --trace")
+    stats.add_argument("--compare", metavar="OTHER.json", default=None,
+                       help="diff per-stage wall time against a "
+                            "second trace file instead of rendering")
+    stats.add_argument("--compare-threshold", type=float,
+                       default=DEFAULT_THRESHOLD, metavar="FRACTION",
+                       help="relative slowdown flagged as a "
+                            "regression in --compare output "
+                            "(default 0.20)")
     stats.set_defaults(func=_cmd_stats)
+
+    bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare two benchmark result JSONs; exit 1 on "
+             "regressions beyond the threshold")
+    bdiff.add_argument("old", help="baseline results JSON "
+                                   "(e.g. committed BENCH_linking.json)")
+    bdiff.add_argument("new", help="freshly produced results JSON")
+    bdiff.add_argument("--threshold", type=float,
+                       default=DEFAULT_THRESHOLD, metavar="FRACTION",
+                       help="relative worsening tolerated per metric "
+                            "(default 0.20 = 20%%)")
+    bdiff.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0 "
+                            "(PR-gate mode)")
+    bdiff.add_argument("--json", action="store_true",
+                       help="print the full diff document as JSON")
+    bdiff.set_defaults(func=_cmd_bench_diff)
 
     prof = sub.add_parser("profile",
                           help="extract a personal profile (V-D)")
@@ -259,31 +361,74 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _manifest_inputs(args: argparse.Namespace) -> dict:
+    """Input files of this invocation, by role, for the manifest."""
+    inputs = {}
+    for role in ("known", "unknown", "forum", "input"):
+        path = getattr(args, role, None)
+        if path is not None:
+            inputs[role] = path
+    return inputs
+
+
+def _write_run_artifacts(args: argparse.Namespace,
+                         argv: Optional[Sequence[str]],
+                         started: float) -> None:
+    """Persist the trace, Chrome trace and their manifest sidecars."""
+    metadata = {
+        "command": args.command,
+        "argv": list(argv) if argv is not None else sys.argv[1:],
+    }
+    manifest = build_manifest(
+        command=args.command,
+        argv=metadata["argv"],
+        config=getattr(args, "manifest_config", None),
+        seed=getattr(args, "seed", None),
+        inputs=_manifest_inputs(args),
+        elapsed_s=time.perf_counter() - started,
+    )
+    written = []
+    if args.trace is not None:
+        written.append(write_trace(args.trace, metadata=metadata))
+    if args.trace_chrome is not None:
+        written.append(write_chrome_trace(args.trace_chrome,
+                                          metadata=metadata))
+    for path in written:
+        write_manifest(manifest_path_for(path), manifest)
+        print(f"trace written to {path} "
+              f"(manifest: {manifest_path_for(path)})", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     tracing = False
+    profiling = False
+    started = time.perf_counter()
     try:
         if (args.log_level or args.log_format
                 or os.environ.get(LOG_LEVEL_ENV)
                 or os.environ.get(LOG_FORMAT_ENV)):
             configure_logging(level=args.log_level, fmt=args.log_format)
-        if args.trace is not None and args.command != "stats":
-            reset_trace()
-            enable_tracing()
-            tracing = True
+        if args.command not in _ANALYSIS_COMMANDS:
+            if args.trace is not None or args.trace_chrome is not None:
+                reset_trace()
+                enable_tracing()
+                tracing = True
+            if args.profile or args.profile_alloc:
+                enable_profiling(alloc=args.profile_alloc)
+                profiling = True
+            elif profiling_from_env() is not None:
+                profiling = True
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if profiling:
+            disable_profiling()
         if tracing:
-            path = write_trace(args.trace, metadata={
-                "command": args.command,
-                "argv": list(argv) if argv is not None
-                else sys.argv[1:],
-            })
-            print(f"trace written to {path}", file=sys.stderr)
+            _write_run_artifacts(args, argv, started)
 
 
 if __name__ == "__main__":

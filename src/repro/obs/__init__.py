@@ -11,13 +11,42 @@ One import point for the whole telemetry substrate:
   logging on stdlib :mod:`logging` (``REPRO_LOG_LEVEL`` /
   ``REPRO_LOG_FORMAT``);
 * :mod:`repro.obs.instrument` — the ``@traced`` decorator;
-* :mod:`repro.obs.report` — trace-file persistence and the
-  ``darklight stats`` renderer.
+* :mod:`repro.obs.report` — trace-file persistence, Chrome Trace
+  Event export and the ``darklight stats`` renderer;
+* :mod:`repro.obs.prof` — span-level resource profiling (RSS deltas,
+  GC activity, opt-in tracemalloc allocation stats);
+* :mod:`repro.obs.manifest` — run manifests: config, seeds, env
+  knobs, interpreter/library versions, git rev and input digests
+  written alongside every trace and benchmark result;
+* :mod:`repro.obs.diff` — benchmark and trace regression diffing
+  (``darklight bench-diff`` / ``stats --compare``).
 
 Span and metric naming conventions live in ``docs/observability.md``.
 """
 
+from repro.obs.diff import (
+    diff_benchmarks,
+    diff_metrics,
+    diff_traces,
+    render_diff,
+    render_trace_diff,
+)
 from repro.obs.instrument import traced
+from repro.obs.manifest import (
+    build_manifest,
+    load_manifest,
+    manifest_equal,
+    manifest_path_for,
+    write_manifest,
+)
+from repro.obs.prof import (
+    ResourceProfiler,
+    disable_profiling,
+    enable_profiling,
+    peak_rss_kb,
+    profiling_enabled,
+    read_rss_kb,
+)
 from repro.obs.logging import (
     JsonLinesFormatter,
     KeyValueFormatter,
@@ -40,8 +69,10 @@ from repro.obs.metrics import (
 )
 from repro.obs.report import (
     build_trace_document,
+    export_chrome_trace,
     load_trace,
     render_stats,
+    write_chrome_trace,
     write_trace,
 )
 from repro.obs.spans import (
@@ -63,6 +94,24 @@ from repro.obs.spans import (
 
 __all__ = [
     "traced",
+    "diff_benchmarks",
+    "diff_metrics",
+    "diff_traces",
+    "render_diff",
+    "render_trace_diff",
+    "build_manifest",
+    "load_manifest",
+    "manifest_equal",
+    "manifest_path_for",
+    "write_manifest",
+    "ResourceProfiler",
+    "disable_profiling",
+    "enable_profiling",
+    "peak_rss_kb",
+    "profiling_enabled",
+    "read_rss_kb",
+    "export_chrome_trace",
+    "write_chrome_trace",
     "JsonLinesFormatter",
     "KeyValueFormatter",
     "StructuredLogger",

@@ -1,0 +1,245 @@
+"""Benchmark and trace regression diffing.
+
+``BENCH_linking.json`` used to be a snapshot that every run
+overwrote; this module is what turns it into an *enforced trajectory*:
+
+* :func:`diff_benchmarks` — compare two benchmark result documents
+  row-by-row (rows matched on their ``n_known``/``n_unknown``/
+  ``workers`` key) and flag per-metric regressions beyond a relative
+  threshold;
+* :func:`diff_traces` — compare two ``--trace`` files per stage
+  (aggregate wall-ms by span name), the engine behind
+  ``darklight stats --compare``;
+* :func:`render_diff` / :func:`render_trace_diff` — the human tables.
+
+Metric direction is inferred from the name: ``*_s``/``*_ms``/
+``*_kb``/``*_mb``/``*_bytes`` are lower-is-better, ``*_speedup`` /
+``*_per_s`` / ``*_throughput`` are higher-is-better; anything else
+(counts, booleans, ids) is compared but never gated.  A regression is
+a worsening of more than ``threshold`` relative to the old value
+(default 20%, the CI gate), ignoring metrics whose old value sits
+below ``min_value`` — sub-millisecond timings are scheduler noise,
+not signal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import spans as _spans
+
+__all__ = [
+    "metric_direction",
+    "diff_metrics",
+    "diff_benchmarks",
+    "diff_traces",
+    "render_diff",
+    "render_trace_diff",
+    "DEFAULT_THRESHOLD",
+]
+
+#: Relative worsening tolerated before a metric counts as a
+#: regression (the CI gate uses this default).
+DEFAULT_THRESHOLD = 0.20
+
+_LOWER_SUFFIXES = ("_s", "_ms", "_us", "_kb", "_mb", "_bytes")
+_HIGHER_SUFFIXES = ("_speedup", "_per_s", "_throughput", "_auc",
+                    "_accuracy", "_precision", "_recall")
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"lower"``/``"higher"`` is better, or ``None`` (ungated)."""
+    lowered = name.lower()
+    if lowered.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if lowered.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def diff_metrics(old: Mapping[str, Any], new: Mapping[str, Any],
+                 threshold: float = DEFAULT_THRESHOLD,
+                 min_value: float = 1e-3) -> List[Dict[str, Any]]:
+    """Per-metric deltas between two flat numeric mappings.
+
+    Returns one entry per shared numeric metric, sorted by name:
+    ``{"metric", "old", "new", "delta", "ratio", "direction",
+    "regressed"}``.  ``ratio`` is ``new / old`` (``None`` when the old
+    value is ~0).
+    """
+    if threshold < 0:
+        raise ConfigurationError(
+            f"threshold must be >= 0, got {threshold}")
+    entries: List[Dict[str, Any]] = []
+    for name in sorted(set(old) & set(new)):
+        old_value, new_value = old[name], new[name]
+        if isinstance(old_value, bool) or isinstance(new_value, bool) \
+                or not isinstance(old_value, (int, float)) \
+                or not isinstance(new_value, (int, float)):
+            continue
+        direction = metric_direction(name)
+        ratio = (new_value / old_value) if abs(old_value) > 1e-12 \
+            else None
+        regressed = False
+        if direction is not None and ratio is not None \
+                and abs(old_value) >= min_value:
+            if direction == "lower":
+                regressed = ratio > 1.0 + threshold
+            else:
+                regressed = ratio < 1.0 - threshold
+        entries.append({
+            "metric": name,
+            "old": old_value,
+            "new": new_value,
+            "delta": new_value - old_value,
+            "ratio": ratio,
+            "direction": direction,
+            "regressed": regressed,
+        })
+    return entries
+
+
+def _bench_rows(document: Mapping[str, Any],
+                ) -> Dict[Tuple[Any, ...], Mapping[str, Any]]:
+    """Index a benchmark document's ``sizes`` rows by corpus key."""
+    rows = document.get("sizes") or ()
+    indexed: Dict[Tuple[Any, ...], Mapping[str, Any]] = {}
+    for row in rows:
+        if not isinstance(row, Mapping):
+            continue
+        key = (row.get("n_known"), row.get("n_unknown"),
+               row.get("workers"))
+        indexed[key] = row
+    return indexed
+
+
+def diff_benchmarks(old: Mapping[str, Any], new: Mapping[str, Any],
+                    threshold: float = DEFAULT_THRESHOLD,
+                    min_value: float = 1e-3) -> Dict[str, Any]:
+    """Compare two benchmark result documents.
+
+    Rows are matched on ``(n_known, n_unknown, workers)``; rows present
+    on only one side are reported (``only_old`` / ``only_new``) but do
+    not gate.  The returned document carries every per-metric entry
+    plus the flat ``regressions`` list the CLI prints and exits on.
+    """
+    old_rows = _bench_rows(old)
+    new_rows = _bench_rows(new)
+    shared = sorted(set(old_rows) & set(new_rows),
+                    key=lambda k: tuple(str(p) for p in k))
+    rows: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    for key in shared:
+        entries = [e for e in diff_metrics(old_rows[key], new_rows[key],
+                                           threshold=threshold,
+                                           min_value=min_value)
+                   if e["metric"] not in ("n_known", "n_unknown",
+                                          "workers")]
+        row_regressions = [e for e in entries if e["regressed"]]
+        label = (f"n_known={key[0]} n_unknown={key[1]} "
+                 f"workers={key[2]}")
+        rows.append({"key": label, "entries": entries,
+                     "regressions": row_regressions})
+        for entry in row_regressions:
+            regressions.append({**entry, "key": label})
+    return {
+        "threshold": threshold,
+        "rows": rows,
+        "regressions": regressions,
+        "only_old": [str(k) for k in sorted(set(old_rows) - set(new_rows),
+                                            key=str)],
+        "only_new": [str(k) for k in sorted(set(new_rows) - set(old_rows),
+                                            key=str)],
+    }
+
+
+def render_diff(result: Mapping[str, Any]) -> str:
+    """Human-readable report of a :func:`diff_benchmarks` result."""
+    lines: List[str] = []
+    threshold = result.get("threshold", DEFAULT_THRESHOLD)
+    for row in result.get("rows", ()):
+        lines.append(row["key"])
+        for entry in row["entries"]:
+            ratio = entry["ratio"]
+            ratio_text = f"{ratio:>7.3f}x" if ratio is not None \
+                else "     n/a"
+            flag = "  REGRESSION" if entry["regressed"] else ""
+            gate = {"lower": "↓", "higher": "↑"}.get(
+                entry["direction"] or "", " ")
+            lines.append(
+                f"  {entry['metric']:<24} {gate} "
+                f"{entry['old']:>12.4f} -> {entry['new']:>12.4f} "
+                f"{ratio_text}{flag}")
+        lines.append("")
+    for side, label in (("only_old", "only in OLD"),
+                        ("only_new", "only in NEW")):
+        for key in result.get(side, ()):
+            lines.append(f"{label}: {key}")
+    n_regressions = len(result.get("regressions", ()))
+    lines.append(
+        f"{n_regressions} regression(s) beyond "
+        f"{threshold:.0%} threshold")
+    return "\n".join(lines)
+
+
+def diff_traces(old: Mapping[str, Any], new: Mapping[str, Any],
+                threshold: float = DEFAULT_THRESHOLD,
+                min_value: float = 1.0) -> Dict[str, Any]:
+    """Per-stage wall-time comparison of two trace documents.
+
+    Aggregates each trace by span name (as ``darklight stats`` does)
+    and diffs total wall ms per stage; stages whose old total is under
+    *min_value* ms never gate.
+    """
+    old_totals = _spans.aggregate_spans(dict(old))
+    new_totals = _spans.aggregate_spans(dict(new))
+    stages: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    for name in sorted(set(old_totals) & set(new_totals)):
+        old_ms = old_totals[name]["wall_ms"]
+        new_ms = new_totals[name]["wall_ms"]
+        ratio = (new_ms / old_ms) if old_ms > 1e-12 else None
+        regressed = (ratio is not None and old_ms >= min_value
+                     and ratio > 1.0 + threshold)
+        entry = {
+            "stage": name,
+            "old_wall_ms": old_ms,
+            "new_wall_ms": new_ms,
+            "old_calls": int(old_totals[name]["calls"]),
+            "new_calls": int(new_totals[name]["calls"]),
+            "ratio": ratio,
+            "regressed": regressed,
+        }
+        stages.append(entry)
+        if regressed:
+            regressions.append(entry)
+    return {
+        "threshold": threshold,
+        "stages": stages,
+        "regressions": regressions,
+        "only_old": sorted(set(old_totals) - set(new_totals)),
+        "only_new": sorted(set(new_totals) - set(old_totals)),
+    }
+
+
+def render_trace_diff(result: Mapping[str, Any]) -> str:
+    """Human-readable report of a :func:`diff_traces` result."""
+    lines = [f"{'stage':<40} {'old ms':>12} {'new ms':>12} "
+             f"{'ratio':>8}"]
+    lines.append("-" * len(lines[0]))
+    for entry in result.get("stages", ()):
+        ratio = entry["ratio"]
+        ratio_text = f"{ratio:.3f}x" if ratio is not None else "n/a"
+        flag = "  REGRESSION" if entry["regressed"] else ""
+        lines.append(
+            f"{entry['stage']:<40} {entry['old_wall_ms']:>12.2f} "
+            f"{entry['new_wall_ms']:>12.2f} {ratio_text:>8}{flag}")
+    for side, label in (("only_old", "only in OLD"),
+                        ("only_new", "only in NEW")):
+        for name in result.get(side, ()):
+            lines.append(f"{label}: {name}")
+    lines.append(f"{len(result.get('regressions', ()))} stage "
+                 f"regression(s) beyond "
+                 f"{result.get('threshold', DEFAULT_THRESHOLD):.0%}")
+    return "\n".join(lines)

@@ -138,6 +138,38 @@ class Gauge:
             self._value = float(other.get("value", 0.0))
 
 
+def _estimate_percentile(buckets: Sequence[float], counts: Sequence[int],
+                         count: int, lo: Optional[float],
+                         hi: Optional[float], q: float) -> Optional[float]:
+    """Percentile estimate from fixed-bucket counts.
+
+    Walks the cumulative counts to the bucket containing the target
+    rank, linearly interpolates inside it, and clamps to the observed
+    min/max so the open-ended edge buckets cannot extrapolate.
+    """
+    if count <= 0:
+        return None
+    rank = (q / 100.0) * count
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count <= 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            lower = buckets[i - 1] if i > 0 else (
+                lo if lo is not None else 0.0)
+            upper = buckets[i] if i < len(buckets) else (
+                hi if hi is not None else lower)
+            fraction = (rank - cumulative) / bucket_count
+            value = lower + (upper - lower) * max(fraction, 0.0)
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        cumulative += bucket_count
+    return hi
+
+
 class Histogram:
     """A fixed-bucket distribution.
 
@@ -145,6 +177,11 @@ class Histogram:
     observation ``v`` lands in the first bucket whose edge satisfies
     ``v <= edge``; values above the last edge land in the implicit
     overflow bucket, so ``len(counts) == len(buckets) + 1``.
+
+    Percentiles (p50/p95/p99 in snapshots, arbitrary via
+    :meth:`percentile`) are *estimates* interpolated inside the
+    containing bucket and clamped to the observed min/max — good to a
+    bucket's width, which is what fixed buckets can promise.
     """
 
     __slots__ = ("name", "buckets", "_counts", "_count", "_sum",
@@ -196,9 +233,16 @@ class Histogram:
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimated q-th percentile (0–100), ``None`` with no data."""
+        with self._lock:
+            return _estimate_percentile(self.buckets, self._counts,
+                                        self._count, self._min,
+                                        self._max, q)
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
-            return {
+            snap = {
                 "type": "histogram",
                 "buckets": list(self.buckets),
                 "counts": list(self._counts),
@@ -207,6 +251,11 @@ class Histogram:
                 "min": self._min,
                 "max": self._max,
             }
+            for q in (50, 95, 99):
+                snap[f"p{q}"] = _estimate_percentile(
+                    self.buckets, self._counts, self._count,
+                    self._min, self._max, q)
+            return snap
 
     def reset(self) -> None:
         with self._lock:

@@ -1,0 +1,210 @@
+"""Span-level resource profiling: RSS, GC and allocation telemetry.
+
+Spans (:mod:`repro.obs.spans`) time the pipeline; this module makes
+them explain *where the memory went*.  While profiling is enabled,
+every span that opens and closes gains a ``resources`` payload::
+
+    {"rss_kb": 514320,        # resident set size at span exit
+     "rss_delta_kb": 1204,    # growth across the span
+     "peak_rss_kb": 520104,   # process high-water mark at exit
+     "gc_collections": 2,     # GC cycles that ran inside the span
+     "gc_objects": 18231,     # gc.get_count() delta (allocation churn)
+     "alloc_net_kb": 310.2,   # tracemalloc net allocation (opt-in)
+     "alloc_peak_kb": 902.7}  # tracemalloc peak while profiling (opt-in)
+
+Design constraints mirror the span layer:
+
+* **no-op when off** — the span hot path pays one global load and an
+  ``is None`` check; nothing is allocated and no ``prof.py`` frame
+  runs (asserted by ``tests/obs/test_prof.py`` with tracemalloc);
+* **sampling** — ``sample_every=N`` profiles every Nth span so deep
+  traces (one span per unknown alias) don't drown in ``/proc`` reads;
+  unsampled spans carry no payload;
+* **allocation stats are opt-in** — :mod:`tracemalloc` costs real
+  time and memory, so ``alloc=True`` must be requested explicitly
+  (CLI: ``--profile-alloc``, env: ``REPRO_PROFILE=alloc``).
+
+Reading RSS uses ``/proc/self/statm`` on Linux (one small read, no
+fork); platforms without procfs degrade to the ``getrusage`` peak so
+the payload stays well-formed everywhere.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import resource
+import sys
+import tracemalloc
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import spans as _spans
+
+__all__ = [
+    "ResourceProfiler",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "get_profiler",
+    "read_rss_kb",
+    "peak_rss_kb",
+    "PROFILE_ENV",
+]
+
+#: Environment switch: ``1``/``on`` enables profiling, ``alloc``
+#: additionally turns on tracemalloc allocation stats.
+PROFILE_ENV = "REPRO_PROFILE"
+
+_PAGE_KB = resource.getpagesize() / 1024.0
+_STATM = "/proc/self/statm"
+_HAS_PROCFS = os.path.exists(_STATM)
+
+
+def read_rss_kb() -> float:
+    """Current resident set size in KiB (0.0 when unknowable).
+
+    Linux reads ``/proc/self/statm`` (resident pages * page size);
+    elsewhere the ``getrusage`` high-water mark is the best stdlib
+    proxy for "how big is this process".
+    """
+    if _HAS_PROCFS:
+        try:
+            with open(_STATM, "rb", buffering=0) as fh:
+                fields = fh.read().split()
+            return int(fields[1]) * _PAGE_KB
+        except (OSError, IndexError, ValueError):  # pragma: no cover
+            return peak_rss_kb()
+    return peak_rss_kb()  # pragma: no cover - non-Linux fallback
+
+
+def peak_rss_kb() -> float:
+    """Process peak RSS (``ru_maxrss``) in KiB."""
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return usage / 1024.0 if sys.platform == "darwin" else float(usage)
+
+
+def _gc_collections() -> int:
+    """Total completed GC cycles across all generations."""
+    return sum(s.get("collections", 0) for s in gc.get_stats())
+
+
+class ResourceProfiler:
+    """Samples process resources at span boundaries.
+
+    Installed into the span layer by :func:`enable_profiling`; the
+    span's ``_start`` calls :meth:`begin` and its ``_finish`` calls
+    :meth:`end` with the returned token.  A ``None`` token (span not
+    sampled) short-circuits both sides.
+
+    Parameters
+    ----------
+    sample_every:
+        Profile every Nth span (1 = every span).
+    alloc:
+        Also record :mod:`tracemalloc` net/peak allocation per span;
+        starts tracemalloc if it is not already tracing.
+    """
+
+    def __init__(self, sample_every: int = 1, alloc: bool = False) -> None:
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = int(sample_every)
+        self.alloc = bool(alloc)
+        self._seen = 0
+        self._started_tracemalloc = False
+
+    # -- span-boundary hooks --------------------------------------------------
+
+    def begin(self) -> Optional[Tuple[float, int, int, float]]:
+        """Open one sample; returns ``None`` for unsampled spans."""
+        self._seen += 1
+        if (self._seen - 1) % self.sample_every:
+            return None
+        alloc_now = (tracemalloc.get_traced_memory()[0]
+                     if self.alloc and tracemalloc.is_tracing() else -1.0)
+        # sum(gc.get_count()) is O(1); len(gc.get_objects()) would be
+        # O(heap) per span and is far too slow for per-unknown spans.
+        return (read_rss_kb(), _gc_collections(), sum(gc.get_count()),
+                alloc_now)
+
+    def end(self, token: Optional[Tuple[float, int, int, float]],
+            ) -> Optional[Dict[str, Any]]:
+        """Close one sample into a span ``resources`` payload."""
+        if token is None:
+            return None
+        rss0, gc0, objs0, alloc0 = token
+        rss1 = read_rss_kb()
+        payload: Dict[str, Any] = {
+            "rss_kb": round(rss1, 1),
+            "rss_delta_kb": round(rss1 - rss0, 1),
+            "peak_rss_kb": round(peak_rss_kb(), 1),
+            "gc_collections": _gc_collections() - gc0,
+            "gc_objects": sum(gc.get_count()) - objs0,
+        }
+        if alloc0 >= 0 and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            payload["alloc_net_kb"] = round((current - alloc0) / 1024.0, 2)
+            payload["alloc_peak_kb"] = round(peak / 1024.0, 2)
+        return payload
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(self) -> None:
+        """Attach to the span layer (starts tracemalloc when opted in)."""
+        if self.alloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        _spans._set_profile_hook(self)
+
+    def uninstall(self) -> None:
+        """Detach; stops tracemalloc only if this profiler started it."""
+        if _spans._get_profile_hook() is self:
+            _spans._set_profile_hook(None)
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._started_tracemalloc = False
+
+
+def enable_profiling(sample_every: int = 1,
+                     alloc: bool = False) -> ResourceProfiler:
+    """Start attaching resource payloads to every sampled span."""
+    profiler = ResourceProfiler(sample_every=sample_every, alloc=alloc)
+    profiler.install()
+    return profiler
+
+
+def disable_profiling() -> None:
+    """Stop resource profiling (already-captured payloads are kept)."""
+    profiler = _spans._get_profile_hook()
+    if isinstance(profiler, ResourceProfiler):
+        profiler.uninstall()
+    else:
+        _spans._set_profile_hook(None)
+
+
+def profiling_enabled() -> bool:
+    """Whether a profiler is currently attached to the span layer."""
+    return _spans._get_profile_hook() is not None
+
+
+def get_profiler() -> Optional[ResourceProfiler]:
+    """The installed profiler, or ``None``."""
+    hook = _spans._get_profile_hook()
+    return hook if isinstance(hook, ResourceProfiler) else None
+
+
+def profiling_from_env() -> Optional[ResourceProfiler]:
+    """Honour ``REPRO_PROFILE`` (``1``/``on``/``alloc``); ``None`` if
+    unset or explicitly off."""
+    raw = os.environ.get(PROFILE_ENV, "").strip().lower()
+    if raw in ("", "0", "off", "false"):
+        return None
+    if raw in ("1", "on", "true", "rss"):
+        return enable_profiling()
+    if raw == "alloc":
+        return enable_profiling(alloc=True)
+    raise ConfigurationError(
+        f"{PROFILE_ENV} must be one of 0/1/on/off/alloc, got {raw!r}")

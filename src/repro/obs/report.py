@@ -30,6 +30,8 @@ __all__ = [
     "load_trace",
     "render_stats",
     "render_metrics",
+    "export_chrome_trace",
+    "write_chrome_trace",
 ]
 
 
@@ -72,7 +74,106 @@ def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
     if not isinstance(document, dict) or "spans" not in document:
         raise DatasetError(
             f"trace file {path} is missing the 'spans' key")
+    # Tolerate degenerate-but-declared sections: a trace of a run that
+    # recorded nothing ("spans": null/[]) or predates metrics must
+    # still render, not crash the stats command.
+    if not isinstance(document.get("spans"), list):
+        document["spans"] = []
+    if not isinstance(document.get("metrics"), dict):
+        document["metrics"] = {}
     return document
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event export
+# ---------------------------------------------------------------------------
+
+def _chrome_events(node: Mapping[str, Any], origin_us: float,
+                   fallback_ts: float, fallback_pid: int,
+                   events: List[Dict[str, Any]]) -> float:
+    """Emit one span subtree as complete ("X") events; returns the
+    span's duration in µs so siblings without timestamps can be laid
+    out sequentially after it."""
+    dur_us = max(float(node.get("wall_ms", 0.0)) * 1000.0, 0.0)
+    ts_raw = float(node.get("ts_us") or 0.0)
+    ts = ts_raw - origin_us if ts_raw > 0 else fallback_ts
+    pid = int(node.get("pid") or 0) or fallback_pid
+    tid = int(node.get("tid") or 0) or 1
+    args: Dict[str, Any] = dict(node.get("attributes") or {})
+    args["cpu_ms"] = node.get("cpu_ms", 0.0)
+    if node.get("resources"):
+        args["resources"] = node["resources"]
+    if node.get("error"):
+        args["error"] = node["error"]
+    events.append({
+        "name": str(node.get("name", "?")),
+        "cat": "span" if node.get("status", "ok") == "ok" else "error",
+        "ph": "X",
+        "ts": round(ts, 1),
+        "dur": round(dur_us, 1),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    })
+    cursor = ts
+    for child in node.get("children") or ():
+        child_dur = _chrome_events(child, origin_us, cursor, pid, events)
+        cursor += child_dur
+    return dur_us
+
+
+def export_chrome_trace(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Convert a trace document into Chrome Trace Event JSON.
+
+    The output loads directly in ``about://tracing`` and Perfetto:
+    every span becomes a complete ("X") event with microsecond
+    timestamps, and spans recorded in forked restage workers keep
+    their own pid so each worker renders as a separate process lane —
+    the view that makes parallel-restage overhead visible.
+
+    Spans from pre-v2 traces carry no timestamps; they are laid out
+    sequentially from their parent's start so old files still render.
+    """
+    roots = document.get("spans") or ()
+    all_ts = [float(n.get("ts_us") or 0.0)
+              for root in roots for n in _spans.iter_spans(root)]
+    positive = [t for t in all_ts if t > 0]
+    origin = min(positive) if positive else 0.0
+    main_pid = 0
+    for root in roots:
+        main_pid = int(root.get("pid") or 0)
+        if main_pid:
+            break
+
+    events: List[Dict[str, Any]] = []
+    cursor = 0.0
+    for root in roots:
+        cursor += _chrome_events(root, origin, cursor, main_pid, events)
+
+    lanes = sorted({(e["pid"], e["tid"]) for e in events})
+    pids = sorted({pid for pid, _ in lanes})
+    for pid in pids:
+        name = "darklight" if pid in (main_pid, 0) else f"worker-{pid}"
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+    metadata = dict(document.get("metadata") or {})
+    metadata["trace_version"] = document.get("version")
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": metadata}
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       document: Optional[Mapping[str, Any]] = None,
+                       metadata: Optional[Mapping[str, Any]] = None,
+                       ) -> Path:
+    """Write the current (or given) trace in Chrome Trace Event format."""
+    if document is None:
+        document = build_trace_document(metadata)
+    path = Path(path)
+    path.write_text(
+        json.dumps(export_chrome_trace(document), indent=2, default=str)
+        + "\n", encoding="utf-8")
+    return path
 
 
 # ---------------------------------------------------------------------------
@@ -99,7 +200,8 @@ def _stage_totals(trace: Mapping[str, Any]) -> List[str]:
     totals = _spans.aggregate_spans(dict(trace))
     if not totals:
         return ["(no spans recorded)"]
-    grand = sum(r.get("wall_ms", 0.0) for r in trace.get("spans", ())) or 1.0
+    grand = sum(r.get("wall_ms", 0.0)
+                for r in trace.get("spans") or ()) or 1.0
     rows = []
     for name, entry in sorted(totals.items(),
                               key=lambda kv: -kv[1]["wall_ms"]):
@@ -117,14 +219,15 @@ def _stage_totals(trace: Mapping[str, Any]) -> List[str]:
 
 def _slowest_spans(trace: Mapping[str, Any], top: int = 10) -> List[str]:
     flat: List[Dict[str, Any]] = []
-    for root in trace.get("spans", ()):
+    for root in trace.get("spans") or ():
         flat.extend(_spans.iter_spans(root))
     flat.sort(key=lambda n: -n.get("wall_ms", 0.0))
     rows = []
     for node in flat[:top]:
         attrs = node.get("attributes") or {}
         attr_text = " ".join(f"{k}={v}" for k, v in attrs.items())
-        rows.append((node["name"], f"{node.get('wall_ms', 0.0):.2f}",
+        rows.append((str(node.get("name", "?")),
+                     f"{node.get('wall_ms', 0.0):.2f}",
                      node.get("status", "ok"), attr_text))
     if not rows:
         return ["(no spans recorded)"]
@@ -144,6 +247,11 @@ def render_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> List[str]:
             mean = (data.get("sum", 0.0) / count) if count else 0.0
             detail = (f"count={count} mean={mean:.4f} "
                       f"min={data.get('min')} max={data.get('max')}")
+            quantiles = " ".join(
+                f"p{q}={data[f'p{q}']:.4f}" for q in (50, 95, 99)
+                if isinstance(data.get(f"p{q}"), (int, float)))
+            if quantiles:
+                detail = f"{detail} {quantiles}"
             rows.append((name, kind, detail))
         else:
             rows.append((name, kind, str(data.get("value"))))

@@ -33,6 +33,7 @@ always live.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence
@@ -55,7 +56,22 @@ __all__ = [
 ]
 
 #: Trace-file schema version (bumped on incompatible changes).
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: Installed by :mod:`repro.obs.prof` while profiling is enabled; the
+#: span hot path pays exactly one global load + ``is None`` check when
+#: it is off, and allocates nothing.
+_PROFILE_HOOK: Optional[Any] = None
+
+
+def _set_profile_hook(hook: Optional[Any]) -> None:
+    """Install (or clear) the span-boundary resource profiler."""
+    global _PROFILE_HOOK
+    _PROFILE_HOOK = hook
+
+
+def _get_profile_hook() -> Optional[Any]:
+    return _PROFILE_HOOK
 
 
 class Span:
@@ -76,10 +92,20 @@ class Span:
     children:
         Sub-spans finished while this span was active on the same
         thread.
+    ts_us / pid / tid:
+        Start timestamp in microseconds on the shared monotonic clock
+        (``time.perf_counter``, comparable across forked workers on
+        Linux), and the process/thread that ran the span — together
+        they place the span on a Chrome-trace timeline lane.
+    resources:
+        Resource-profile payload (RSS delta, GC counts, allocation
+        stats) attached by :mod:`repro.obs.prof` when profiling is
+        enabled; ``None`` otherwise.
     """
 
     __slots__ = ("name", "attributes", "children", "status", "error",
-                 "wall_ms", "cpu_ms", "_start_wall", "_start_cpu")
+                 "wall_ms", "cpu_ms", "ts_us", "pid", "tid",
+                 "resources", "_start_wall", "_start_cpu", "_prof")
 
     def __init__(self, name: str,
                  attributes: Optional[Dict[str, Any]] = None) -> None:
@@ -90,8 +116,13 @@ class Span:
         self.error: Optional[str] = None
         self.wall_ms = 0.0
         self.cpu_ms = 0.0
+        self.ts_us = 0.0
+        self.pid = 0
+        self.tid = 0
+        self.resources: Optional[Dict[str, Any]] = None
         self._start_wall = 0.0
         self._start_cpu = 0.0
+        self._prof: Optional[Any] = None
 
     def set_attribute(self, key: str, value: Any) -> None:
         """Attach one attribute to an open (or finished) span."""
@@ -100,12 +131,23 @@ class Span:
     # -- timing ---------------------------------------------------------------
 
     def _start(self) -> None:
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        hook = _PROFILE_HOOK
+        if hook is not None:
+            self._prof = hook.begin()
         self._start_wall = time.perf_counter()
         self._start_cpu = time.process_time()
+        self.ts_us = self._start_wall * 1e6
 
     def _finish(self, exc: Optional[BaseException] = None) -> None:
         self.wall_ms = (time.perf_counter() - self._start_wall) * 1000.0
         self.cpu_ms = (time.process_time() - self._start_cpu) * 1000.0
+        if self._prof is not None:
+            hook = _PROFILE_HOOK
+            if hook is not None:
+                self.resources = hook.end(self._prof)
+            self._prof = None
         if exc is not None:
             self.status = "error"
             self.error = repr(exc)
@@ -119,14 +161,41 @@ class Span:
             "wall_ms": round(self.wall_ms, 4),
             "cpu_ms": round(self.cpu_ms, 4),
             "status": self.status,
+            "ts_us": round(self.ts_us, 1),
+            "pid": self.pid,
+            "tid": self.tid,
         }
         if self.attributes:
             out["attributes"] = self.attributes
         if self.error is not None:
             out["error"] = self.error
+        if self.resources is not None:
+            out["resources"] = self.resources
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a finished span from :meth:`to_dict` output.
+
+        Used to graft spans recorded in forked worker processes back
+        into the parent's trace tree (see
+        :class:`~repro.perf.parallel.ParallelExecutor`).
+        """
+        span_obj = cls(str(data.get("name", "?")),
+                       data.get("attributes"))
+        span_obj.wall_ms = float(data.get("wall_ms", 0.0))
+        span_obj.cpu_ms = float(data.get("cpu_ms", 0.0))
+        span_obj.status = str(data.get("status", "ok"))
+        span_obj.error = data.get("error")
+        span_obj.ts_us = float(data.get("ts_us", 0.0))
+        span_obj.pid = int(data.get("pid", 0))
+        span_obj.tid = int(data.get("tid", 0))
+        span_obj.resources = data.get("resources")
+        span_obj.children = [cls.from_dict(c)
+                             for c in data.get("children", ())]
+        return span_obj
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, wall_ms={self.wall_ms:.3f}, "
@@ -250,6 +319,31 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def attach(self, span_obj: Span) -> None:
+        """Adopt an already-finished span into the live tree.
+
+        The span becomes a child of this thread's innermost open span,
+        or a new root when no span is open — how worker-recorded spans
+        (rebuilt with :meth:`Span.from_dict`) join the parent trace.
+        """
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span_obj)
+        else:
+            with self._lock:
+                self._roots.append(span_obj)
+
+    def clear_thread_state(self) -> None:
+        """Forget every thread's active-span stack (and finished roots).
+
+        Forked workers inherit the parent's open spans on the surviving
+        thread's stack; a worker calls this once after fork so its own
+        spans form fresh root trees instead of mutating copied parents.
+        """
+        with self._lock:
+            self._roots.clear()
+        self._local = threading.local()
+
     def roots(self) -> List[Span]:
         """Finished top-level spans (snapshot copy)."""
         with self._lock:
@@ -329,7 +423,7 @@ def reset_trace() -> None:
 def iter_spans(node: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
     """Depth-first walk over one exported span dict and its children."""
     yield node
-    for child in node.get("children", ()):
+    for child in node.get("children") or ():
         yield from iter_spans(child)
 
 
@@ -341,9 +435,9 @@ def aggregate_spans(trace: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
     "per-stage totals" view of ``darklight stats``.
     """
     totals: Dict[str, Dict[str, float]] = {}
-    for root in trace.get("spans", ()):
+    for root in trace.get("spans") or ():
         for node in iter_spans(root):
-            entry = totals.setdefault(node["name"], {
+            entry = totals.setdefault(str(node.get("name", "?")), {
                 "calls": 0, "wall_ms": 0.0, "cpu_ms": 0.0,
                 "max_wall_ms": 0.0,
             })
@@ -361,15 +455,17 @@ def _render_node(node: Dict[str, Any], total_ms: float, depth: int,
     share = wall / total_ms if total_ms > 0 else 0.0
     bar = "#" * max(1, round(share * bar_width)) if wall > 0 else ""
     marker = " !" if node.get("status") == "error" else ""
-    lines.append(f"{'  ' * depth}{node['name']:<{40 - 2 * depth}} "
+    name = str(node.get("name", "?"))
+    lines.append(f"{'  ' * depth}{name:<{40 - 2 * depth}} "
                  f"{wall:>10.2f}ms {share:>6.1%}  {bar}{marker}")
     # Collapse identical-name siblings so loops read as one line.
     groups: Dict[str, List[Dict[str, Any]]] = {}
     order: List[str] = []
-    for child in node.get("children", ()):
-        if child["name"] not in groups:
-            order.append(child["name"])
-        groups.setdefault(child["name"], []).append(child)
+    for child in node.get("children") or ():
+        child_name = str(child.get("name", "?"))
+        if child_name not in groups:
+            order.append(child_name)
+        groups.setdefault(child_name, []).append(child)
     for name in order:
         members = groups[name]
         if len(members) == 1:
@@ -382,7 +478,7 @@ def _render_node(node: Dict[str, Any], total_ms: float, depth: int,
                 "status": ("error" if any(m.get("status") == "error"
                                           for m in members) else "ok"),
                 "children": [c for m in members
-                             for c in m.get("children", ())],
+                             for c in m.get("children") or ()],
             }
             _render_node(merged, total_ms, depth + 1, lines, bar_width)
 
@@ -394,7 +490,7 @@ def render_flame(trace: Dict[str, Any]) -> str:
     into one ``name [xN]`` line with summed durations; percentages are
     relative to the total wall time of all root spans.
     """
-    roots: Sequence[Dict[str, Any]] = trace.get("spans", ())
+    roots: Sequence[Dict[str, Any]] = trace.get("spans") or ()
     if not roots:
         return "(empty trace)"
     total = sum(r.get("wall_ms", 0.0) for r in roots) or 1.0

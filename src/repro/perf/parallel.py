@@ -18,8 +18,13 @@ metrics registry and ships a per-task snapshot back with its result;
 the parent merges counters and histograms into the live registry, so
 ``feature_fits_total`` and the cache counters stay truthful under
 parallelism.  Worker-side *gauges* are instantaneous values of a dead
-process and are dropped.  Tracing spans opened inside workers are not
-transported.
+process and are dropped.  When tracing is enabled, spans opened inside
+workers ship back as dicts and are grafted into the parent's live
+trace tree with their worker pid/tid preserved, so ``--trace-chrome``
+renders one timeline lane per worker.  Three counters decompose the
+overhead the pool pays over the serial path: ``parallel.fork_ms``
+(worker spawn-up), ``parallel.pickle_bytes`` (result IPC volume) and
+``parallel.merge_ms`` (parent-side result/telemetry folding).
 
 Worker count resolution, in priority order: explicit argument, the
 ``REPRO_WORKERS`` environment variable, then serial (1).  On platforms
@@ -31,12 +36,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.logging import get_logger
 from repro.obs.metrics import counter, gauge, get_registry
+from repro.obs.spans import Span, get_tracer
 
 __all__ = ["ParallelExecutor", "resolve_workers", "WORKERS_ENV"]
 
@@ -51,6 +59,15 @@ _TASKS = counter("parallel_tasks_total")
 _POOLS = counter("parallel_pools_total")
 #: Worker count of the most recent executor.
 _WORKERS_GAUGE = gauge("parallel_workers")
+#: Bytes of pickled task payloads shipped from workers back to the
+#: parent — the per-result IPC volume the fork pool pays that the
+#: serial path does not.
+_PICKLE_BYTES = counter("parallel.pickle_bytes")
+#: Milliseconds spent spawning worker processes (pool start-up).
+_FORK_MS = counter("parallel.fork_ms")
+#: Milliseconds the parent spends folding worker results, metric
+#: snapshots and spans back into its own state.
+_MERGE_MS = counter("parallel.merge_ms")
 
 #: The in-flight (fn, items) payload, published to forked workers via
 #: inherited memory; also the re-entrancy latch that forces nested
@@ -58,18 +75,36 @@ _WORKERS_GAUGE = gauge("parallel_workers")
 _PAYLOAD: Optional[Tuple[Callable[[Any], Any], Sequence[Any]]] = None
 
 
-def _run_task(index: int) -> Tuple[Any, dict]:
-    """Worker-side entry: run one task, return (result, metrics delta).
+def _probe() -> int:
+    """No-op task used to force (and time) worker spawn-up."""
+    return os.getpid()
+
+
+def _run_task(index: int) -> Tuple[Any, dict, List[dict]]:
+    """Worker-side entry: run one task, return
+    ``(result, metrics delta, span dicts)``.
 
     The worker's registry is reset before the task so the snapshot it
     ships back is exactly this task's increments — the parent can merge
-    deltas from any number of tasks without double counting.
+    deltas from any number of tasks without double counting.  The
+    tracer's thread state is likewise cleared: the fork inherited the
+    parent's *open* spans on the surviving thread's stack, and without
+    the reset the task's spans would attach to dead copies of them
+    instead of forming shippable root trees.
     """
     fn, items = _PAYLOAD  # type: ignore[misc]  # set before fork
     registry = get_registry()
     registry.reset()
+    tracer = get_tracer()
+    tracer.clear_thread_state()
     result = fn(items[index])
-    return result, registry.snapshot()
+    span_dicts = [s.to_dict() for s in tracer.roots()] \
+        if tracer.enabled else []
+    # Account the IPC volume *before* the snapshot so the parent sees
+    # this task's own pickle bytes in the merged counters.
+    _PICKLE_BYTES.inc(len(pickle.dumps((result, span_dicts),
+                                       pickle.HIGHEST_PROTOCOL)))
+    return result, registry.snapshot(), span_dicts
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -136,18 +171,35 @@ class ParallelExecutor:
                   chunksize=chunksize)
         _PAYLOAD = (fn, items)
         try:
+            fork_start = time.perf_counter()
             with ProcessPoolExecutor(max_workers=n_workers,
                                      mp_context=context) as pool:
+                # The first submit forks every worker; timing a no-op
+                # round-trip isolates spawn-up cost from task cost.
+                pool.submit(_probe).result()
+                fork_ms = (time.perf_counter() - fork_start) * 1000.0
+                _FORK_MS.inc(fork_ms)
                 outcomes = list(pool.map(_run_task, range(len(items)),
                                          chunksize=chunksize))
         finally:
             _PAYLOAD = None
+        merge_start = time.perf_counter()
         registry = get_registry()
+        tracer = get_tracer()
         results: List[Any] = []
-        for result, snapshot in outcomes:
+        for result, snapshot, span_dicts in outcomes:
             # Gauges are instantaneous values of a dead worker; merging
             # them would clobber live parent values (last-write-wins).
             registry.merge({name: data for name, data in snapshot.items()
                             if data.get("type") != "gauge"})
+            if tracer.enabled:
+                for span_dict in span_dicts:
+                    # Worker spans keep their own pid/tid, so the
+                    # Chrome-trace export renders one lane per worker.
+                    tracer.attach(Span.from_dict(span_dict))
             results.append(result)
+        merge_ms = (time.perf_counter() - merge_start) * 1000.0
+        _MERGE_MS.inc(merge_ms)
+        log.debug("parallel.merged", n_items=len(items),
+                  fork_ms=round(fork_ms, 2), merge_ms=round(merge_ms, 2))
         return results

@@ -101,6 +101,28 @@ class LinkingPipeline:
         self.block_size = block_size
         self.report = PipelineReport()
 
+    def manifest_config(self) -> Dict[str, object]:
+        """The pipeline's effective knobs for a run manifest.
+
+        Everything that changes the output (or its performance shape)
+        of a run, flattened to JSON scalars — what
+        :func:`repro.obs.manifest.build_manifest` records so two
+        result files can be compared knowing they came from the same
+        setup.
+        """
+        return {
+            "k": self.config.k,
+            "words_per_alias": self.config.words_per_alias,
+            "threshold": self.config.threshold,
+            "use_activity": self.config.use_activity,
+            "use_lemmatization": self.config.use_lemmatization,
+            "min_timestamps": self.config.min_timestamps,
+            "batch_size": self.batch_size,
+            "workers": self.workers,
+            "cache": self.cache,
+            "block_size": self.block_size,
+        }
+
     def _guard(self, site: str, fn, *args, **kwargs):
         """Run one pipeline stage under fault injection + retries.
 

@@ -88,6 +88,38 @@ class TestStatsCommand:
         assert main(["stats", str(bad)]) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_stats_tolerates_zero_spans(self, tmp_path, capsys):
+        # A run that recorded nothing still declared "spans"; stats
+        # must render, not crash (regression test).
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"version": 2, "spans": [],
+                                     "metrics": {}}),
+                         encoding="utf-8")
+        assert main(["stats", str(empty)]) == 0
+        out = capsys.readouterr().out
+        assert "(no spans recorded)" in out
+        assert "(no metrics recorded)" in out
+
+    def test_stats_tolerates_null_spans(self, tmp_path, capsys):
+        degenerate = tmp_path / "null.json"
+        degenerate.write_text(json.dumps({"version": 2,
+                                          "spans": None}),
+                              encoding="utf-8")
+        assert main(["stats", str(degenerate)]) == 0
+        assert "(no spans recorded)" in capsys.readouterr().out
+
+    def test_stats_tolerates_missing_metrics_section(self, tmp_path,
+                                                     capsys):
+        pre_metrics = tmp_path / "old.json"
+        pre_metrics.write_text(json.dumps({"version": 1, "spans": [
+            {"name": "linker.link", "wall_ms": 3.0, "cpu_ms": 2.0,
+             "status": "ok"},
+        ]}), encoding="utf-8")
+        assert main(["stats", str(pre_metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "linker.link" in out
+        assert "(no metrics recorded)" in out
+
 
 class TestLinkJson:
     def test_link_json_output(self, world_dir, capsys):

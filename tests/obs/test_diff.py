@@ -1,0 +1,239 @@
+"""Regression diffing: metric direction, bench rows, CLI gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.obs.diff import (
+    diff_benchmarks,
+    diff_metrics,
+    diff_traces,
+    metric_direction,
+    render_diff,
+    render_trace_diff,
+)
+
+
+def _bench_doc(**overrides):
+    row = {"n_known": 2000, "n_unknown": 200, "workers": 4,
+           "fit_s": 1.0, "restage_cached_s": 2.0,
+           "restage_speedup": 4.0, "outputs_identical": True}
+    row.update(overrides)
+    return {"workers": 4, "sizes": [row]}
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "fit_s", "restage_cached_s", "parallel_fork_ms",
+        "parallel_pickle_bytes", "peak_rss_mb", "rss_kb",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == "lower"
+
+    @pytest.mark.parametrize("name", [
+        "restage_speedup", "links_per_s", "scan_throughput",
+        "roc_auc", "stage2_precision",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == "higher"
+
+    @pytest.mark.parametrize("name", ["n_known", "workers", "count"])
+    def test_unknown_names_ungated(self, name):
+        assert metric_direction(name) is None
+
+
+class TestDiffMetrics:
+    def test_injected_25pct_slowdown_flagged_at_20pct(self):
+        entries = diff_metrics({"fit_s": 1.0}, {"fit_s": 1.25},
+                               threshold=0.20)
+        (entry,) = entries
+        assert entry["regressed"]
+        assert entry["ratio"] == 1.25
+
+    def test_within_threshold_passes(self):
+        (entry,) = diff_metrics({"fit_s": 1.0}, {"fit_s": 1.1},
+                                threshold=0.20)
+        assert not entry["regressed"]
+
+    def test_speedup_drop_is_a_regression(self):
+        (entry,) = diff_metrics({"restage_speedup": 4.0},
+                                {"restage_speedup": 3.0},
+                                threshold=0.20)
+        assert entry["regressed"]
+
+    def test_speedup_gain_is_not(self):
+        (entry,) = diff_metrics({"restage_speedup": 4.0},
+                                {"restage_speedup": 6.0},
+                                threshold=0.20)
+        assert not entry["regressed"]
+
+    def test_noise_floor_suppresses_tiny_baselines(self):
+        # A 200x blow-up of a sub-millisecond timing is scheduler
+        # noise, not a regression.
+        (entry,) = diff_metrics({"fit_s": 0.0005}, {"fit_s": 0.1},
+                                threshold=0.20, min_value=1e-3)
+        assert not entry["regressed"]
+
+    def test_undirected_metrics_never_gate(self):
+        (entry,) = diff_metrics({"count": 10}, {"count": 1000})
+        assert not entry["regressed"]
+
+    def test_booleans_and_non_numerics_skipped(self):
+        entries = diff_metrics(
+            {"outputs_identical": True, "label": "a", "fit_s": 1.0},
+            {"outputs_identical": False, "label": "b", "fit_s": 1.0})
+        assert [e["metric"] for e in entries] == ["fit_s"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diff_metrics({}, {}, threshold=-0.1)
+
+
+class TestDiffBenchmarks:
+    def test_identical_documents_have_no_regressions(self):
+        doc = _bench_doc()
+        result = diff_benchmarks(doc, doc)
+        assert result["regressions"] == []
+        assert result["only_old"] == result["only_new"] == []
+
+    def test_row_regression_surfaces_with_its_key(self):
+        result = diff_benchmarks(_bench_doc(),
+                                 _bench_doc(restage_cached_s=2.6),
+                                 threshold=0.20)
+        (regression,) = result["regressions"]
+        assert regression["metric"] == "restage_cached_s"
+        assert "n_known=2000" in regression["key"]
+
+    def test_key_fields_not_diffed_as_metrics(self):
+        result = diff_benchmarks(_bench_doc(), _bench_doc())
+        metrics = {e["metric"] for row in result["rows"]
+                   for e in row["entries"]}
+        assert metrics.isdisjoint({"n_known", "n_unknown", "workers"})
+
+    def test_unmatched_rows_reported_not_gated(self):
+        old = _bench_doc()
+        new = _bench_doc(n_known=50000)
+        result = diff_benchmarks(old, new)
+        assert result["rows"] == []
+        assert result["regressions"] == []
+        assert len(result["only_old"]) == 1
+        assert len(result["only_new"]) == 1
+
+    def test_render_flags_regressions(self):
+        text = render_diff(diff_benchmarks(
+            _bench_doc(), _bench_doc(fit_s=2.0), threshold=0.20))
+        assert "REGRESSION" in text
+        assert "1 regression(s) beyond 20% threshold" in text
+
+    def test_render_clean_diff(self):
+        text = render_diff(diff_benchmarks(_bench_doc(), _bench_doc()))
+        assert "REGRESSION" not in text
+        assert "0 regression(s)" in text
+
+
+def _trace_doc(wall_ms):
+    return {"version": 2, "metrics": {}, "spans": [
+        {"name": "linker.restage", "wall_ms": wall_ms,
+         "cpu_ms": wall_ms, "status": "ok"},
+    ]}
+
+
+class TestDiffTraces:
+    def test_stage_slowdown_flagged(self):
+        result = diff_traces(_trace_doc(100.0), _trace_doc(130.0),
+                             threshold=0.20)
+        (regression,) = result["regressions"]
+        assert regression["stage"] == "linker.restage"
+        assert regression["ratio"] == pytest.approx(1.3)
+
+    def test_identical_traces_clean(self):
+        result = diff_traces(_trace_doc(100.0), _trace_doc(100.0))
+        assert result["regressions"] == []
+
+    def test_sub_min_value_stages_never_gate(self):
+        result = diff_traces(_trace_doc(0.5), _trace_doc(50.0),
+                             threshold=0.20, min_value=1.0)
+        assert result["regressions"] == []
+
+    def test_render_lists_stages(self):
+        text = render_trace_diff(
+            diff_traces(_trace_doc(100.0), _trace_doc(130.0)))
+        assert "linker.restage" in text
+        assert "REGRESSION" in text
+
+
+class TestBenchDiffCli:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document), encoding="utf-8")
+        return str(path)
+
+    def test_identical_inputs_exit_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        new = self._write(tmp_path, "new.json", _bench_doc())
+        assert main(["bench-diff", old, new]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        new = self._write(tmp_path, "new.json",
+                          _bench_doc(restage_cached_s=2.5))
+        assert main(["bench-diff", old, new,
+                     "--threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_reports_but_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        new = self._write(tmp_path, "new.json",
+                          _bench_doc(restage_cached_s=2.5))
+        assert main(["bench-diff", old, new, "--warn-only"]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_loose_threshold_tolerates_more(self, tmp_path):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        new = self._write(tmp_path, "new.json",
+                          _bench_doc(restage_cached_s=2.5))
+        assert main(["bench-diff", old, new,
+                     "--threshold", "0.5"]) == 0
+
+    def test_json_output_is_the_diff_document(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        new = self._write(tmp_path, "new.json",
+                          _bench_doc(fit_s=5.0))
+        assert main(["bench-diff", old, new, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["threshold"] == pytest.approx(0.20)
+        assert document["regressions"]
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        assert main(["bench-diff", old,
+                     str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_json_fails_cleanly(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench_doc())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops", encoding="utf-8")
+        assert main(["bench-diff", old, str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatsCompareCli:
+    def test_compare_renders_stage_diff(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        first.write_text(json.dumps(_trace_doc(100.0)),
+                         encoding="utf-8")
+        second.write_text(json.dumps(_trace_doc(130.0)),
+                          encoding="utf-8")
+        assert main(["stats", str(first),
+                     "--compare", str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "stage diff" in out
+        assert "linker.restage" in out
+        assert "REGRESSION" in out

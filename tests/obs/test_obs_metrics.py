@@ -118,6 +118,55 @@ class TestHistogramBuckets:
         assert snap["min"] is None
 
 
+class TestHistogramPercentiles:
+    def test_uniform_distribution_estimates(self):
+        h = Histogram("h", buckets=tuple(range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(50.0)
+        assert snap["p95"] == pytest.approx(95.0)
+        assert snap["p99"] == pytest.approx(99.0)
+
+    def test_percentile_method_matches_snapshot(self):
+        h = Histogram("h", buckets=(1, 2, 5, 10))
+        for v in (0.5, 1.5, 3.0, 7.0, 20.0):
+            h.observe(v)
+        assert h.percentile(50) == h.snapshot()["p50"]
+
+    def test_empty_histogram_has_no_percentiles(self):
+        h = Histogram("h", buckets=(1, 2))
+        assert h.percentile(50) is None
+        snap = h.snapshot()
+        assert snap["p50"] is None
+        assert snap["p99"] is None
+
+    def test_estimates_clamped_to_observed_range(self):
+        # One observation in a huge bucket: interpolation would invent
+        # values up to the edge; clamping pins every percentile to it.
+        h = Histogram("h", buckets=(100,))
+        h.observe(7.0)
+        assert h.percentile(1) == 7.0
+        assert h.percentile(50) == 7.0
+        assert h.percentile(99) == 7.0
+
+    def test_overflow_bucket_bounded_by_observed_range(self):
+        # Both observations sit in the open-ended overflow bucket;
+        # the estimate must stay inside [min, max], never extrapolate.
+        h = Histogram("h", buckets=(1,))
+        for v in (500.0, 900.0):
+            h.observe(v)
+        assert 500.0 <= h.percentile(50) <= 900.0
+        assert 500.0 <= h.percentile(99) <= 900.0
+
+    def test_percentiles_monotone_in_q(self):
+        h = Histogram("h", buckets=(1, 5, 10, 50, 100))
+        for v in (0.2, 0.9, 3.0, 4.0, 8.0, 30.0, 70.0, 95.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):
         r = MetricsRegistry()

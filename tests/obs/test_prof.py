@@ -1,0 +1,156 @@
+"""Span-level resource profiling (repro.obs.prof)."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.obs import prof
+from repro.obs.spans import (
+    disable_tracing,
+    enable_tracing,
+    get_trace,
+    reset_trace,
+    span,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    reset_trace()
+    prof.disable_profiling()
+    yield
+    prof.disable_profiling()
+    disable_tracing()
+    reset_trace()
+
+
+def _root_spans():
+    return get_trace()["spans"]
+
+
+class TestResourcePayload:
+    def test_profiled_span_carries_resources(self):
+        enable_tracing()
+        prof.enable_profiling()
+        with span("work"):
+            _ = [0] * 50_000
+        (root,) = _root_spans()
+        resources = root["resources"]
+        assert set(resources) >= {"rss_kb", "rss_delta_kb",
+                                  "peak_rss_kb", "gc_collections",
+                                  "gc_objects"}
+        assert resources["rss_kb"] > 0
+        assert resources["peak_rss_kb"] > 0
+
+    def test_alloc_stats_are_opt_in(self):
+        enable_tracing()
+        prof.enable_profiling()
+        with span("lean"):
+            pass
+        prof.disable_profiling()
+        prof.enable_profiling(alloc=True)
+        with span("alloc"):
+            _ = bytearray(256 * 1024)
+        lean, alloc = _root_spans()
+        assert "alloc_net_kb" not in lean["resources"]
+        assert "alloc_net_kb" in alloc["resources"]
+        assert "alloc_peak_kb" in alloc["resources"]
+        assert alloc["resources"]["alloc_peak_kb"] >= 256
+
+    def test_alloc_profiler_stops_its_own_tracemalloc(self):
+        assert not tracemalloc.is_tracing()
+        prof.enable_profiling(alloc=True)
+        assert tracemalloc.is_tracing()
+        prof.disable_profiling()
+        assert not tracemalloc.is_tracing()
+
+    def test_sampling_profiles_every_nth_span(self):
+        enable_tracing()
+        prof.enable_profiling(sample_every=2)
+        for _ in range(4):
+            with span("maybe"):
+                pass
+        payloads = [s.get("resources") for s in _root_spans()]
+        assert [p is not None for p in payloads] == [True, False,
+                                                    True, False]
+
+    def test_invalid_sample_every_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prof.ResourceProfiler(sample_every=0)
+
+    def test_enable_disable_roundtrip(self):
+        assert not prof.profiling_enabled()
+        prof.enable_profiling()
+        assert prof.profiling_enabled()
+        assert prof.get_profiler() is not None
+        prof.disable_profiling()
+        assert not prof.profiling_enabled()
+        assert prof.get_profiler() is None
+
+
+class TestNoopFastPath:
+    def test_unprofiled_span_has_no_resources_key(self):
+        enable_tracing()
+        with span("plain"):
+            pass
+        (root,) = _root_spans()
+        assert "resources" not in root
+
+    def test_profiler_off_allocates_nothing_on_hot_path(self):
+        """With profiling off, no prof.py frame allocates anything on
+        the span hot path — tracemalloc sees zero blocks from it."""
+        enable_tracing()
+        tracemalloc.start()
+        try:
+            tracemalloc.clear_traces()
+            for _ in range(200):
+                with span("hot"):
+                    pass
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        prof_stats = snapshot.filter_traces(
+            (tracemalloc.Filter(True, "*prof.py"),)
+        ).statistics("filename")
+        assert prof_stats == []
+
+    def test_disabled_tracing_still_hands_out_shared_noop(self):
+        prof.enable_profiling()
+        a = span("x")
+        b = span("y")
+        assert a is b  # tracing off: shared no-op, nothing profiled
+
+
+class TestEnvSwitch:
+    def test_env_off_values(self, monkeypatch):
+        for raw in ("", "0", "off", "false"):
+            monkeypatch.setenv(prof.PROFILE_ENV, raw)
+            assert prof.profiling_from_env() is None
+
+    def test_env_on(self, monkeypatch):
+        monkeypatch.setenv(prof.PROFILE_ENV, "1")
+        profiler = prof.profiling_from_env()
+        assert profiler is not None
+        assert not profiler.alloc
+
+    def test_env_alloc(self, monkeypatch):
+        monkeypatch.setenv(prof.PROFILE_ENV, "alloc")
+        profiler = prof.profiling_from_env()
+        assert profiler is not None
+        assert profiler.alloc
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(prof.PROFILE_ENV, "verbose")
+        with pytest.raises(ConfigurationError):
+            prof.profiling_from_env()
+
+
+class TestRssHelpers:
+    def test_read_rss_positive(self):
+        assert prof.read_rss_kb() > 0
+
+    def test_peak_rss_at_least_positive(self):
+        assert prof.peak_rss_kb() > 0

@@ -159,11 +159,15 @@ class TestExportAndAnalysis:
 
     def test_to_dict_shape(self, tracer):
         trace = self._trace(tracer)
-        assert trace["version"] == 1
+        assert trace["version"] == 2
         (root,) = trace["spans"]
         assert root["name"] == "root"
         assert root["attributes"] == {"k": 10}
         assert len(root["children"]) == 2
+        # v2 places every span on a Chrome-trace timeline lane.
+        assert root["ts_us"] > 0
+        assert root["pid"] > 0
+        assert root["tid"] > 0
 
     def test_iter_spans_walks_everything(self, tracer):
         trace = self._trace(tracer)

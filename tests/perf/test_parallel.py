@@ -1,9 +1,20 @@
 """Unit tests for the parallel executor (repro.perf.parallel)."""
 
+import os
+import time
+
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.obs.metrics import counter, get_registry
+from repro.obs.spans import (
+    disable_tracing,
+    enable_tracing,
+    get_trace,
+    iter_spans,
+    reset_trace,
+    span,
+)
 from repro.perf.parallel import WORKERS_ENV, ParallelExecutor, \
     resolve_workers
 
@@ -102,3 +113,83 @@ class TestWorkerMetrics:
 
         ParallelExecutor(workers=2).map(task, range(4))
         assert probe.value == 7
+
+    def test_overhead_counters_recorded(self):
+        def snap():
+            metrics = get_registry().snapshot()
+            return {name: metrics.get(name, {}).get("value", 0.0)
+                    for name in ("parallel.pickle_bytes",
+                                 "parallel.fork_ms",
+                                 "parallel.merge_ms")}
+
+        before = snap()
+        ParallelExecutor(workers=2).map(lambda x: x * x, range(8))
+        after = snap()
+        # Every parallel map pays fork + merge and ships results over
+        # a pipe; the counters must account all three.
+        assert after["parallel.pickle_bytes"] \
+            > before["parallel.pickle_bytes"]
+        assert after["parallel.fork_ms"] > before["parallel.fork_ms"]
+        assert after["parallel.merge_ms"] > before["parallel.merge_ms"]
+
+    def test_serial_map_pays_no_overhead(self):
+        fork_before = get_registry().snapshot().get(
+            "parallel.fork_ms", {}).get("value", 0.0)
+        ParallelExecutor(workers=1).map(lambda x: x, range(8))
+        fork_after = get_registry().snapshot().get(
+            "parallel.fork_ms", {}).get("value", 0.0)
+        assert fork_after == fork_before
+
+
+class TestWorkerSpans:
+    @pytest.fixture(autouse=True)
+    def clean_tracer(self):
+        reset_trace()
+        yield
+        disable_tracing()
+        reset_trace()
+
+    def test_worker_spans_graft_into_parent_trace(self):
+        def task(x):
+            with span("test.worker_restage", item=x):
+                time.sleep(0.002)
+            return x
+
+        enable_tracing()
+        with span("test.parent"):
+            ParallelExecutor(workers=2).map(task, range(12))
+        nodes = [n for root in get_trace()["spans"]
+                 for n in iter_spans(root)]
+        worker_spans = [n for n in nodes
+                        if n["name"] == "test.worker_restage"]
+        assert len(worker_spans) == 12
+        pids = {n["pid"] for n in worker_spans}
+        # Spans ran in forked workers and kept their pids — that is
+        # what gives each worker its own Chrome-trace lane.
+        assert os.getpid() not in pids
+        for node in worker_spans:
+            assert node["wall_ms"] > 0
+            assert node["attributes"]["item"] in range(12)
+
+    def test_worker_spans_nest_under_the_calling_span(self):
+        def task(x):
+            with span("test.nested_task"):
+                pass
+            return x
+
+        enable_tracing()
+        with span("test.outer"):
+            ParallelExecutor(workers=2).map(task, range(4))
+        (root,) = get_trace()["spans"]
+        assert root["name"] == "test.outer"
+        names = {n["name"] for n in iter_spans(root)}
+        assert "test.nested_task" in names
+
+    def test_no_span_shipping_when_tracing_disabled(self):
+        def task(x):
+            with span("test.invisible"):
+                pass
+            return x
+
+        ParallelExecutor(workers=2).map(task, range(4))
+        assert get_trace()["spans"] == []
