@@ -9,6 +9,13 @@ the cost into the three phases the ``repro.perf`` subsystem attacks:
 * **restage** — the per-unknown stage-2 re-fit, with the profile
   cache on vs off, and serial vs parallel.
 
+It also measures the **cold-start path**: each warm linker is saved to
+an index snapshot (``repro.resilience.snapshot``), reloaded, and
+re-linked — the save/load wall times and the on-disk snapshot size land
+in the row (``snapshot_save_s`` / ``snapshot_load_s`` /
+``snapshot_bytes``), and the cold linker's output must be bit-identical
+to the warm one's.
+
 Corpus sizes come from ``REPRO_BENCH_SIZES`` (comma-separated
 ``<known>x<unknown>`` pairs, e.g. ``"2000x200"``, or the literal
 ``sweep`` for the 2k/10k/50k known-side trajectory); the parallel
@@ -26,12 +33,15 @@ gate regressions against the committed baseline.
 from __future__ import annotations
 
 import os
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
 from _util import emit, seconds, table, timed, update_trajectory
 from repro.core.documents import AliasDocument
 from repro.core.linker import AliasLinker
+from repro.resilience.snapshot import load_index, save_index
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
 from repro.obs.prof import peak_rss_kb, read_rss_kb
@@ -141,6 +151,25 @@ def _measure(n_known, n_unknown, workers):
                                 - overhead_before["parallel.merge_ms"])
     row["outputs_identical"] = (serial_result.to_dict()
                                 == parallel_result.to_dict())
+
+    # Cold-start path: snapshot the warm linker, reload, re-link.
+    with tempfile.TemporaryDirectory(prefix="bench-snap-") as tmp:
+        snap = Path(tmp) / "index.snap"
+        with timed("bench.snapshot_save", n_known=n_known) as span:
+            info = save_index(cached, snap)
+        row["snapshot_save_s"] = seconds(span)
+        row["snapshot_bytes"] = info["bytes"]
+        row["rss_before_load_mb"] = read_rss_kb() / 1024.0
+        with timed("bench.snapshot_load", n_known=n_known) as span:
+            cold = load_index(snap)
+        row["snapshot_load_s"] = seconds(span)
+        with timed("bench.link_cold") as span:
+            cold_result = cold.link(unknown)
+        row["link_cold_s"] = seconds(span)
+        row["rss_after_load_mb"] = read_rss_kb() / 1024.0
+    row["cold_identical"] = (serial_result.to_dict()
+                             == cold_result.to_dict())
+
     row["rss_after_mb"] = read_rss_kb() / 1024.0
     row["peak_rss_mb"] = _peak_rss_mb()
     return row
@@ -164,8 +193,8 @@ def test_linking_throughput():
     lines += table(
         ("known", "unknown", "fit s", "reduce s", "restage s",
          "no-cache s", "cache x", "serial s", f"x{workers} s",
-         "par x", "fork ms", "merge ms", "ipc KB", "rss MB",
-         "peak MB"),
+         "par x", "fork ms", "merge ms", "ipc KB", "save s",
+         "load s", "snap MB", "cold s", "rss MB", "peak MB"),
         [(r["n_known"], r["n_unknown"], f"{r['fit_s']:.2f}",
           f"{r['reduce_s']:.2f}", f"{r['restage_cached_s']:.2f}",
           f"{r['restage_uncached_s']:.2f}",
@@ -175,6 +204,10 @@ def test_linking_throughput():
           f"{r['parallel_fork_ms']:.0f}",
           f"{r['parallel_merge_ms']:.0f}",
           f"{r['parallel_pickle_bytes'] / 1024:.0f}",
+          f"{r['snapshot_save_s']:.2f}",
+          f"{r['snapshot_load_s']:.2f}",
+          f"{r['snapshot_bytes'] / (1 << 20):.1f}",
+          f"{r['link_cold_s']:.2f}",
           f"{r['rss_after_mb']:.0f}", f"{r['peak_rss_mb']:.0f}")
          for r in rows])
     if cores < workers:
@@ -198,6 +231,8 @@ def test_linking_throughput():
     for row in rows:
         # Any worker count must produce bit-identical links.
         assert row["outputs_identical"]
+        # A linker reloaded from its snapshot must link identically.
+        assert row["cold_identical"]
         # The cache must eliminate enough re-tokenization to pay for
         # itself decisively (the 2000x200 acceptance run shows >= 3x).
         assert row["restage_speedup"] > 1.5

@@ -19,7 +19,8 @@ worlds (see DESIGN.md for the substitution rationale):
 * :mod:`repro.obs` — observability: tracing spans, metrics registry,
   structured logging (``docs/observability.md``);
 * :mod:`repro.resilience` — fault tolerance: retry policies,
-  deterministic fault injection, resumable checkpoints
+  deterministic fault injection, resumable checkpoints, crash-safe
+  index snapshots, deadline-budgeted degraded-mode linking
   (``docs/robustness.md``);
 * :mod:`repro.perf` — performance: compute-once profile caching,
   fork-pool parallel restage, blocked stage-1 scoring
@@ -61,6 +62,7 @@ from repro.errors import (
     CheckpointError,
     ConfigurationError,
     DatasetError,
+    DeadlineExceededError,
     InsufficientDataError,
     LanguageDetectionError,
     NotFittedError,
@@ -68,6 +70,7 @@ from repro.errors import (
     ResilienceError,
     RetryExhaustedError,
     ScrapeError,
+    SnapshotError,
     TransientError,
 )
 from repro import obs
@@ -75,7 +78,15 @@ from repro import perf
 from repro import resilience
 from repro.perf import ParallelExecutor, ProfileCache
 from repro.pipeline import LinkingPipeline, PipelineReport
-from repro.resilience import CheckpointStore, FaultPlan, RetryPolicy
+from repro.resilience import (
+    CheckpointStore,
+    CircuitBreaker,
+    DeadlineBudget,
+    FaultPlan,
+    RetryPolicy,
+    load_index,
+    save_index,
+)
 
 __version__ = "1.0.0"
 
@@ -98,8 +109,11 @@ __all__ = [
     "ThresholdCalibrator",
     "CheckpointError",
     "CheckpointStore",
+    "CircuitBreaker",
     "ConfigurationError",
     "DatasetError",
+    "DeadlineBudget",
+    "DeadlineExceededError",
     "FaultPlan",
     "InsufficientDataError",
     "LanguageDetectionError",
@@ -109,11 +123,14 @@ __all__ = [
     "RetryExhaustedError",
     "RetryPolicy",
     "ScrapeError",
+    "SnapshotError",
     "TransientError",
     "LinkingPipeline",
     "ParallelExecutor",
     "PipelineReport",
     "ProfileCache",
+    "load_index",
+    "save_index",
     "obs",
     "perf",
     "resilience",

@@ -11,7 +11,13 @@ Six subcommands cover the end-to-end workflow of the paper:
   runs crash-safe, ``--max-retries``/``--retry-deadline`` bound
   transient-failure retries (see ``docs/robustness.md``),
   ``--workers N``/``--no-cache``/``--block-size`` tune the perf
-  subsystem (see ``docs/performance.md``);
+  subsystem (see ``docs/performance.md``); ``--index SNAP`` links
+  against a prebuilt snapshot instead of refitting, and
+  ``--deadline-ms``/``--degraded-ok`` bound the linking wall-clock
+  (degraded-mode semantics: ``docs/robustness.md``);
+* ``index`` — ``build``/``verify``/``info`` for crash-safe persistent
+  index snapshots: fit once, link many times from a
+  checksum-verified on-disk image;
 * ``profile`` — extract the §V-D personal profile of one alias;
 * ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
   slowest spans, metric table with p50/p95/p99); ``--compare OTHER``
@@ -126,6 +132,20 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_budget(args: argparse.Namespace):
+    """The linking deadline budget from --deadline-ms/--degraded-ok.
+
+    Constructed immediately before the link call so the budget clocks
+    the linking stage, not forum loading and refinement.
+    """
+    if args.deadline_ms is None:
+        return None
+    from repro.resilience.degrade import DeadlineBudget
+
+    return DeadlineBudget(args.deadline_ms,
+                          degraded_ok=args.degraded_ok)
+
+
 def _cmd_link(args: argparse.Namespace) -> int:
     retry_policy = None
     if args.max_retries is not None or args.retry_deadline is not None:
@@ -134,43 +154,133 @@ def _cmd_link(args: argparse.Namespace) -> int:
             if args.max_retries is not None else 3,
             deadline=args.retry_deadline,
         )
-    known = load_forum(args.known)
     unknown = load_forum(args.unknown)
-    pipeline = LinkingPipeline(
-        PipelineConfig(threshold=args.threshold),
-        batch_size=args.batch_size,
-        retry_policy=retry_policy,
-        workers=args.workers,
-        cache=not args.no_cache,
-        block_size=args.block_size,
-    )
-    args.manifest_config = pipeline.manifest_config()
-    result = pipeline.link_forums(known, unknown,
-                                  checkpoint=args.checkpoint,
-                                  resume=args.resume)
+    if args.index is not None:
+        from repro.resilience.snapshot import load_index
+
+        linker = load_index(args.index, workers=args.workers,
+                            cache=not args.no_cache,
+                            block_size=args.block_size)
+        if args.threshold is not None:
+            linker.threshold = args.threshold
+        threshold = linker.threshold
+        pipeline = LinkingPipeline(
+            PipelineConfig(threshold=threshold),
+            retry_policy=retry_policy,
+        )
+        unknown_docs = pipeline.prepare_forum(unknown, is_known=False)
+        refined_known = len(linker._known or ())
+        args.manifest_config = dict(pipeline.manifest_config(),
+                                    index=str(args.index))
+        result = linker.link(unknown_docs,
+                             checkpoint=args.checkpoint,
+                             resume=args.resume,
+                             budget=_make_budget(args))
+    else:
+        threshold = args.threshold if args.threshold is not None \
+            else PAPER_THRESHOLD
+        known = load_forum(args.known)
+        pipeline = LinkingPipeline(
+            PipelineConfig(threshold=threshold),
+            batch_size=args.batch_size,
+            retry_policy=retry_policy,
+            workers=args.workers,
+            cache=not args.no_cache,
+            block_size=args.block_size,
+        )
+        args.manifest_config = pipeline.manifest_config()
+        known_docs = pipeline.prepare_forum(known, is_known=True)
+        unknown_docs = pipeline.prepare_forum(unknown, is_known=False)
+        refined_known = len(known_docs)
+        result = pipeline.link_documents(known_docs, unknown_docs,
+                                         checkpoint=args.checkpoint,
+                                         resume=args.resume,
+                                         budget=_make_budget(args))
     accepted = result.accepted()
+    degraded = result.degraded()
     if args.json:
         document = result.to_dict()
         document["report"] = {
-            "refined_known": pipeline.report.refined_known,
+            "refined_known": refined_known,
             "refined_unknown": pipeline.report.refined_unknown,
-            "threshold": args.threshold,
+            "threshold": threshold,
         }
+        if degraded:
+            document["report"]["degraded"] = len(degraded)
         print(json.dumps(document, indent=2))
         return 0
-    print(f"known aliases after refinement:   "
-          f"{pipeline.report.refined_known}")
+    print(f"known aliases after refinement:   {refined_known}")
     print(f"unknown aliases after refinement: "
           f"{pipeline.report.refined_unknown}")
-    print(f"pairs above threshold {args.threshold}: {len(accepted)}")
+    print(f"pairs above threshold {threshold}: {len(accepted)}")
     for match in sorted(accepted, key=lambda m: -m.score):
+        flag = " [degraded]" if match.degraded else ""
         print(f"  {match.unknown_id} -> {match.candidate_id} "
-              f"(score {match.score:.4f})")
+              f"(score {match.score:.4f}){flag}")
+    if degraded:
+        print(f"degraded matches: {len(degraded)}")
+        for match in degraded:
+            print(f"  {match.unknown_id} "
+                  f"[{', '.join(match.degraded_reasons)}]")
     if result.skipped:
         print(f"skipped unknowns: {len(result.skipped)}")
         for entry in result.skipped:
             print(f"  {entry.unknown_id} [{entry.stage}] "
                   f"{entry.reason}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.resilience.snapshot import save_index, snapshot_info, \
+        verify_index
+
+    if args.index_command == "build":
+        forum = load_forum(args.known)
+        pipeline = LinkingPipeline(
+            PipelineConfig(threshold=args.threshold),
+            batch_size=args.batch_size,
+            workers=args.workers,
+            cache=not args.no_cache,
+            block_size=args.block_size,
+        )
+        args.manifest_config = pipeline.manifest_config()
+        known = pipeline.prepare_forum(forum, is_known=True)
+        if not known:
+            print("no known aliases survived refinement",
+                  file=sys.stderr)
+            return 1
+        linker = pipeline._make_linker()
+        linker.fit(known)
+        info = save_index(linker, args.out)
+        print(f"wrote {info['path']} ({info['bytes']} bytes, "
+              f"{info['sections']} sections, {info['n_known']} known "
+              f"aliases, algo {info['algo']}, "
+              f"config {info['config_digest']})")
+        return 0
+    if args.index_command == "verify":
+        report = verify_index(args.snapshot)
+        for section in report.sections:
+            status = "ok" if section.ok else \
+                f"DAMAGED ({section.error})"
+            print(f"  {section.name:28s} {section.nbytes:>10d}  "
+                  f"{status}")
+        if report.ok:
+            print(f"{report.path}: all {len(report.sections)} "
+                  f"sections verified")
+            return 0
+        print(f"{report.path}: {len(report.damaged())} damaged "
+              f"section(s): {', '.join(report.damaged())}",
+              file=sys.stderr)
+        return 1
+    header = snapshot_info(args.snapshot)
+    for key in ("path", "format_version", "algo", "git_rev",
+                "config_digest", "file_bytes", "expected_bytes"):
+        if key in header:
+            print(f"{key}: {header[key]}")
+    config = header.get("config", {})
+    for key in sorted(config):
+        print(f"config.{key}: {config[key]}")
+    print(f"sections: {len(header.get('sections', []))}")
     return 0
 
 
@@ -285,10 +395,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     link = sub.add_parser("link",
                           help="link unknown forum aliases to known ones")
-    link.add_argument("--known", required=True)
+    source = link.add_mutually_exclusive_group(required=True)
+    source.add_argument("--known",
+                        help="known-aliases forum JSONL (fits a fresh "
+                             "index)")
+    source.add_argument("--index", metavar="SNAP",
+                        help="link against a prebuilt snapshot from "
+                             "'index build' (verified on load)")
     link.add_argument("--unknown", required=True)
-    link.add_argument("--threshold", type=float,
-                      default=PAPER_THRESHOLD)
+    link.add_argument("--threshold", type=float, default=None,
+                      help="acceptance threshold (default: the "
+                           "snapshot's with --index, else the "
+                           f"paper's {PAPER_THRESHOLD})")
+    link.add_argument("--deadline-ms", type=float, default=None,
+                      metavar="MS",
+                      help="wall-clock budget for the linking stage; "
+                           "without --degraded-ok an overrun aborts "
+                           "with an error")
+    link.add_argument("--degraded-ok", action="store_true",
+                      help="on deadline overrun, return partial-but-"
+                           "honest results (degraded flags set) "
+                           "instead of failing")
     link.add_argument("--batch-size", type=int, default=None,
                       help="enable the IV-J batched pipeline")
     link.add_argument("--json", action="store_true",
@@ -318,6 +445,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="known aliases scored per stage-1 block "
                            "(default from REPRO_BLOCK_SIZE, else 4096)")
     link.set_defaults(func=_cmd_link)
+
+    index = sub.add_parser(
+        "index",
+        help="build / verify / inspect persistent index snapshots")
+    isub = index.add_subparsers(dest="index_command", required=True)
+    ibuild = isub.add_parser(
+        "build", help="fit a linker on a forum and snapshot it")
+    ibuild.add_argument("--known", required=True,
+                        help="known-aliases forum JSONL")
+    ibuild.add_argument("--out", required=True, metavar="SNAP",
+                        help="snapshot output path")
+    ibuild.add_argument("--threshold", type=float,
+                        default=PAPER_THRESHOLD)
+    ibuild.add_argument("--batch-size", type=int, default=None,
+                        help="snapshot a IV-J batched linker instead")
+    ibuild.add_argument("--workers", type=int, default=None,
+                        metavar="N")
+    ibuild.add_argument("--no-cache", action="store_true")
+    ibuild.add_argument("--block-size", type=int, default=None,
+                        metavar="ROWS")
+    ibuild.set_defaults(func=_cmd_index)
+    iverify = isub.add_parser(
+        "verify", help="check every section checksum of a snapshot")
+    iverify.add_argument("snapshot", help="snapshot file to verify")
+    iverify.set_defaults(func=_cmd_index)
+    iinfo = isub.add_parser(
+        "info", help="print a snapshot's manifest header")
+    iinfo.add_argument("snapshot", help="snapshot file to inspect")
+    iinfo.set_defaults(func=_cmd_index)
 
     stats = sub.add_parser("stats",
                            help="summarize a --trace JSON file")
@@ -364,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _manifest_inputs(args: argparse.Namespace) -> dict:
     """Input files of this invocation, by role, for the manifest."""
     inputs = {}
-    for role in ("known", "unknown", "forum", "input"):
+    for role in ("known", "unknown", "forum", "input", "index",
+                 "snapshot"):
         path = getattr(args, role, None)
         if path is not None:
             inputs[role] = path

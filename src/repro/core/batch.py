@@ -38,11 +38,13 @@ from repro.core.linker import (
     _quarantine,
     check_document,
 )
-from repro.errors import ConfigurationError, DatasetError
+from repro.errors import ConfigurationError, DatasetError, \
+    DeadlineExceededError
 from repro.obs.logging import get_logger
 from repro.perf.cache import ProfileCache
 from repro.perf.parallel import ParallelExecutor, resolve_workers
 from repro.resilience.checkpoint import CheckpointStore, open_store
+from repro.resilience.degrade import CircuitBreaker, DeadlineBudget
 from repro.obs.metrics import SIZE_BUCKETS, counter, histogram
 from repro.obs.spans import span
 
@@ -75,6 +77,9 @@ class BatchedLinker:
         re-tokenizing the pool per batch.
     block_size:
         Stage-1 scoring block size forwarded to every reducer.
+    breaker:
+        Optional circuit breaker forwarded to the per-unknown final
+        attribution (see :class:`AliasLinker`).
     """
 
     def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE,
@@ -86,7 +91,8 @@ class BatchedLinker:
                  use_activity: bool = True,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
-                 block_size: Optional[int] = None) -> None:
+                 block_size: Optional[int] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         if batch_size < 2:
             raise ConfigurationError(
                 f"batch_size must be >= 2, got {batch_size}")
@@ -112,6 +118,7 @@ class BatchedLinker:
         else:
             self.cache = ProfileCache(enabled=bool(cache))
         self.block_size = block_size
+        self.breaker = breaker
         self._known: Optional[List[AliasDocument]] = None
 
     def fit(self, known: Sequence[AliasDocument]) -> "BatchedLinker":
@@ -189,6 +196,7 @@ class BatchedLinker:
 
     def _attribute_task(self, pair: Tuple[AliasDocument,
                                           List[AliasDocument]],
+                        budget: Optional[DeadlineBudget] = None,
                         ) -> Tuple[str, Any]:
         """Shrink one unknown's private pool and attribute it.
 
@@ -197,11 +205,15 @@ class BatchedLinker:
         safe to fan across forked workers.  Returns ``("ok", (matches,
         scored))``, ``("skipped", entry)`` (the inner linker already
         counted the quarantine) or ``("error", reason)``.
+
+        With a *budget*, pool shrinking stops once the deadline passes
+        and the inner linker takes over the degraded accounting.
         """
         unknown, pool = pair
         try:
             # Subsequent rounds shrink each unknown's private pool.
-            while len(pool) > self.batch_size:
+            while len(pool) > self.batch_size \
+                    and not (budget is not None and budget.expired()):
                 pool = self._reduce_pool(pool, [unknown])[0]
             linker = AliasLinker(
                 k=min(self.k, len(pool)),
@@ -213,9 +225,14 @@ class BatchedLinker:
                 workers=1,  # never nest pools inside a worker
                 cache=self.cache,
                 block_size=self.block_size,
+                breaker=self.breaker,
             )
             linker.fit(pool)
-            result = linker.link([unknown])
+            result = linker.link([unknown], budget=budget)
+        except DeadlineExceededError:
+            # Strict budgets (degraded_ok=False) abort the run; they
+            # must not be folded into a quarantine record.
+            raise
         except Exception as exc:  # noqa: BLE001 - quarantined by caller
             return ("error", f"batched attribution failed: {exc}")
         if result.skipped:
@@ -225,7 +242,8 @@ class BatchedLinker:
 
     def link(self, unknowns: Sequence[AliasDocument],
              checkpoint: Optional[object] = None,
-             resume: bool = False) -> LinkResult:
+             resume: bool = False,
+             budget: Optional[DeadlineBudget] = None) -> LinkResult:
         """Run the batched pipeline for a set of unknown aliases.
 
         Malformed or failing unknowns land in ``LinkResult.skipped``
@@ -233,6 +251,12 @@ class BatchedLinker:
         finished unknown is persisted atomically; *resume* skips the
         unknowns a previous (interrupted) run completed and yields a
         result identical to an uninterrupted run.
+
+        With a *budget* (or a breaker), attribution runs serially so
+        the deadline clock sees every call: unknowns whose turn comes
+        after the deadline are quarantined with ``stage="deadline"``,
+        and the inner per-unknown linker degrades its own stages (see
+        :meth:`AliasLinker.link`).
         """
         if self._known is None:
             raise ConfigurationError("BatchedLinker.fit has not been called")
@@ -253,22 +277,54 @@ class BatchedLinker:
             valid.append(unknown)
         pending = [u for u in valid
                    if store is None or u.doc_id not in store]
+        guarded = budget is not None or self.breaker is not None
         with span("batch.link", n_unknowns=len(unknowns),
                   n_known=len(self._known), batch_size=self.batch_size):
+            if budget is not None and budget.expired():
+                budget.check("reduce")
+                for unknown in pending:
+                    _quarantine(unknown.doc_id,
+                                "deadline budget exhausted before "
+                                "search-space reduction",
+                                "deadline", skipped, store)
+                pending = []
             # Round 1 is shared: every unknown faces the same batches.
             # It runs in the parent, which also warms the shared cache
             # with every document's profile before any fork.
             pairs = self._shared_round(pending, skipped, store)
-            executor = ParallelExecutor(self.workers)
-            with span("batch.restage", n_unknowns=len(pairs),
-                      workers=executor.workers):
-                outcomes = executor.map(self._attribute_task, pairs)
+            if guarded:
+                # Serial on purpose: the budget clock and breaker state
+                # live in this process and must see every call.
+                with span("batch.restage", n_unknowns=len(pairs),
+                          workers=1):
+                    outcomes = []
+                    for p in pairs:
+                        if budget is not None and budget.expired():
+                            # Not even worth fitting the inner linker:
+                            # quarantine without burning post-deadline
+                            # time.
+                            budget.check("attribute")
+                            outcomes.append(("deadline", None))
+                            continue
+                        outcomes.append(
+                            self._attribute_task(p, budget=budget))
+            else:
+                executor = ParallelExecutor(self.workers)
+                with span("batch.restage", n_unknowns=len(pairs),
+                          workers=executor.workers):
+                    outcomes = executor.map(self._attribute_task, pairs)
             # Checkpoint records happen in the parent, in round-1 order,
             # so any worker count writes the same file.
             for (unknown, _pool), (status, payload) in zip(pairs,
                                                            outcomes):
                 if status == "error":
                     _quarantine(unknown.doc_id, payload, "attribute",
+                                skipped, store)
+                    continue
+                if status == "deadline":
+                    _quarantine(unknown.doc_id,
+                                "deadline budget exhausted before "
+                                "attribution", "deadline",
                                 skipped, store)
                     continue
                 if status == "skipped":
@@ -288,5 +344,6 @@ class BatchedLinker:
         log.info("batch.link", n_unknowns=len(unknowns),
                  n_known=len(self._known), batch_size=self.batch_size,
                  accepted=sum(1 for m in final.matches if m.accepted),
-                 skipped=len(final.skipped))
+                 skipped=len(final.skipped),
+                 degraded=len(final.degraded()))
         return final

@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError, NotFittedError
 from repro.obs.metrics import counter
 from repro.perf.cache import ProfileCache
 from repro.obs.spans import span
+from repro.resilience.degrade import CircuitBreaker, DeadlineBudget
 
 #: Known aliases appended through the incremental path.
 _ADDED = counter("incremental_added_total")
@@ -70,7 +71,8 @@ class IncrementalLinker:
                  refit_after: int = 100,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
-                 block_size: Optional[int] = None) -> None:
+                 block_size: Optional[int] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         if refit_after < 1:
             raise ConfigurationError(
                 f"refit_after must be >= 1, got {refit_after}")
@@ -85,7 +87,8 @@ class IncrementalLinker:
             reduction_budget=reduction_budget,
             final_budget=final_budget,
             weights=weights, use_activity=use_activity,
-            workers=workers, cache=cache, block_size=block_size)
+            workers=workers, cache=cache, block_size=block_size,
+            breaker=breaker)
         self.refit_after = refit_after
         self._linker: Optional[AliasLinker] = None
         self._known: List[AliasDocument] = []
@@ -169,13 +172,14 @@ class IncrementalLinker:
 
     def link(self, unknowns: Sequence[AliasDocument],
              checkpoint: Optional[object] = None,
-             resume: bool = False) -> LinkResult:
+             resume: bool = False,
+             budget: Optional[DeadlineBudget] = None) -> LinkResult:
         """Link unknowns against everything known so far.
 
-        *checkpoint* / *resume* and the quarantine semantics are those
-        of :meth:`repro.core.linker.AliasLinker.link`.
+        *checkpoint* / *resume* / *budget* and the quarantine semantics
+        are those of :meth:`repro.core.linker.AliasLinker.link`.
         """
         if self._linker is None:
             raise NotFittedError("IncrementalLinker.fit not called")
         return self._linker.link(list(unknowns), checkpoint=checkpoint,
-                                 resume=resume)
+                                 resume=resume, budget=budget)

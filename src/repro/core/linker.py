@@ -47,6 +47,7 @@ from repro.obs.spans import span
 from repro.perf.cache import ProfileCache
 from repro.perf.parallel import ParallelExecutor, resolve_workers
 from repro.resilience.checkpoint import CheckpointStore, open_store
+from repro.resilience.degrade import CircuitBreaker, DeadlineBudget
 
 log = get_logger(__name__)
 
@@ -63,6 +64,8 @@ _CANDIDATE_SET = histogram("final_candidate_set_size",
                            buckets=SIZE_BUCKETS)
 #: Total candidates rescored by stage 2.
 _RESCORED = counter("candidates_rescored_total")
+#: Matches answered degraded (stage-1 scores, shed activity, ...).
+_DEGRADED = counter("attribution_degraded_total")
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,13 @@ class Match:
         Whether ``score >= threshold`` (the pair the algorithm outputs).
     first_stage_score:
         The reduction-stage similarity (diagnostics).
+    degraded:
+        ``True`` when the answer was produced on partial evidence (a
+        deadline or circuit breaker cut a stage short).  Degraded
+        matches are honest — ``score`` is whatever evidence actually
+        ran — but not comparable to full-pipeline scores.
+    degraded_reasons:
+        Why, e.g. ``("stage1_only",)`` or ``("stylometry_only",)``.
     """
 
     unknown_id: str
@@ -86,17 +96,27 @@ class Match:
     score: float
     accepted: bool
     first_stage_score: float
+    degraded: bool = False
+    degraded_reasons: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form; the single source of the field list
-        for traces, CLI JSON output and eval reporting."""
-        return {
+        for traces, CLI JSON output and eval reporting.
+
+        The degraded keys are emitted only when set, so full-fidelity
+        runs serialize byte-identically to pre-degraded-mode output.
+        """
+        data = {
             "unknown_id": self.unknown_id,
             "candidate_id": self.candidate_id,
             "score": self.score,
             "accepted": self.accepted,
             "first_stage_score": self.first_stage_score,
         }
+        if self.degraded:
+            data["degraded"] = True
+            data["degraded_reasons"] = list(self.degraded_reasons)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Match":
@@ -107,6 +127,9 @@ class Match:
             score=float(data["score"]),
             accepted=bool(data["accepted"]),
             first_stage_score=float(data.get("first_stage_score", 0.0)),
+            degraded=bool(data.get("degraded", False)),
+            degraded_reasons=tuple(
+                str(r) for r in data.get("degraded_reasons", ())),
         )
 
 
@@ -167,6 +190,10 @@ class LinkResult:
     def accepted(self) -> List[Match]:
         """Only the pairs the algorithm actually outputs."""
         return [m for m in self.matches if m.accepted]
+
+    def degraded(self) -> List[Match]:
+        """Matches answered on partial evidence (deadline/breaker)."""
+        return [m for m in self.matches if m.degraded]
 
     def all_scored_pairs(self) -> Iterator[Tuple[str, str, float]]:
         """Yield ``(unknown_id, candidate_id, score)`` for every pair."""
@@ -339,6 +366,11 @@ class AliasLinker:
     block_size:
         Known-corpus rows scored per stage-1 block (memory bound);
         ``None`` resolves through ``REPRO_BLOCK_SIZE``.
+    breaker:
+        Optional :class:`~repro.resilience.degrade.CircuitBreaker`
+        guarding stage 2: after enough consecutive restage failures it
+        opens and subsequent unknowns are answered degraded from their
+        stage-1 scores instead of burning time on a failing stage.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -350,7 +382,8 @@ class AliasLinker:
                  use_reduction: bool = True,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
-                 block_size: Optional[int] = None) -> None:
+                 block_size: Optional[int] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
         if k < 1:
             raise ConfigurationError(
                 f"k must be a positive integer, got {k}")
@@ -364,6 +397,7 @@ class AliasLinker:
         self.use_activity = use_activity
         self.use_reduction = use_reduction
         self.workers = resolve_workers(workers)
+        self.breaker = breaker
         if isinstance(cache, ProfileCache):
             profile_cache = cache
         else:
@@ -392,6 +426,7 @@ class AliasLinker:
 
     def _rescore(self, unknown: AliasDocument,
                  candidates: Sequence[AliasDocument],
+                 use_activity: Optional[bool] = None,
                  ) -> List[Tuple[str, float]]:
         """Second-stage scores of *candidates* against *unknown*.
 
@@ -399,11 +434,17 @@ class AliasLinker:
         "we recompute the Tf-Idf on the documents of these k users ...
         this procedure changes the feature vector of the unknown alias
         too" (Section IV-I).
+
+        *use_activity* overrides the linker-level setting for this one
+        restage; degraded mode uses it to shed the activity block when
+        a deadline is nearly spent.
         """
+        if use_activity is None:
+            use_activity = self.use_activity
         extractor = FeatureExtractor(
             budget=self.final_budget,
             weights=self.weights,
-            use_activity=self.use_activity,
+            use_activity=use_activity,
             encoder=self.encoder,
         )
         extractor.fit(list(candidates))
@@ -468,6 +509,50 @@ class AliasLinker:
             return ("error", f"final attribution failed: {exc}")
         return ("ok", (scored, best_id, float(best_score)))
 
+    def _stage2_guarded(self, candidates: Candidates,
+                        budget: Optional[DeadlineBudget],
+                        ) -> Tuple[str, Any]:
+        """One unknown's restage under a deadline budget and/or circuit
+        breaker (always serial — degraded mode needs honest per-call
+        accounting, not fork-time snapshots of the budget clock).
+
+        Returns ``("ok", (scored, best_id, best_score, reasons))``,
+        ``("degraded", reasons)`` — answer from stage-1 evidence — or
+        ``("error", reason)``.
+        """
+        unknown = candidates.unknown
+        if self.breaker is not None and not self.breaker.allow():
+            return ("degraded", ("stage2_circuit_open",))
+        if budget is not None and budget.expired():
+            budget.check("restage")  # raises unless degraded_ok
+            return ("degraded", ("stage1_only",))
+        reasons: List[str] = []
+        use_activity: Optional[bool] = None
+        activity_on = self.use_activity and self.weights.activity > 0
+        if activity_on and budget is not None and budget.activity_low():
+            # Not enough budget left for the activity block: restage on
+            # stylometry alone rather than blow the deadline.
+            use_activity = False
+            reasons.append("stylometry_only")
+        elif activity_on and unknown.activity is None:
+            # Full restage runs, but the unknown brought no activity
+            # evidence — flag the gap instead of implying it was used.
+            reasons.append("stylometry_only")
+        try:
+            with span("linker.stage2", unknown=unknown.doc_id,
+                      k=len(candidates.documents)):
+                scored = self._rescore(unknown, candidates.documents,
+                                       use_activity=use_activity)
+            best_id, best_score = max(scored, key=lambda pair: pair[1])
+        except Exception as exc:  # noqa: BLE001 - quarantined by caller
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            return ("error", f"final attribution failed: {exc}")
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return ("ok", (scored, best_id, float(best_score),
+                       tuple(reasons)))
+
     def _fingerprint(self) -> Dict[str, Any]:
         """Run configuration pinned into checkpoint files."""
         return {"algo": "alias-linker",
@@ -511,7 +596,8 @@ class AliasLinker:
 
     def link(self, unknowns: Sequence[AliasDocument],
              checkpoint: Optional[Any] = None,
-             resume: bool = False) -> LinkResult:
+             resume: bool = False,
+             budget: Optional[DeadlineBudget] = None) -> LinkResult:
         """Run the full pipeline for a batch of unknown aliases.
 
         Malformed or failing unknowns are quarantined into
@@ -520,6 +606,15 @@ class AliasLinker:
         atomically to that path; *resume* additionally skips the
         unknowns an earlier (interrupted) run already completed, and
         the assembled result is identical to an uninterrupted run.
+
+        With a *budget*, linking degrades instead of overrunning: once
+        the deadline passes, remaining unknowns are answered from their
+        stage-1 scores (``Match.degraded`` set, reasons populated) or —
+        when the budget was spent before stage 1 even ran — quarantined
+        with ``stage="deadline"``.  A budget with ``degraded_ok=False``
+        raises :class:`~repro.errors.DeadlineExceededError` instead.
+        Without a budget (and no breaker) this method is byte-identical
+        to its pre-degraded-mode behavior.
         """
         if self._known is None:
             raise NotFittedError("AliasLinker.fit has not been called")
@@ -540,15 +635,35 @@ class AliasLinker:
             valid.append(unknown)
         pending = [u for u in valid
                    if store is None or u.doc_id not in store]
+        guarded = budget is not None or self.breaker is not None
         n_accepted = 0
+        n_degraded = 0
         with span("linker.link", n_unknowns=len(unknowns),
                   n_known=len(self._known)):
+            if budget is not None and budget.expired():
+                # Nothing ran: stage-1 evidence does not exist, so
+                # there is no honest answer to degrade to.
+                budget.check("reduce")
+                for unknown in pending:
+                    _quarantine(unknown.doc_id,
+                                "deadline budget exhausted before "
+                                "search-space reduction",
+                                "deadline", skipped, store)
+                pending = []
             reduced = self._reduce_isolated(pending, skipped, store)
             self._warm(c.unknown for c in reduced)
-            executor = ParallelExecutor(self.workers)
-            with span("linker.restage", n_unknowns=len(reduced),
-                      workers=executor.workers):
-                outcomes = executor.map(self._stage2_task, reduced)
+            if guarded:
+                # Serial on purpose: the budget clock and breaker state
+                # live in this process and must see every call.
+                with span("linker.restage", n_unknowns=len(reduced),
+                          workers=1):
+                    outcomes = [self._stage2_guarded(c, budget)
+                                for c in reduced]
+            else:
+                executor = ParallelExecutor(self.workers)
+                with span("linker.restage", n_unknowns=len(reduced),
+                          workers=executor.workers):
+                    outcomes = executor.map(self._stage2_task, reduced)
             # Match construction, metrics and checkpoint records stay in
             # the parent, in reduced order — a workers=4 run writes the
             # same records in the same order as workers=1.
@@ -558,33 +673,56 @@ class AliasLinker:
                     _quarantine(unknown.doc_id, payload, "attribute",
                                 skipped, store)
                     continue
-                scored, best_id, best_score = payload
-                _CANDIDATE_SET.observe(len(candidates.documents))
-                _RESCORED.inc(len(scored))
+                if status == "degraded":
+                    reasons = tuple(payload)
+                    scored = [(doc.doc_id, float(score))
+                              for doc, score in zip(candidates.documents,
+                                                    candidates.scores)]
+                    if not scored:
+                        _quarantine(unknown.doc_id,
+                                    "no stage-1 evidence to degrade to",
+                                    "deadline", skipped, store)
+                        continue
+                    best_id, best_score = max(scored,
+                                              key=lambda pair: pair[1])
+                else:
+                    scored, best_id, best_score, *rest = payload
+                    reasons = rest[0] if rest else ()
+                    _CANDIDATE_SET.observe(len(candidates.documents))
+                    _RESCORED.inc(len(scored))
+                    _BEST_SCORE.observe(best_score)
                 first_stage = dict(
                     (doc.doc_id, score)
                     for doc, score in zip(candidates.documents,
                                           candidates.scores))
                 accepted = best_score >= self.threshold
-                _BEST_SCORE.observe(best_score)
                 if accepted:
                     _ACCEPTED.inc()
                     n_accepted += 1
                 else:
                     _REJECTED.inc()
+                degraded = bool(reasons)
+                if degraded:
+                    _DEGRADED.inc()
+                    n_degraded += 1
+                    log.info("linker.degraded", unknown=unknown.doc_id,
+                             reasons=list(reasons))
                 match = Match(
                     unknown_id=unknown.doc_id,
                     candidate_id=best_id,
                     score=best_score,
                     accepted=accepted,
                     first_stage_score=first_stage.get(best_id, 0.0),
+                    degraded=degraded,
+                    degraded_reasons=reasons,
                 )
                 results[unknown.doc_id] = ([match], scored)
                 if store is not None:
                     store.record(unknown.doc_id, [match], scored)
         log.info("linker.link", n_unknowns=len(unknowns),
                  n_known=len(self._known), accepted=n_accepted,
-                 skipped=len(skipped), threshold=self.threshold)
+                 skipped=len(skipped), degraded=n_degraded,
+                 threshold=self.threshold)
         return _assemble(unknowns, results, skipped, store)
 
     def link_one(self, unknown: AliasDocument) -> Match:

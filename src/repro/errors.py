@@ -86,6 +86,41 @@ class CheckpointError(ResilienceError):
     run attempting to resume from it."""
 
 
+class SnapshotError(ResilienceError):
+    """An index snapshot is missing, damaged, or incompatible.
+
+    Raised instead of ever returning silently-wrong scores: a snapshot
+    whose header, version, config digest or any section checksum does
+    not verify refuses to load.
+
+    Attributes
+    ----------
+    section:
+        Name of the damaged section when one specific section failed
+        verification, else ``None`` (e.g. a bad header).
+    """
+
+    def __init__(self, message: str,
+                 section: str | None = None) -> None:
+        super().__init__(message)
+        self.section = section
+
+
+class DeadlineExceededError(ResilienceError):
+    """A deadline-budgeted call ran out of time and was not allowed to
+    degrade (``DeadlineBudget(degraded_ok=False)``).
+
+    Attributes
+    ----------
+    stage:
+        The pipeline stage that observed the expiry.
+    """
+
+    def __init__(self, message: str, stage: str = "") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
 class NotFittedError(ReproError):
     """A model-like object was used before being fitted.
 

@@ -67,6 +67,8 @@ ENV_KNOBS: Tuple[str, ...] = (
     "REPRO_CACHE",
     "REPRO_FAULT_SEED",
     "REPRO_FAULT_RATE",
+    "REPRO_FAULT_KINDS",
+    "REPRO_PARALLEL_GATE",
     "REPRO_LOG_LEVEL",
     "REPRO_LOG_FORMAT",
     "REPRO_PROFILE",

@@ -177,6 +177,100 @@ class ProfileCache:
             self._grow(row.nbytes)
         return row
 
+    # -- persistence ----------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Dict[str, object]]:
+        """Pack every cached profile into flat numpy arrays.
+
+        The format is what :mod:`repro.resilience.snapshot` persists:
+        per profile family a key list plus concatenated value arrays
+        with an ``indptr`` boundary array (CSR-style), so a snapshot
+        can store each family as a handful of mmap-able sections
+        instead of thousands of tiny arrays.  The vocabulary is *not*
+        included — it is shared state serialized by the snapshot
+        itself.
+        """
+        def pack_counts(family: Dict[str, ngrams.CodeCounts],
+                        ) -> Dict[str, object]:
+            doc_ids = list(family)
+            indptr = np.zeros(len(doc_ids) + 1, dtype=np.int64)
+            codes_parts: list = []
+            counts_parts: list = []
+            for i, doc_id in enumerate(doc_ids):
+                profile = family[doc_id]
+                codes_parts.append(profile.codes)
+                counts_parts.append(profile.counts)
+                indptr[i + 1] = indptr[i] + len(profile.codes)
+            codes = np.concatenate(codes_parts) if codes_parts \
+                else np.empty(0, dtype=np.uint64)
+            counts = np.concatenate(counts_parts) if counts_parts \
+                else np.empty(0, dtype=np.int64)
+            return {"keys": doc_ids,
+                    "codes": codes.astype(np.uint64, copy=False),
+                    "counts": counts.astype(np.int64, copy=False),
+                    "indptr": indptr}
+
+        def pack_rows(family: Dict, keys: list) -> Dict[str, object]:
+            indptr = np.zeros(len(keys) + 1, dtype=np.int64)
+            parts: list = []
+            for i, key in enumerate(keys):
+                row = family[key]
+                parts.append(row)
+                indptr[i + 1] = indptr[i] + len(row)
+            data = np.concatenate(parts) if parts \
+                else np.empty(0, dtype=np.float64)
+            return {"data": data.astype(np.float64, copy=False),
+                    "indptr": indptr}
+
+        freq_keys = list(self._freq)
+        activity_keys = list(self._activity)
+        freq = pack_rows(self._freq, freq_keys)
+        freq["keys"] = freq_keys
+        activity = pack_rows(self._activity, activity_keys)
+        activity["keys"] = [[doc_id, int(bins)]
+                            for doc_id, bins in activity_keys]
+        return {"word": pack_counts(self._word),
+                "char": pack_counts(self._char),
+                "freq": freq,
+                "activity": activity}
+
+    def import_state(self, state: Dict[str, Dict[str, object]]) -> None:
+        """Restore profiles packed by :meth:`export_state`.
+
+        Array slices are taken as views, so profiles restored from a
+        memory-mapped snapshot stay memory-mapped.  Existing entries
+        with the same keys are replaced; byte accounting is updated.
+        """
+        def unpack_counts(packed: Dict[str, object],
+                          target: Dict[str, ngrams.CodeCounts]) -> None:
+            indptr = np.asarray(packed["indptr"], dtype=np.int64)
+            codes = np.asarray(packed["codes"], dtype=np.uint64)
+            counts = np.asarray(packed["counts"], dtype=np.int64)
+            for i, doc_id in enumerate(packed["keys"]):
+                lo, hi = int(indptr[i]), int(indptr[i + 1])
+                profile = ngrams.CodeCounts(codes=codes[lo:hi],
+                                            counts=counts[lo:hi])
+                target[str(doc_id)] = profile
+                self._grow(profile.codes.nbytes + profile.counts.nbytes)
+
+        unpack_counts(state["word"], self._word)
+        unpack_counts(state["char"], self._char)
+        freq = state["freq"]
+        indptr = np.asarray(freq["indptr"], dtype=np.int64)
+        data = np.asarray(freq["data"], dtype=np.float64)
+        for i, doc_id in enumerate(freq["keys"]):
+            row = data[int(indptr[i]):int(indptr[i + 1])]
+            self._freq[str(doc_id)] = row
+            self._grow(row.nbytes)
+        activity = state["activity"]
+        indptr = np.asarray(activity["indptr"], dtype=np.int64)
+        data = np.asarray(activity["data"], dtype=np.float64)
+        for i, key in enumerate(activity["keys"]):
+            doc_id, bins = key
+            row = data[int(indptr[i]):int(indptr[i + 1])]
+            self._activity[(str(doc_id), int(bins))] = row
+            self._grow(row.nbytes)
+
     # -- memory control -------------------------------------------------------
 
     def drop(self, doc_ids: Iterable[str]) -> None:

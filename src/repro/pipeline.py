@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError, InsufficientDataError
 from repro.forums.models import Forum
 from repro.obs.logging import get_logger
 from repro.obs.spans import span
+from repro.resilience.degrade import DeadlineBudget
 from repro.resilience.faults import GUARD_POLICY_DELAYS, get_fault_plan
 from repro.resilience.policy import RetryPolicy
 from repro.textproc.cleaning import CleaningConfig, PolishReport, \
@@ -207,13 +208,16 @@ class LinkingPipeline:
     def link_documents(self, known: List[AliasDocument],
                        unknown: List[AliasDocument],
                        checkpoint: Optional[object] = None,
-                       resume: bool = False) -> LinkResult:
+                       resume: bool = False,
+                       budget: Optional[DeadlineBudget] = None,
+                       ) -> LinkResult:
         """Link already-refined document sets.
 
         *checkpoint* persists every finished unknown atomically to that
         path; *resume* additionally skips the unknowns an interrupted
         run already completed (the result equals an uninterrupted
-        run's).
+        run's).  *budget* bounds the linking stage's wall-clock (see
+        :meth:`repro.core.linker.AliasLinker.link`).
         """
         if resume and checkpoint is None:
             raise ConfigurationError(
@@ -230,20 +234,24 @@ class LinkingPipeline:
             linker = self._make_linker()
             self._guard("pipeline.fit", linker.fit, known)
             return self._guard("pipeline.link", linker.link, unknown,
-                               checkpoint=checkpoint, resume=resume)
+                               checkpoint=checkpoint, resume=resume,
+                               budget=budget)
 
     def link_forums(self, known_forum: Forum,
                     unknown_forum: Forum,
                     checkpoint: Optional[object] = None,
-                    resume: bool = False) -> LinkResult:
+                    resume: bool = False,
+                    budget: Optional[DeadlineBudget] = None,
+                    ) -> LinkResult:
         """The one-call API: polish, refine and link two raw forums.
 
         *known_forum* plays the paper's set Z (e.g. Reddit); every
         refined alias of *unknown_forum* (e.g. a dark-web forum) is
         linked against it.  See :meth:`link_documents` for
-        *checkpoint* / *resume*.
+        *checkpoint* / *resume* / *budget*.
         """
         known = self.prepare_forum(known_forum, is_known=True)
         unknown = self.prepare_forum(unknown_forum, is_known=False)
         return self.link_documents(known, unknown,
-                                   checkpoint=checkpoint, resume=resume)
+                                   checkpoint=checkpoint, resume=resume,
+                                   budget=budget)

@@ -34,7 +34,10 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import CheckpointError
+from repro.obs.logging import get_logger
 from repro.obs.metrics import counter
+
+log = get_logger(__name__)
 
 PathLike = Union[str, os.PathLike]
 
@@ -45,6 +48,8 @@ CHECKPOINT_SCHEMA = 1
 _WRITES = counter("checkpoint_writes_total")
 #: Unknowns skipped on resume because a checkpoint already had them.
 _RESUMED = counter("checkpoint_entries_resumed_total")
+#: Torn trailing lines quarantined by salvage loads.
+_SALVAGED = counter("checkpoint_lines_salvaged_total")
 
 
 def _roundtrip(value: Any) -> Any:
@@ -108,14 +113,19 @@ class CheckpointStore:
 
     # -- persistence ----------------------------------------------------------
 
-    def load(self) -> "CheckpointStore":
+    def load(self, salvage: bool = False) -> "CheckpointStore":
         """Read an existing checkpoint file into memory.
 
         Raises :class:`~repro.errors.CheckpointError` on a missing
-        file, a bad header, or a fingerprint mismatch.  A torn trailing
-        line (possible only if the file was produced by something other
-        than this class's atomic writer) is rejected too — checkpoints
-        must be trustworthy or resumption silently drops work.
+        file, a bad header, or a fingerprint mismatch.  By default a
+        torn trailing line (possible only if the file was produced by
+        something other than this class's atomic writer — e.g. a crash
+        mid-append on a copied file) is rejected too; with *salvage*
+        set, a corrupt **final** entry is quarantined to a
+        ``<name>.quarantined`` sidecar and the complete records before
+        it are kept, so ``--resume`` recovers everything that was
+        durably written.  Corruption anywhere *before* the tail still
+        raises — mid-file damage means the file cannot be trusted.
         """
         if not self.path.exists():
             raise CheckpointError(f"{self.path}: no such checkpoint")
@@ -134,23 +144,42 @@ class CheckpointStore:
             raise CheckpointError(
                 f"{self.path}: checkpoint was written by a different "
                 f"run configuration ({stored} != {self.fingerprint})")
+        last_lineno = max(
+            (lineno for lineno, line in enumerate(lines[1:], start=2)
+             if line.strip()), default=None)
         entries: Dict[str, Dict[str, Any]] = {}
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
+            reason = None
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError as exc:
+            except json.JSONDecodeError:
+                reason = "corrupt checkpoint entry"
+                entry = None
+            if reason is None and (not isinstance(entry, dict)
+                                   or "unknown_id" not in entry):
+                reason = "malformed checkpoint entry"
+            if reason is not None:
+                if salvage and lineno == last_lineno:
+                    self._quarantine_line(lineno, line, reason)
+                    break
                 raise CheckpointError(
-                    f"{self.path}:{lineno}: corrupt checkpoint "
-                    f"entry") from exc
-            if not isinstance(entry, dict) or "unknown_id" not in entry:
-                raise CheckpointError(
-                    f"{self.path}:{lineno}: malformed checkpoint entry")
+                    f"{self.path}:{lineno}: {reason}")
             entries[str(entry["unknown_id"])] = entry
         self._entries = entries
         _RESUMED.inc(len(entries))
         return self
+
+    def _quarantine_line(self, lineno: int, line: str,
+                         reason: str) -> None:
+        """Preserve a torn tail line to a sidecar for later audit."""
+        sidecar = self.path.with_name(self.path.name + ".quarantined")
+        with open(sidecar, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+        _SALVAGED.inc()
+        log.warning("checkpoint.salvage", path=str(self.path),
+                    line=lineno, reason=reason, sidecar=str(sidecar))
 
     def _parse_header(self, line: str) -> Dict[str, Any]:
         try:
@@ -222,10 +251,12 @@ def open_store(path: Optional[PathLike],
                resume: bool = False) -> Optional[CheckpointStore]:
     """The linkers' entry point: ``None`` path → no checkpointing;
     otherwise a store, pre-loaded when *resume* is set and the file
-    exists (a missing file on resume just starts fresh)."""
+    exists (a missing file on resume just starts fresh).  Resume loads
+    salvage a torn trailing entry (see :meth:`CheckpointStore.load`)
+    instead of refusing the whole file."""
     if path is None:
         return None
     store = CheckpointStore(path, fingerprint=fingerprint)
     if resume and store.path.exists():
-        store.load()
+        store.load(salvage=True)
     return store

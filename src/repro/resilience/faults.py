@@ -26,6 +26,7 @@ the CI chaos job exercises the retry paths of the whole suite.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import threading
@@ -42,9 +43,13 @@ _INJECTED = counter("faults_injected_total")
 #: Environment knobs read by :func:`plan_from_env`.
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
 FAULT_RATE_ENV = "REPRO_FAULT_RATE"
+FAULT_KINDS_ENV = "REPRO_FAULT_KINDS"
 
 #: Default transient-failure probability when only the seed is set.
 DEFAULT_FAULT_RATE = 0.1
+
+#: Fault-kind names accepted by ``REPRO_FAULT_KINDS``.
+FAULT_KINDS = ("transient", "corrupt", "fs")
 
 
 def _site_fraction(seed: int, site: str, invocation: int) -> float:
@@ -67,6 +72,16 @@ class FaultPlan:
         :class:`~repro.errors.TransientError`.
     corrupt_rate:
         Probability that :meth:`corrupt_line` actually flips a bit.
+    torn_rate:
+        Probability that :meth:`torn_bytes` truncates a payload mid-way
+        (a torn write: the process died between ``write`` and
+        ``rename``).
+    enospc_rate:
+        Probability that :meth:`fs_check` raises ``OSError(ENOSPC)``
+        (the disk filled up under the writer).
+    read_corrupt_rate:
+        Probability that :meth:`corrupt_bytes` flips one bit of a
+        payload read back from disk (silent media corruption).
     skew_hours:
         Whole-hour shift applied by :meth:`skew_timestamp` (models a
         forum whose displayed clock drifted).
@@ -79,6 +94,9 @@ class FaultPlan:
     seed: int = 0
     transient_rate: float = 0.0
     corrupt_rate: float = 0.0
+    torn_rate: float = 0.0
+    enospc_rate: float = 0.0
+    read_corrupt_rate: float = 0.0
     skew_hours: int = 0
     max_faults: Optional[int] = None
     _counts: TallyCounter = field(default_factory=TallyCounter,
@@ -88,7 +106,8 @@ class FaultPlan:
                                   repr=False)
 
     def __post_init__(self) -> None:
-        for name in ("transient_rate", "corrupt_rate"):
+        for name in ("transient_rate", "corrupt_rate", "torn_rate",
+                     "enospc_rate", "read_corrupt_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate < 1.0:
                 raise ConfigurationError(
@@ -173,6 +192,59 @@ class FaultPlan:
         """Apply the plan's whole-hour clock skew to *timestamp*."""
         return timestamp + self.skew_hours * 3600
 
+    # -- filesystem fault kinds ----------------------------------------------
+
+    def fs_check(self, site: str) -> None:
+        """Maybe raise ``OSError(ENOSPC)`` at a filesystem write *site*.
+
+        Models the disk filling up mid-write; callers are expected to
+        clean up their temporary file and surface the ``OSError``.
+        """
+        invocation = self._next_invocation(site + "#enospc")
+        if self.enospc_rate <= 0.0:
+            return
+        if _site_fraction(self.seed, site + "#enospc", invocation) \
+                < self.enospc_rate and self._spend():
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC at {site!r} (invocation {invocation})")
+
+    def torn_bytes(self, payload: bytes, site: str) -> Optional[bytes]:
+        """Maybe return a truncated prefix of *payload* (a torn write).
+
+        Returns ``None`` when no fault fires.  The cut point is
+        schedule-derived and always strictly inside the payload, so a
+        torn write is never a complete one.
+        """
+        invocation = self._next_invocation(site + "#torn")
+        if self.torn_rate <= 0.0 or len(payload) < 2:
+            return None
+        if _site_fraction(self.seed, site + "#torn", invocation) \
+                >= self.torn_rate or not self._spend():
+            return None
+        cut = 1 + int(_site_fraction(self.seed, site + "#cut",
+                                     invocation) * (len(payload) - 1))
+        return payload[:cut]
+
+    def corrupt_bytes(self, payload: bytes, site: str) -> bytes:
+        """Maybe flip one bit of *payload* (read-side corruption).
+
+        The flipped position and bit are schedule-derived, so the same
+        read at the same site corrupts identically in every run.
+        """
+        invocation = self._next_invocation(site + "#bitflip")
+        if self.read_corrupt_rate <= 0.0 or not payload:
+            return payload
+        if _site_fraction(self.seed, site + "#bitflip", invocation) \
+                >= self.read_corrupt_rate or not self._spend():
+            return payload
+        corrupted = bytearray(payload)
+        position = int(_site_fraction(self.seed, site + "#pos",
+                                      invocation) * len(corrupted))
+        corrupted[position] ^= 1 << int(
+            _site_fraction(self.seed, site + "#bit", invocation) * 8)
+        return bytes(corrupted)
+
 
 # ---------------------------------------------------------------------------
 # Process-wide plan (explicit install or environment-driven)
@@ -197,9 +269,13 @@ def install_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
 
 def plan_from_env(environ: Optional[Dict[str, str]] = None,
                   ) -> Optional[FaultPlan]:
-    """Build a plan from ``REPRO_FAULT_SEED`` / ``REPRO_FAULT_RATE``.
+    """Build a plan from the ``REPRO_FAULT_*`` environment knobs.
 
-    Returns ``None`` when the seed variable is unset (injection off).
+    ``REPRO_FAULT_SEED`` activates injection (unset means off),
+    ``REPRO_FAULT_RATE`` sets the per-kind probability, and
+    ``REPRO_FAULT_KINDS`` — a comma list from ``transient``,
+    ``corrupt``, ``fs`` and ``all`` — selects which fault kinds fire
+    at that rate (default: ``transient``, the pre-fs behavior).
     """
     env = os.environ if environ is None else environ
     raw_seed = env.get(FAULT_SEED_ENV)
@@ -217,7 +293,27 @@ def plan_from_env(environ: Optional[Dict[str, str]] = None,
     except ValueError:
         raise ConfigurationError(
             f"{FAULT_RATE_ENV} must be a float, got {raw_rate!r}")
-    return FaultPlan(seed=seed, transient_rate=rate)
+    raw_kinds = env.get(FAULT_KINDS_ENV)
+    if raw_kinds in (None, ""):
+        kinds = {"transient"}
+    else:
+        kinds = {piece.strip().lower()
+                 for piece in raw_kinds.split(",") if piece.strip()}
+        if "all" in kinds:
+            kinds = set(FAULT_KINDS)
+        unknown = kinds - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigurationError(
+                f"{FAULT_KINDS_ENV} names unknown fault kinds "
+                f"{sorted(unknown)}; valid: {', '.join(FAULT_KINDS)}")
+    return FaultPlan(
+        seed=seed,
+        transient_rate=rate if "transient" in kinds else 0.0,
+        corrupt_rate=rate if "corrupt" in kinds else 0.0,
+        torn_rate=rate if "fs" in kinds else 0.0,
+        enospc_rate=rate if "fs" in kinds else 0.0,
+        read_corrupt_rate=rate if "fs" in kinds else 0.0,
+    )
 
 
 #: Policy used by :func:`guarded_call`: enough attempts to make the

@@ -80,8 +80,10 @@ class RetryPolicy:
         Per-backoff ceiling, in seconds.
     deadline:
         Total budget in seconds measured on ``clock`` from the first
-        attempt; when the budget is exhausted no further attempt is
-        made even if retries remain.  ``None`` means unbounded.
+        attempt; backoffs are clamped to the remaining budget (the
+        final sleep may land exactly on the deadline, never past it)
+        and once the budget is spent no further attempt is made even
+        if retries remain.  ``None`` means unbounded.
     jitter:
         Fraction of each delay perturbed deterministically: a delay
         ``d`` becomes ``d * (1 - jitter + 2 * jitter * u)`` with ``u``
@@ -178,9 +180,14 @@ class RetryPolicy:
                 if attempt >= self.max_retries:
                     break
                 pause = self.delay(attempt)
-                if self.deadline is not None and \
-                        clock() - start + pause > self.deadline:
-                    break
+                if self.deadline is not None:
+                    # Clamp the backoff to the remaining budget: the
+                    # final sleep may land exactly on the deadline but
+                    # never overshoots it.
+                    remaining = self.deadline - (clock() - start)
+                    if remaining <= 0:
+                        break
+                    pause = min(pause, remaining)
                 if on_retry is not None:
                     on_retry(attempt, exc)
                 _RETRIES.inc()

@@ -22,13 +22,16 @@ from repro.obs.spans import (
     reset_trace,
     span,
 )
-from repro.perf.parallel import ParallelExecutor
+from repro.perf.parallel import GATE_ENV, ParallelExecutor
 
 _HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
 
 
 @pytest.fixture(autouse=True)
-def clean_tracer():
+def clean_tracer(monkeypatch):
+    # Worker-lane tests assert actual forking: keep the available-core
+    # gate out of the way on single-core CI boxes.
+    monkeypatch.setenv(GATE_ENV, "0")
     reset_trace()
     yield
     disable_tracing()

@@ -15,8 +15,17 @@ from repro.obs.spans import (
     reset_trace,
     span,
 )
-from repro.perf.parallel import WORKERS_ENV, ParallelExecutor, \
-    resolve_workers
+from repro.perf import parallel
+from repro.perf.parallel import GATE_ENV, WORKERS_ENV, \
+    ParallelExecutor, available_cores, resolve_workers
+
+
+@pytest.fixture(autouse=True)
+def _gate_off(monkeypatch):
+    """Disable the available-core gate: these tests assert actual
+    forking behavior and must not silently go serial on a 1-core CI
+    box."""
+    monkeypatch.setenv(GATE_ENV, "0")
 
 
 class TestResolveWorkers:
@@ -193,3 +202,44 @@ class TestWorkerSpans:
 
         ParallelExecutor(workers=2).map(task, range(4))
         assert get_trace()["spans"] == []
+
+
+class TestCoreGating:
+    def test_available_cores_positive(self):
+        assert available_cores() >= 1
+
+    def test_oversubscribed_map_gates_serial(self, monkeypatch):
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        monkeypatch.setattr(parallel, "available_cores", lambda: 1)
+        pools_before = get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0.0)
+        gated_before = get_registry().snapshot().get(
+            "parallel_gated_serial_total", {}).get("value", 0.0)
+        result = ParallelExecutor(workers=4).map(lambda x: x * x,
+                                                 range(8))
+        metrics = get_registry().snapshot()
+        # Same results, no pool forked, and the fallback is counted.
+        assert result == [x * x for x in range(8)]
+        assert metrics["parallel_pools_total"]["value"] == pools_before
+        assert metrics["parallel_gated_serial_total"]["value"] \
+            == gated_before + 1
+
+    def test_workers_within_cores_not_gated(self, monkeypatch):
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        monkeypatch.setattr(parallel, "available_cores", lambda: 8)
+        pools_before = get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0.0)
+        result = ParallelExecutor(workers=2).map(lambda x: x + 1,
+                                                 range(6))
+        assert result == [x + 1 for x in range(6)]
+        assert get_registry().snapshot()["parallel_pools_total"][
+            "value"] == pools_before + 1
+
+    def test_gate_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "0")
+        monkeypatch.setattr(parallel, "available_cores", lambda: 1)
+        pools_before = get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0.0)
+        ParallelExecutor(workers=2).map(lambda x: x, range(4))
+        assert get_registry().snapshot()["parallel_pools_total"][
+            "value"] == pools_before + 1

@@ -176,6 +176,54 @@ class TestResumeEqualsUninterrupted:
             unknowns, checkpoint=tmp_path / "c.ckpt")
         assert ckpt == plain
 
+    def test_resume_salvages_torn_tail(self, tmp_path,
+                                       reddit_alter_egos):
+        """A checkpoint with a truncated final line must resume: the
+        complete records are kept, the torn one is quarantined to a
+        sidecar, and the result is bit-identical to an uninterrupted
+        run."""
+        unknowns = reddit_alter_egos.alter_egos[:8]
+        known = reddit_alter_egos.originals
+
+        def fresh():
+            return AliasLinker(threshold=0.0).fit(known)
+
+        uninterrupted = fresh().link(unknowns)
+
+        path = tmp_path / "torn.ckpt"
+        fresh().link(unknowns[:5], checkpoint=path)
+        # Simulate a crash mid-append: cut the final record in half.
+        lines = path.read_text().splitlines()
+        torn = lines[-1][:len(lines[-1]) // 2]
+        path.write_text("\n".join(lines[:-1] + [torn]) + "\n")
+
+        # The strict loader still refuses the file ...
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load()
+        # ... but a salvage load keeps the 4 complete records and
+        # quarantines the torn one.
+        salvaged = CheckpointStore(path).load(salvage=True)
+        assert len(salvaged) == 4
+        sidecar = tmp_path / "torn.ckpt.quarantined"
+        assert sidecar.read_text().strip() == torn
+
+        resumed = fresh().link(unknowns, checkpoint=path, resume=True)
+        assert resumed == uninterrupted
+        assert json.dumps(resumed.to_dict(), sort_keys=True) == \
+            json.dumps(uninterrupted.to_dict(), sort_keys=True)
+
+    def test_salvage_rejects_mid_file_corruption(self, tmp_path):
+        """Damage before the tail is untrustworthy even for salvage."""
+        path = tmp_path / "mid.ckpt"
+        store = CheckpointStore(path)
+        store.record("u1", [_match(uid="u1")], [])
+        store.record("u2", [_match(uid="u2")], [])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt u1, keep u2
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            CheckpointStore(path).load(salvage=True)
+
     def test_completed_resume_recomputes_nothing(self, tmp_path,
                                                  reddit_alter_egos,
                                                  monkeypatch):

@@ -1,0 +1,362 @@
+"""Deadline budgets, circuit breakers, degraded-mode linking."""
+
+import json
+
+import pytest
+
+from repro.core.batch import BatchedLinker
+from repro.core.linker import AliasLinker, Match
+from repro.errors import ConfigurationError, DeadlineExceededError
+from repro.obs.metrics import get_registry
+from repro.resilience.degrade import CircuitBreaker, DeadlineBudget
+
+
+class ManualClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _metric(name):
+    return get_registry().snapshot().get(name, {}).get("value", 0.0)
+
+
+class TestDeadlineBudget:
+    def test_accounting(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(100, clock=clock)
+        assert budget.remaining_ms() == 100.0
+        clock.advance(0.04)
+        assert budget.elapsed_ms() == pytest.approx(40.0)
+        assert budget.remaining_ms() == pytest.approx(60.0)
+        assert not budget.expired()
+        clock.advance(0.07)
+        assert budget.expired()
+        assert budget.remaining_ms() < 0
+
+    def test_expiry_counted_once(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        before = _metric("deadline_expired_total")
+        clock.advance(1.0)
+        assert budget.expired() and budget.expired()
+        assert _metric("deadline_expired_total") == before + 1
+
+    def test_strict_check_raises_with_stage(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(10, degraded_ok=False, clock=clock)
+        budget.check("restage")  # not expired: no-op
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError) as exc:
+            budget.check("restage")
+        assert exc.value.stage == "restage"
+
+    def test_degraded_ok_check_never_raises(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        clock.advance(1.0)
+        budget.check("restage")
+
+    def test_activity_reserve(self):
+        clock = ManualClock()
+        budget = DeadlineBudget(100, activity_reserve_ms=30,
+                                clock=clock)
+        assert not budget.activity_low()
+        clock.advance(0.075)
+        assert budget.activity_low()
+        assert not budget.expired()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_ms": 0}, {"deadline_ms": -5},
+        {"deadline_ms": 10, "activity_reserve_ms": -1},
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeadlineBudget(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 1
+
+    def test_short_circuits_counted(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        before = _metric("circuit_breaker_short_circuits_total")
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert _metric("circuit_breaker_short_circuits_total") \
+            == before + 2
+
+    def test_half_open_recovery(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 recovery_time=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(6.0)
+        assert breaker.allow()  # the half-open trial call
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(failure_threshold=3,
+                                 recovery_time=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one half-open failure re-trips
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_reset(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed" and breaker.allow()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0}, {"recovery_time": 0},
+        {"recovery_time": -1},
+    ])
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(**kwargs)
+
+
+class TestMatchSerialization:
+    def test_full_fidelity_match_has_no_degraded_keys(self):
+        match = Match(unknown_id="u", candidate_id="c", score=0.5,
+                      accepted=True, first_stage_score=0.4)
+        data = match.to_dict()
+        assert "degraded" not in data
+        assert "degraded_reasons" not in data
+        assert Match.from_dict(data) == match
+
+    def test_degraded_match_roundtrips(self):
+        match = Match(unknown_id="u", candidate_id="c", score=0.5,
+                      accepted=True, first_stage_score=0.5,
+                      degraded=True,
+                      degraded_reasons=("stage1_only",))
+        data = json.loads(json.dumps(match.to_dict()))
+        assert data["degraded"] is True
+        assert data["degraded_reasons"] == ["stage1_only"]
+        assert Match.from_dict(data) == match
+
+
+@pytest.fixture(scope="module")
+def corpus(reddit_alter_egos):
+    return (reddit_alter_egos.originals,
+            reddit_alter_egos.alter_egos[:6])
+
+
+def _result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestDegradedLinking:
+    def test_no_budget_is_byte_identical(self, corpus):
+        known, unknowns = corpus
+        plain = AliasLinker(threshold=0.0).fit(known).link(unknowns)
+        with_kwarg = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, budget=None)
+        assert _result_json(plain) == _result_json(with_kwarg)
+
+    def test_generous_budget_is_byte_identical(self, corpus):
+        known, unknowns = corpus
+        plain = AliasLinker(threshold=0.0).fit(known).link(unknowns)
+        rich = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, budget=DeadlineBudget(600_000))
+        assert _result_json(plain) == _result_json(rich)
+        assert rich.degraded() == []
+
+    def test_expired_before_linking_quarantines(self, corpus):
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        clock.advance(1.0)
+        result = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, budget=budget)
+        assert result.matches == []
+        assert len(result.skipped) == len(unknowns)
+        assert all(s.stage == "deadline" for s in result.skipped)
+
+    def test_stage1_only_degradation(self, corpus):
+        """Budget spent between the stages: every unknown still gets a
+        match, scored from stage-1 evidence and flagged degraded."""
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        linker = AliasLinker(threshold=0.0).fit(known)
+        inner = linker._reduce_isolated
+
+        def expire_after_stage1(pending, skipped, store):
+            out = inner(pending, skipped, store)
+            clock.advance(1.0)
+            return out
+
+        linker._reduce_isolated = expire_after_stage1
+        result = linker.link(unknowns, budget=budget)
+        assert len(result.matches) == len(unknowns)
+        assert all(m.degraded for m in result.matches)
+        assert all(m.degraded_reasons == ("stage1_only",)
+                   for m in result.matches)
+        # Degraded scores ARE the stage-1 scores — honest accounting.
+        for match in result.matches:
+            assert match.score == match.first_stage_score
+
+    def test_degraded_counter_incremented(self, corpus):
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        linker = AliasLinker(threshold=0.0).fit(known)
+        inner = linker._reduce_isolated
+
+        def expire_after_stage1(pending, skipped, store):
+            out = inner(pending, skipped, store)
+            clock.advance(1.0)
+            return out
+
+        linker._reduce_isolated = expire_after_stage1
+        before = _metric("attribution_degraded_total")
+        linker.link(unknowns, budget=budget)
+        assert _metric("attribution_degraded_total") \
+            == before + len(unknowns)
+
+    def test_stylometry_only_shedding(self, corpus):
+        """An exhausted activity reserve sheds the activity block but
+        still runs the restage."""
+        known, unknowns = corpus
+        budget = DeadlineBudget(600_000,
+                                activity_reserve_ms=600_000)
+        result = AliasLinker(threshold=0.0).fit(known).link(
+            unknowns, budget=budget)
+        assert len(result.matches) == len(unknowns)
+        assert all(m.degraded_reasons == ("stylometry_only",)
+                   for m in result.matches)
+        # The restage really ran: stylometry-only second-stage scores
+        # differ from the stage-1 scores.
+        assert any(m.score != m.first_stage_score
+                   for m in result.matches)
+
+    def test_strict_budget_raises(self, corpus):
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, degraded_ok=False, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            AliasLinker(threshold=0.0).fit(known).link(
+                unknowns, budget=budget)
+
+    def test_breaker_routes_around_failing_stage2(self, corpus):
+        known, unknowns = corpus
+        breaker = CircuitBreaker(failure_threshold=2)
+        linker = AliasLinker(threshold=0.0,
+                             breaker=breaker).fit(known)
+        calls = {"n": 0}
+
+        def failing_rescore(unknown, candidates, use_activity=None):
+            calls["n"] += 1
+            raise RuntimeError("stage 2 is down")
+
+        linker._rescore = failing_rescore
+        result = linker.link(unknowns)
+        # The stage was only paid for until the breaker tripped.
+        assert calls["n"] == 2
+        assert breaker.state == "open"
+        assert len(result.skipped) == 2
+        degraded = result.degraded()
+        assert len(degraded) == len(unknowns) - 2
+        assert all(m.degraded_reasons == ("stage2_circuit_open",)
+                   for m in degraded)
+
+    def test_breaker_closed_changes_nothing(self, corpus):
+        known, unknowns = corpus
+        plain = AliasLinker(threshold=0.0).fit(known).link(unknowns)
+        guarded = AliasLinker(
+            threshold=0.0,
+            breaker=CircuitBreaker(failure_threshold=5),
+        ).fit(known).link(unknowns)
+        assert _result_json(plain) == _result_json(guarded)
+
+
+class TestBatchedDegradedLinking:
+    def test_no_budget_is_byte_identical(self, corpus):
+        known, unknowns = corpus
+        plain = BatchedLinker(batch_size=20, k=5,
+                              threshold=0.0).fit(known).link(unknowns)
+        with_kwarg = BatchedLinker(batch_size=20, k=5,
+                                   threshold=0.0).fit(known).link(
+            unknowns, budget=None)
+        assert _result_json(plain) == _result_json(with_kwarg)
+
+    def test_expired_before_linking_quarantines(self, corpus):
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        clock.advance(1.0)
+        result = BatchedLinker(batch_size=20, k=5,
+                               threshold=0.0).fit(known).link(
+            unknowns, budget=budget)
+        assert result.matches == []
+        assert all(s.stage == "deadline" for s in result.skipped)
+        assert len(result.skipped) == len(unknowns)
+
+    def test_mid_flight_expiry_mixes_degraded_and_deadline(
+            self, corpus, monkeypatch):
+        """The deadline lands while pair 0's inner stage 1 runs: pair 0
+        degrades to its stage-1 scores, later pairs quarantine."""
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, clock=clock)
+        inner = AliasLinker._reduce_isolated
+
+        def expire_after_stage1(self, pending, skipped, store):
+            out = inner(self, pending, skipped, store)
+            clock.advance(1.0)
+            return out
+
+        monkeypatch.setattr(AliasLinker, "_reduce_isolated",
+                            expire_after_stage1)
+        result = BatchedLinker(batch_size=20, k=5,
+                               threshold=0.0).fit(known).link(
+            unknowns, budget=budget)
+        assert len(result.matches) + len(result.skipped) \
+            == len(unknowns)
+        degraded = result.degraded()
+        assert degraded
+        assert all(m.degraded_reasons == ("stage1_only",)
+                   for m in degraded)
+        assert all(s.stage == "deadline" for s in result.skipped)
+
+    def test_strict_budget_raises(self, corpus):
+        known, unknowns = corpus
+        clock = ManualClock()
+        budget = DeadlineBudget(10, degraded_ok=False, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            BatchedLinker(batch_size=20, k=5,
+                          threshold=0.0).fit(known).link(
+                unknowns, budget=budget)

@@ -137,8 +137,31 @@ class TestCall:
                              multiplier=1.0, deadline=25.0)
         with pytest.raises(RetryExhaustedError) as excinfo:
             policy.call(flaky, sleep=fake.sleep, clock=fake.clock)
-        # 10 + 10 sleeps fit in 25 s, a third would not.
-        assert excinfo.value.attempts == 3
+        # 10 + 10 sleeps fit in 25 s; the third is clamped to the
+        # remaining 5 s, after which the budget is spent.
+        assert fake.slept == [10.0, 10.0, 5.0]
+        assert excinfo.value.attempts == 4
+
+    def test_backoff_never_overshoots_deadline(self):
+        fake = FakeTime()
+        policy = RetryPolicy(max_retries=50, base_delay=7.0,
+                             multiplier=1.5, deadline=30.0)
+        with pytest.raises(RetryExhaustedError):
+            policy.call(Flaky(100), sleep=fake.sleep, clock=fake.clock)
+        # No individual sleep may carry the clock past the deadline.
+        assert fake.now <= 30.0
+        assert sum(fake.slept) <= 30.0
+
+    def test_deadline_clamp_still_allows_success(self):
+        fake = FakeTime()
+        flaky = Flaky(3)
+        policy = RetryPolicy(max_retries=10, base_delay=10.0,
+                             multiplier=1.0, deadline=25.0)
+        # The clamped third backoff leaves room for the attempt that
+        # finally succeeds.
+        assert policy.call(flaky, sleep=fake.sleep,
+                           clock=fake.clock) == "ok"
+        assert fake.slept == [10.0, 10.0, 5.0]
 
     def test_on_retry_callback(self):
         fake = FakeTime()

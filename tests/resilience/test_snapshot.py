@@ -1,0 +1,194 @@
+"""Crash-safe index snapshots (repro.resilience.snapshot).
+
+The acceptance criterion of the snapshot layer:
+``link(load(save(fit(world))))`` is bit-identical to
+``link(fit(world))`` for both linker flavors, and any torn write, bit
+flip or truncation is either healed (verified load) or reported as a
+typed :class:`~repro.errors.SnapshotError` naming the damaged section.
+"""
+
+import json
+
+import pytest
+
+from repro.core.batch import BatchedLinker
+from repro.core.linker import AliasLinker
+from repro.errors import NotFittedError, SnapshotError
+from repro.resilience.faults import FaultPlan, install_fault_plan
+from repro.resilience.snapshot import (
+    SNAPSHOT_MAGIC,
+    load_index,
+    salvage_index,
+    save_index,
+    snapshot_info,
+    verify_index,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(reddit_alter_egos):
+    return (reddit_alter_egos.originals,
+            reddit_alter_egos.alter_egos[:6])
+
+
+def _result_json(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestRoundTrip:
+    def test_alias_linker_bit_identical(self, corpus, tmp_path):
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        direct = linker.link(unknowns)
+        path = tmp_path / "alias.snap"
+        info = save_index(linker, path)
+        assert info["bytes"] == path.stat().st_size
+        loaded = load_index(path)
+        assert _result_json(loaded.link(unknowns)) == \
+            _result_json(direct)
+
+    def test_batched_linker_bit_identical(self, corpus, tmp_path):
+        known, unknowns = corpus
+        linker = BatchedLinker(batch_size=20, k=5,
+                               threshold=0.0).fit(known)
+        direct = linker.link(unknowns)
+        path = tmp_path / "batched.snap"
+        save_index(linker, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, BatchedLinker)
+        assert loaded.batch_size == 20
+        assert _result_json(loaded.link(unknowns)) == \
+            _result_json(direct)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 2},
+        {"block_size": 8},
+        {"cache": False},
+        {"workers": 3, "block_size": 16, "cache": True},
+    ])
+    def test_load_variations_bit_identical(self, corpus, tmp_path,
+                                           kwargs):
+        """Perf knobs at load time never change the numbers."""
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        direct = linker.link(unknowns)
+        path = tmp_path / "alias.snap"
+        save_index(linker, path)
+        loaded = load_index(path, **kwargs)
+        assert _result_json(loaded.link(unknowns)) == \
+            _result_json(direct)
+
+    def test_mmap_and_copy_loads_agree(self, corpus, tmp_path):
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        path = tmp_path / "alias.snap"
+        save_index(linker, path)
+        a = load_index(path, mmap=True).link(unknowns)
+        b = load_index(path, mmap=False).link(unknowns)
+        assert _result_json(a) == _result_json(b)
+
+    def test_no_stray_temp_files(self, corpus, tmp_path):
+        known, _ = corpus
+        save_index(AliasLinker(threshold=0.0).fit(known),
+                   tmp_path / "clean.snap")
+        assert [p.name for p in tmp_path.iterdir()] == ["clean.snap"]
+
+    def test_unfitted_linker_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_index(AliasLinker(), tmp_path / "nope.snap")
+
+
+class TestVerify:
+    @pytest.fixture(scope="class")
+    def snap(self, corpus, tmp_path_factory):
+        known, _ = corpus
+        path = tmp_path_factory.mktemp("verify") / "idx.snap"
+        save_index(AliasLinker(threshold=0.0).fit(known), path)
+        return path
+
+    def test_pristine_file_verifies(self, snap):
+        report = verify_index(snap)
+        assert report.ok
+        assert report.damaged() == []
+        assert all(s.ok for s in report.sections)
+
+    def test_info_reads_header_only(self, snap):
+        header = snapshot_info(snap)
+        assert header["format_version"] == 1
+        assert header["algo"] == "alias-linker"
+        assert len(header["config_digest"]) == 64
+        assert header["file_bytes"] >= header["expected_bytes"]
+
+    def test_bit_flip_names_the_section(self, snap, tmp_path):
+        blob = bytearray(snap.read_bytes())
+        header = snapshot_info(snap)
+        # Flip one bit in the middle of the last section's payload.
+        target = header["sections"][-1]
+        start = header["expected_bytes"] - target["nbytes"]
+        blob[start + target["nbytes"] // 2] ^= 0x10
+        bad = tmp_path / "flipped.snap"
+        bad.write_bytes(bytes(blob))
+        report = verify_index(bad)
+        assert report.damaged() == [target["name"]]
+        with pytest.raises(SnapshotError) as exc:
+            load_index(bad)
+        assert exc.value.section == target["name"]
+
+    def test_truncated_tail_reported_and_salvageable(self, snap,
+                                                     tmp_path):
+        blob = snap.read_bytes()
+        cut = tmp_path / "torn.snap"
+        cut.write_bytes(blob[:int(len(blob) * 0.9)])
+        report = verify_index(cut)
+        assert not report.ok
+        damaged = set(report.damaged())
+        assert damaged
+        sections, sreport = salvage_index(cut)
+        assert set(sections) == {
+            s.name for s in sreport.sections if s.ok}
+        assert damaged.isdisjoint(sections)
+        # The intact prefix is fully recovered.
+        assert "documents" in sections and "vocab" in sections
+
+    def test_garbage_file_raises_typed_error(self, tmp_path):
+        junk = tmp_path / "junk.snap"
+        junk.write_bytes(b"definitely not " + SNAPSHOT_MAGIC)
+        with pytest.raises(SnapshotError):
+            verify_index(junk)
+        with pytest.raises(SnapshotError):
+            snapshot_info(junk)
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_index(tmp_path / "absent.snap")
+
+
+class TestUnderFsFaults:
+    @pytest.fixture
+    def fs_chaos(self):
+        plan = FaultPlan(seed=1, torn_rate=0.3, enospc_rate=0.3,
+                         read_corrupt_rate=0.3)
+        previous = install_fault_plan(plan)
+        yield plan
+        install_fault_plan(previous)
+
+    def test_save_load_cycle_survives_injection(self, corpus,
+                                                tmp_path, fs_chaos):
+        """Torn writes, ENOSPC and read bit flips at 30% are absorbed
+        by retries; the loaded linker still links bit-identically."""
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        install_fault_plan(None)
+        direct = linker.link(unknowns)
+        install_fault_plan(fs_chaos)
+        for round_no in range(3):
+            path = tmp_path / f"chaos{round_no}.snap"
+            save_index(linker, path)
+            assert verify_index(path).ok
+            loaded = load_index(path)
+            install_fault_plan(None)
+            replay = loaded.link(unknowns)
+            install_fault_plan(fs_chaos)
+            assert _result_json(replay) == _result_json(direct)
+        assert fs_chaos.injected > 0, \
+            "the chaos run never actually saw a fault"
