@@ -16,6 +16,12 @@ in the row (``snapshot_save_s`` / ``snapshot_load_s`` /
 ``snapshot_bytes``), and the cold linker's output must be bit-identical
 to the warm one's.
 
+A second smoke scenario times the episode-style evaluation harness
+(``repro.eval.episodes``): sampling a deterministic suite from a
+synthetic pool and scoring it with the full two-stage linker and the
+stage-1-only variant.  Its row lands in the same trajectory under the
+``workers="episodes"`` key.
+
 Corpus sizes come from ``REPRO_BENCH_SIZES`` (comma-separated
 ``<known>x<unknown>`` pairs, e.g. ``"2000x200"``, or the literal
 ``sweep`` for the 2k/10k/50k known-side trajectory); the parallel
@@ -175,6 +181,55 @@ def _measure(n_known, n_unknown, workers):
     return row
 
 
+def _measure_episodes(n_known=40, n_episodes=8, n_way=6):
+    """Time the episode harness on a synthetic pool (no world cost).
+
+    ``_make_docs`` assigns vocabulary slices by index regardless of
+    prefix, so ``u{i}`` writes in the same sub-vocabulary as ``k{i}``
+    — a linkable ground truth for closed episodes.
+    """
+    from repro.eval.episodes import (
+        EpisodeConfig,
+        EpisodePool,
+        manifest_digest,
+        run_episodes,
+        sample_from_pools,
+    )
+
+    known = _make_docs(n_known, seed=11, prefix="k")
+    unknown = _make_docs(n_known // 2, seed=12, prefix="u")
+    truth = {f"u{i}": f"k{i}" for i in range(len(unknown))}
+    pool = EpisodePool(drift="dark-dark", bucket=200,
+                       known=tuple(known), unknown=tuple(unknown),
+                       truth=truth)
+    config = EpisodeConfig(seed=5, n_way=n_way,
+                           episodes_per_cell=n_episodes,
+                           buckets=(200,))
+    row = {"n_known": n_known, "n_unknown": n_episodes,
+           "workers": "episodes"}
+    with timed("bench.episode_sample") as span:
+        episodes = sample_from_pools([pool], config)
+    row["episode_sample_s"] = seconds(span)
+    row["episode_manifest"] = manifest_digest(episodes, config)[:12]
+    with timed("bench.episode_run_full") as span:
+        full = run_episodes(episodes, variant="full")
+    row["episode_full_s"] = seconds(span)
+    with timed("bench.episode_run_stage1") as span:
+        stage1 = run_episodes(episodes, variant="stage1")
+    row["episode_stage1_s"] = seconds(span)
+    row["episodes_per_s"] = (len(episodes)
+                             / max(row["episode_full_s"], 1e-9))
+    cell = full.cells["dark-dark/w200"]
+    row["episode_auc"] = cell["auc"]
+    row["episode_accuracy_at_1"] = cell["accuracy_at_1"]
+    row["episode_degraded"] = full.n_degraded
+    row["episode_skipped"] = full.n_skipped
+    assert len(episodes) == n_episodes
+    assert full.n_degraded == 0 and full.n_skipped == 0
+    assert stage1.cells["dark-dark/w200"]["n_full"] == n_episodes
+    return row
+
+
 def _cores():
     try:
         return len(os.sched_getaffinity(0))
@@ -214,6 +269,23 @@ def test_linking_throughput():
         lines += ["", f"note: only {cores} core(s) available — the "
                   "parallel column measures pool overhead, not "
                   "scaling; re-run on a multi-core host."]
+
+    episode_row = _measure_episodes()
+    lines += ["", "Episode harness smoke "
+              f"(n_way=6, {episode_row['n_unknown']} episodes, "
+              f"manifest {episode_row['episode_manifest']}...)", ""]
+    lines += table(
+        ("sample s", "full s", "stage1 s", "ep/s", "auc", "a@1",
+         "degraded", "skipped"),
+        [(f"{episode_row['episode_sample_s']:.2f}",
+          f"{episode_row['episode_full_s']:.2f}",
+          f"{episode_row['episode_stage1_s']:.2f}",
+          f"{episode_row['episodes_per_s']:.1f}",
+          f"{episode_row['episode_auc']:.3f}",
+          f"{episode_row['episode_accuracy_at_1']:.3f}",
+          episode_row["episode_degraded"],
+          episode_row["episode_skipped"])])
+    rows.append(episode_row)
     emit("linking_throughput", lines)
 
     manifest = build_manifest(
@@ -229,6 +301,8 @@ def test_linking_throughput():
                "manifest": manifest})
 
     for row in rows:
+        if row["workers"] == "episodes":
+            continue
         # Any worker count must produce bit-identical links.
         assert row["outputs_identical"]
         # A linker reloaded from its snapshot must link identically.

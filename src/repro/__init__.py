@@ -39,10 +39,12 @@ Quick start::
 """
 
 from repro.config import (
+    FEATURE_FAMILIES,
     FINAL_FEATURES,
     PAPER_THRESHOLD,
     SPACE_REDUCTION_FEATURES,
     FeatureBudget,
+    FeatureConfig,
     PipelineConfig,
 )
 from repro.core import (
@@ -91,10 +93,12 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "FEATURE_FAMILIES",
     "FINAL_FEATURES",
     "PAPER_THRESHOLD",
     "SPACE_REDUCTION_FEATURES",
     "FeatureBudget",
+    "FeatureConfig",
     "PipelineConfig",
     "AliasDocument",
     "AliasLinker",

@@ -18,6 +18,11 @@ Six subcommands cover the end-to-end workflow of the paper:
 * ``index`` — ``build``/``verify``/``info`` for crash-safe persistent
   index snapshots: fit once, link many times from a
   checksum-verified on-disk image;
+* ``eval episodes`` — run the deterministic episode-style evaluation
+  harness (``docs/evaluation.md``): seeded N-way verification
+  episodes scored per ``(drift, word-bucket)`` cell, with
+  ``--write-golden``/``--check`` gating runs against the committed
+  golden suite;
 * ``profile`` — extract the §V-D personal profile of one alias;
 * ``stats`` — pretty-print a ``--trace`` JSON file (per-stage totals,
   slowest spans, metric table with p50/p95/p99); ``--compare OTHER``
@@ -284,6 +289,105 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.config import FeatureConfig
+    from repro.eval.episodes import (
+        EpisodeConfig,
+        GOLDEN_PATH,
+        check_golden,
+        golden_suite,
+        golden_world_config,
+        manifest_bytes,
+        manifest_digest,
+        run_episodes,
+        sample_episodes,
+        write_golden,
+    )
+
+    features = FeatureConfig.from_spec(args.features)
+    golden_mode = (args.golden or args.check is not None
+                   or args.write_golden is not None)
+    if golden_mode:
+        episodes, config = golden_suite(features=features)
+    else:
+        from repro.synth.world import build_world
+
+        config = EpisodeConfig(
+            seed=args.seed,
+            n_way=args.n_way,
+            episodes_per_cell=args.episodes_per_cell,
+            buckets=tuple(int(b) for b in args.buckets.split(",")),
+            open_fraction=args.open_fraction,
+            features=features,
+        )
+        # Same world recipe as the golden suite, reseeded: the suite
+        # is then a pure function of --seed (identical manifests and
+        # scores on every rerun).
+        world = build_world(replace(golden_world_config(),
+                                    seed=args.seed))
+        episodes = sample_episodes(world, config)
+    digest = manifest_digest(episodes, config)
+    args.manifest_config = dict(config.to_dict(),
+                                variant=args.variant,
+                                episode_manifest_sha256=digest)
+    budget_factory = None
+    if args.deadline_ms is not None:
+        from repro.resilience.degrade import DeadlineBudget
+
+        def budget_factory():
+            return DeadlineBudget(args.deadline_ms, degraded_ok=True)
+    report = run_episodes(episodes, features=features,
+                          variant=args.variant,
+                          budget_factory=budget_factory)
+    if args.manifest_out is not None:
+        Path(args.manifest_out).write_bytes(
+            manifest_bytes(episodes, config))
+        print(f"episode manifest written to {args.manifest_out}",
+              file=sys.stderr)
+    if args.out is not None:
+        document = dict(report.to_dict(), config=config.to_dict(),
+                        manifest_sha256=digest)
+        Path(args.out).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"episode report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(dict(report.to_dict(),
+                              manifest_sha256=digest),
+                         indent=2, sort_keys=True))
+    else:
+        print(f"episodes: {len(episodes)} "
+              f"(variant {report.variant}, features {report.features}, "
+              f"manifest sha256 {digest[:12]}...)")
+        for cell, metrics in report.cells.items():
+            print(f"  {cell:18s} auc {metrics['auc']:.3f}  "
+                  f"a@1 {metrics['accuracy_at_1']:.3f}  "
+                  f"a@3 {metrics['accuracy_at_3']:.3f}  "
+                  f"brier {metrics['brier']:.3f}  "
+                  f"({metrics['n_episodes']:.0f} episodes, "
+                  f"{metrics['n_degraded']:.0f} degraded, "
+                  f"{metrics['n_skipped']:.0f} skipped)")
+    if args.write_golden is not None:
+        path = args.write_golden or GOLDEN_PATH
+        write_golden(path, report, episodes, config)
+        print(f"golden suite written to {path}", file=sys.stderr)
+    if args.check is not None:
+        path = args.check or GOLDEN_PATH
+        breaches = check_golden(path, report, episodes, config,
+                                tolerance=args.tolerance)
+        if breaches:
+            print(f"golden check FAILED against {path}:",
+                  file=sys.stderr)
+            for breach in breaches:
+                print(f"  {breach}", file=sys.stderr)
+            return 1
+        print(f"golden check passed against {path} "
+              f"(tolerance {args.tolerance:g})")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace_file)
     if args.compare is not None:
@@ -474,6 +578,64 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a snapshot's manifest header")
     iinfo.add_argument("snapshot", help="snapshot file to inspect")
     iinfo.set_defaults(func=_cmd_index)
+
+    ev = sub.add_parser(
+        "eval",
+        help="episode-style evaluation harness (docs/evaluation.md)")
+    esub = ev.add_subparsers(dest="eval_command", required=True)
+    eep = esub.add_parser(
+        "episodes",
+        help="sample and score a deterministic episode suite")
+    eep.add_argument("--seed", type=int, default=7,
+                     help="suite seed; the same seed always produces "
+                          "byte-identical manifests and scores")
+    eep.add_argument("--n-way", type=int, default=8,
+                     help="candidate-panel size per episode")
+    eep.add_argument("--episodes-per-cell", type=int, default=12,
+                     help="episodes per (drift, bucket) cell")
+    eep.add_argument("--buckets", default="300,800", metavar="W1,W2",
+                     help="comma-separated per-alias word budgets "
+                          "(the text-size axis)")
+    eep.add_argument("--open-fraction", type=float, default=0.25,
+                     help="fraction of episodes whose true author is "
+                          "held out of the panel")
+    eep.add_argument("--features", default="stylometry,activity",
+                     metavar="FAMILIES",
+                     help="comma list of feature families "
+                          "(stylometry,activity,structure)")
+    eep.add_argument("--variant", default="full",
+                     choices=("full", "stage1"),
+                     help="linker variant: the paper's two-stage "
+                          "pipeline, or the reduction stage alone "
+                          "(deliberately degraded)")
+    eep.add_argument("--deadline-ms", type=float, default=None,
+                     metavar="MS",
+                     help="per-episode wall-clock budget; overruns "
+                          "are answered degraded and reported "
+                          "honestly per cell")
+    eep.add_argument("--out", metavar="REPORT.json", default=None,
+                     help="write the full episode report as JSON")
+    eep.add_argument("--manifest-out", metavar="FILE.json",
+                     default=None,
+                     help="write the canonical episode manifest "
+                          "(byte-identical across same-seed runs)")
+    eep.add_argument("--json", action="store_true",
+                     help="print the full report as JSON instead of "
+                          "the per-cell table")
+    eep.add_argument("--golden", action="store_true",
+                     help="run the committed golden suite instead of "
+                          "sampling from --seed")
+    eep.add_argument("--write-golden", nargs="?", const="",
+                     default=None, metavar="PATH",
+                     help="refresh the golden suite file (default "
+                          "location when PATH is omitted)")
+    eep.add_argument("--check", nargs="?", const="", default=None,
+                     metavar="PATH",
+                     help="gate this run against the committed golden "
+                          "suite; exit 1 on any tolerance breach")
+    eep.add_argument("--tolerance", type=float, default=0.05,
+                     help="absolute per-metric tolerance of --check")
+    eep.set_defaults(func=_cmd_eval)
 
     stats = sub.add_parser("stats",
                            help="summarize a --trace JSON file")

@@ -100,6 +100,66 @@ SPACE_REDUCTION_FEATURES = FeatureBudget(word_ngrams=60_000, char_ngrams=30_000)
 FINAL_FEATURES = FeatureBudget(word_ngrams=50_000, char_ngrams=15_000)
 
 
+#: Names of the selectable feature families, in canonical order.
+FEATURE_FAMILIES = ("stylometry", "activity", "structure")
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Which feature families participate in linking.
+
+    ``stylometry`` is the paper's text block (Tf-Idf word/char n-grams
+    plus character frequencies) and is always required — dropping it
+    leaves nothing to rank on.  ``activity`` is the 24-bin daily
+    activity profile of Section IV-B.  ``structure`` is the
+    reply-graph/thread-structure family (who-replies-to-whom degree
+    statistics, thread co-occurrence, within-thread posting cadence);
+    it is off by default so the default pipeline stays bit-identical
+    to the paper configuration.
+    """
+
+    stylometry: bool = True
+    activity: bool = True
+    structure: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.stylometry:
+            raise ConfigurationError(
+                "the stylometry family cannot be disabled: linking has "
+                "nothing to rank on without the text block")
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FeatureConfig":
+        """Parse a comma-separated family list.
+
+        ``"stylometry,activity"`` is the paper configuration;
+        ``"stylometry,activity,structure"`` adds the reply-graph
+        family.  Unknown names raise :class:`ConfigurationError`.
+        """
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+        if not names:
+            raise ConfigurationError(
+                f"empty feature spec: {spec!r}")
+        unknown = sorted(set(names) - set(FEATURE_FAMILIES))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown feature families {unknown}; "
+                f"choose from {list(FEATURE_FAMILIES)}")
+        chosen = set(names)
+        return cls(stylometry="stylometry" in chosen,
+                   activity="activity" in chosen,
+                   structure="structure" in chosen)
+
+    def spec(self) -> str:
+        """The canonical comma-separated form (inverse of from_spec)."""
+        return ",".join(self.families())
+
+    def families(self) -> tuple:
+        """Enabled family names in canonical order."""
+        return tuple(name for name in FEATURE_FAMILIES
+                     if getattr(self, name))
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """End-to-end configuration of the two-stage linking pipeline.
@@ -113,6 +173,7 @@ class PipelineConfig:
     words_per_alias: int = WORDS_PER_ALIAS
     threshold: float = PAPER_THRESHOLD
     use_activity: bool = True
+    use_structure: bool = False
     use_lemmatization: bool = True
     reduction_budget: FeatureBudget = field(default=SPACE_REDUCTION_FEATURES)
     final_budget: FeatureBudget = field(default=FINAL_FEATURES)

@@ -39,6 +39,12 @@ from repro.core.kattribution import Candidates, KAttributor
 from repro.core.linker import AliasLinker, LinkResult, Match, \
     SkippedUnknown, check_document
 from repro.core.similarity import cosine_pair, cosine_similarity, top_k
+from repro.core.structure import (
+    STRUCTURE_DIM,
+    STRUCTURE_FEATURE_NAMES,
+    merge_profile_maps,
+    structure_profiles,
+)
 from repro.core.tfidf import TfidfModel, l2_normalize_rows
 from repro.core.threshold import (
     Calibration,
@@ -81,6 +87,10 @@ __all__ = [
     "cosine_pair",
     "cosine_similarity",
     "top_k",
+    "STRUCTURE_DIM",
+    "STRUCTURE_FEATURE_NAMES",
+    "merge_profile_maps",
+    "structure_profiles",
     "TfidfModel",
     "l2_normalize_rows",
     "Calibration",

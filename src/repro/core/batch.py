@@ -89,6 +89,7 @@ class BatchedLinker:
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
+                 use_structure: bool = False,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
                  block_size: Optional[int] = None,
@@ -112,6 +113,7 @@ class BatchedLinker:
         self.final_budget = final_budget
         self.weights = weights or FeatureWeights()
         self.use_activity = use_activity
+        self.use_structure = use_structure
         self.workers = resolve_workers(workers)
         if isinstance(cache, ProfileCache):
             self.cache = cache
@@ -147,6 +149,7 @@ class BatchedLinker:
                     budget=self.reduction_budget,
                     weights=self.weights,
                     use_activity=self.use_activity,
+                    use_structure=self.use_structure,
                     # Shared cache: every batch of every round reuses
                     # the same raw profiles (one tokenization per doc).
                     encoder=DocumentEncoder(cache=self.cache),
@@ -222,6 +225,7 @@ class BatchedLinker:
                 final_budget=self.final_budget,
                 weights=self.weights,
                 use_activity=self.use_activity,
+                use_structure=self.use_structure,
                 workers=1,  # never nest pools inside a worker
                 cache=self.cache,
                 block_size=self.block_size,

@@ -50,6 +50,11 @@ class AliasDocument:
         has fewer than the required usable timestamps.
     metadata:
         Ground-truth annotations carried through from the user record.
+    structure:
+        The reply-graph/thread-structure vector
+        (:data:`repro.core.structure.STRUCTURE_DIM` entries), or
+        ``None`` when no structural evidence was collected.  Optional:
+        only read when the structure family is enabled.
     """
 
     doc_id: str
@@ -60,6 +65,7 @@ class AliasDocument:
     timestamps: Tuple[int, ...]
     activity: Optional[np.ndarray]
     metadata: Dict[str, object] = field(default_factory=dict)
+    structure: Optional[np.ndarray] = None
 
     @property
     def n_words(self) -> int:
@@ -95,14 +101,17 @@ def build_document(record: UserRecord,
                    use_lemmatization: bool = True,
                    require_activity: bool = True,
                    doc_id: Optional[str] = None,
-                   utc_shift_hours: int = 0) -> Optional[AliasDocument]:
+                   utc_shift_hours: int = 0,
+                   structure: Optional[np.ndarray] = None,
+                   ) -> Optional[AliasDocument]:
     """Build the document for one alias, or ``None`` if it fails refinement.
 
     Messages are sorted longest-first (by word count) and concatenated
     until *words_per_alias* words are accumulated (Section IV-D).  An
     alias is rejected when it cannot fill the word budget, or — when
     *require_activity* is set — when it lacks ``min_timestamps`` usable
-    timestamps.
+    timestamps.  *structure* optionally attaches the alias's
+    reply-graph vector (see :mod:`repro.core.structure`).
     """
     normalized: List[Tuple[str, List[str]]] = [
         normalize_message(m.text, use_lemmatization)
@@ -143,6 +152,7 @@ def build_document(record: UserRecord,
         timestamps=timestamps,
         activity=activity,
         metadata=metadata,
+        structure=structure,
     )
 
 
@@ -151,14 +161,24 @@ def refine_forum(forum: Forum,
                  min_timestamps: int = MIN_TIMESTAMPS,
                  use_lemmatization: bool = True,
                  require_activity: bool = True,
-                 utc_shift_hours: int = 0) -> List[AliasDocument]:
+                 utc_shift_hours: int = 0,
+                 structure_profiles: Optional[
+                     Dict[str, np.ndarray]] = None,
+                 ) -> List[AliasDocument]:
     """Refine a polished forum into alias documents (Section IV-D).
 
     Aliases failing the word or timestamp floors are dropped; the
     result is what Table IV calls the final dataset composition.
+    *structure_profiles* optionally maps aliases to reply-graph
+    vectors (computed on the **unpolished** forum, whose threads are
+    intact — see :func:`repro.core.structure.structure_profiles`);
+    matching documents get the vector attached.
     """
     documents: List[AliasDocument] = []
     for record in forum.users.values():
+        structure = None
+        if structure_profiles is not None:
+            structure = structure_profiles.get(record.alias)
         document = build_document(
             record,
             words_per_alias=words_per_alias,
@@ -166,6 +186,7 @@ def refine_forum(forum: Forum,
             use_lemmatization=use_lemmatization,
             require_activity=require_activity,
             utc_shift_hours=utc_shift_hours,
+            structure=structure,
         )
         if document is not None:
             documents.append(document)

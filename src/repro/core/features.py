@@ -31,6 +31,7 @@ from scipy import sparse
 from repro.config import FeatureBudget
 from repro.core import ngrams
 from repro.core.documents import AliasDocument
+from repro.core.structure import STRUCTURE_DIM
 from repro.core.tfidf import TfidfModel, l2_normalize_rows
 from repro.errors import ConfigurationError, NotFittedError
 from repro.perf.cache import ProfileCache
@@ -74,15 +75,18 @@ class FeatureWeights:
     The defaults are calibrated on synthetic Reddit alter-egos: the
     activity weight is the largest value that still boosts accuracy at
     small text sizes (the paper's Fig. 4 effect) without drowning the
-    text signal at 1,500 words.
+    text signal at 1,500 words.  The structure weight only matters when
+    the extractor's ``use_structure`` flag is on (off by default), so
+    the paper configuration never sees the block.
     """
 
     text: float = 1.0
     frequencies: float = 0.35
     activity: float = 0.20
+    structure: float = 0.25
 
     def __post_init__(self) -> None:
-        for name in ("text", "frequencies", "activity"):
+        for name in ("text", "frequencies", "activity", "structure"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} weight must be >= 0")
         if self.text == 0 and self.frequencies == 0 and self.activity == 0:
@@ -92,7 +96,8 @@ class FeatureWeights:
         """A copy with the activity block disabled (text-only runs)."""
         return FeatureWeights(text=self.text,
                               frequencies=self.frequencies,
-                              activity=0.0)
+                              activity=0.0,
+                              structure=self.structure)
 
 
 def frequency_features(text: str) -> np.ndarray:
@@ -180,6 +185,11 @@ class FeatureExtractor:
         Append the daily activity profile block.  Documents without a
         profile get a zero block (their activity contributes nothing to
         any cosine).
+    use_structure:
+        Append the reply-graph/thread-structure block
+        (:mod:`repro.core.structure`).  Off by default: the default
+        vector is bit-identical to the paper configuration.  Documents
+        without a structure vector get a zero block.
     encoder:
         Shared :class:`DocumentEncoder`; a private one is created when
         omitted.
@@ -188,10 +198,12 @@ class FeatureExtractor:
     def __init__(self, budget: FeatureBudget,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
+                 use_structure: bool = False,
                  encoder: DocumentEncoder | None = None) -> None:
         self.budget = budget
         self.weights = weights or FeatureWeights()
         self.use_activity = use_activity
+        self.use_structure = use_structure
         self.encoder = encoder or DocumentEncoder()
         self._selected_words: Optional[np.ndarray] = None
         self._selected_chars: Optional[np.ndarray] = None
@@ -264,6 +276,12 @@ class FeatureExtractor:
             activity = l2_normalize_rows(sparse.csr_matrix(activity),
                                          copy=False)
             blocks.append(activity * self.weights.activity)
+        if self.use_structure and self.weights.structure > 0:
+            structure = np.vstack([cache.structure_row(d)
+                                   for d in documents])
+            structure = l2_normalize_rows(sparse.csr_matrix(structure),
+                                          copy=False)
+            blocks.append(structure * self.weights.structure)
         # hstack builds fresh arrays; normalize them in place.
         stacked = sparse.csr_matrix(sparse.hstack(blocks, format="csr"))
         return l2_normalize_rows(stacked, copy=False)
@@ -285,4 +303,5 @@ class FeatureExtractor:
             "special_chars": len(SPECIAL_CHARS),
             "activity_bins": self.budget.activity_bins
             if self.use_activity else 0,
+            "structure": STRUCTURE_DIM if self.use_structure else 0,
         }

@@ -68,6 +68,7 @@ class IncrementalLinker:
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
+                 use_structure: bool = False,
                  refit_after: int = 100,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
@@ -87,6 +88,7 @@ class IncrementalLinker:
             reduction_budget=reduction_budget,
             final_budget=final_budget,
             weights=weights, use_activity=use_activity,
+            use_structure=use_structure,
             workers=workers, cache=cache, block_size=block_size,
             breaker=breaker)
         self.refit_after = refit_after

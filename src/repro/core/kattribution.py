@@ -72,6 +72,9 @@ class KAttributor:
         the text-only rows of Table III / Fig. 4.
     use_activity:
         Append the daily-activity block.
+    use_structure:
+        Append the reply-graph/thread-structure block (off by
+        default; see :mod:`repro.core.structure`).
     encoder:
         Optional shared :class:`DocumentEncoder`.
     block_size:
@@ -84,6 +87,7 @@ class KAttributor:
                  budget: FeatureBudget = SPACE_REDUCTION_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
+                 use_structure: bool = False,
                  encoder: DocumentEncoder | None = None,
                  block_size: Optional[int] = None) -> None:
         if k < 1:
@@ -94,6 +98,7 @@ class KAttributor:
             budget=budget,
             weights=weights,
             use_activity=use_activity,
+            use_structure=use_structure,
             encoder=encoder,
         )
         self._known: Optional[List[AliasDocument]] = None

@@ -267,6 +267,21 @@ def check_document(document: Any) -> None:
             raise DatasetError(
                 f"{document.doc_id}: activity profile contains "
                 f"non-finite values")
+    if getattr(document, "structure", None) is not None:
+        try:
+            structure = np.asarray(document.structure, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"{document.doc_id}: structure profile is not "
+                f"numeric") from exc
+        if structure.ndim != 1:
+            raise DatasetError(
+                f"{document.doc_id}: structure profile must be "
+                f"1-dimensional, got shape {structure.shape}")
+        if not np.all(np.isfinite(structure)):
+            raise DatasetError(
+                f"{document.doc_id}: structure profile contains "
+                f"non-finite values")
     if not document.text and not document.words \
             and document.activity is None:
         raise DatasetError(f"{document.doc_id}: document is empty")
@@ -350,6 +365,9 @@ class AliasLinker:
         Block weights shared by both stages.
     use_activity:
         Use the daily-activity block (Fig. 4 ablates this).
+    use_structure:
+        Use the reply-graph/thread-structure block in both stages
+        (off by default; see :mod:`repro.core.structure`).
     use_reduction:
         When ``False``, skip stage 1 and score the unknown against
         *every* known alias with the final feature space — the
@@ -379,6 +397,7 @@ class AliasLinker:
                  final_budget: FeatureBudget = FINAL_FEATURES,
                  weights: FeatureWeights | None = None,
                  use_activity: bool = True,
+                 use_structure: bool = False,
                  use_reduction: bool = True,
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
@@ -395,6 +414,7 @@ class AliasLinker:
         self.final_budget = final_budget
         self.weights = weights or FeatureWeights()
         self.use_activity = use_activity
+        self.use_structure = use_structure
         self.use_reduction = use_reduction
         self.workers = resolve_workers(workers)
         self.breaker = breaker
@@ -409,6 +429,7 @@ class AliasLinker:
             budget=reduction_budget,
             weights=self.weights,
             use_activity=use_activity,
+            use_structure=use_structure,
             encoder=self.encoder,
             block_size=block_size,
         )
@@ -445,6 +466,7 @@ class AliasLinker:
             budget=self.final_budget,
             weights=self.weights,
             use_activity=use_activity,
+            use_structure=self.use_structure,
             encoder=self.encoder,
         )
         extractor.fit(list(candidates))
@@ -487,6 +509,8 @@ class AliasLinker:
                 if self.use_activity and self.weights.activity > 0:
                     cache.activity_row(unknown,
                                        self.final_budget.activity_bins)
+                if self.use_structure and self.weights.structure > 0:
+                    cache.structure_row(unknown)
             except Exception:  # noqa: BLE001 - requarantined in stage 2
                 continue
 

@@ -1,0 +1,183 @@
+"""Reply-graph and thread-structure features (the third feature family).
+
+SYSML-style interaction structure: darknet-forum users are identified
+not only by *how* they write but by *whom* they talk to and *when* they
+post inside threads.  This module turns a :class:`~repro.forums.models.Forum`
+— its threads plus the ``parent_id`` reply links on messages — into one
+fixed-length non-negative vector per alias:
+
+==  =============================  =========================================
+ #  name                           meaning
+==  =============================  =========================================
+ 0  replies_out                    log1p(# replies the alias posted)
+ 1  replies_in                     log1p(# replies the alias received)
+ 2  reply_partners_out             log1p(# distinct aliases replied to)
+ 3  reply_partners_in              log1p(# distinct aliases replying to it)
+ 4  reply_ratio                    replies posted / messages posted
+ 5  root_ratio                     threads started / threads participated
+ 6  threads                        log1p(# threads participated in)
+ 7  thread_burst                   mean own messages per participated thread
+ 8  cooccurrence                   log1p(mean # distinct co-posters/thread)
+ 9  cadence                        log1p(median minutes between own
+                                   consecutive posts within one thread)
+10  fast_follow                    fraction of replies within one hour of
+                                   the parent post
+11  reciprocity                    |out ∩ in partners| / |out ∪ in partners|
+==  =============================  =========================================
+
+Counts use ``log1p`` so prolific aliases do not drown the ratio
+features; the extractor L2-normalizes the whole block anyway, so only
+relative magnitudes matter.  Every entry is deterministic: threads are
+visited in sorted ``thread_id`` order and messages in thread order.
+
+Aliases that never appear in a thread get the zero vector — the family
+then contributes nothing to their cosine, which is the honest reading
+of "no structural evidence".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Set
+
+import numpy as np
+
+from repro.forums.models import Forum
+
+#: Length of the structure feature vector.
+STRUCTURE_DIM = 12
+
+#: Feature names, index-aligned with the vector.
+STRUCTURE_FEATURE_NAMES = (
+    "replies_out", "replies_in", "reply_partners_out",
+    "reply_partners_in", "reply_ratio", "root_ratio", "threads",
+    "thread_burst", "cooccurrence", "cadence", "fast_follow",
+    "reciprocity",
+)
+
+#: A reply within this many seconds of its parent is a "fast follow".
+FAST_FOLLOW_SECONDS = 3600
+
+
+class _AliasStats:
+    """Mutable per-alias accumulator (internal)."""
+
+    __slots__ = ("messages", "replies_out", "replies_in",
+                 "partners_out", "partners_in", "threads_started",
+                 "threads", "own_per_thread", "coposters_per_thread",
+                 "gaps", "fast_follows")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.replies_out = 0
+        self.replies_in = 0
+        self.partners_out: Set[str] = set()
+        self.partners_in: Set[str] = set()
+        self.threads_started = 0
+        self.threads = 0
+        self.own_per_thread: List[int] = []
+        self.coposters_per_thread: List[int] = []
+        self.gaps: List[float] = []
+        self.fast_follows: List[bool] = []
+
+    def vector(self) -> np.ndarray:
+        out = np.zeros(STRUCTURE_DIM, dtype=np.float64)
+        out[0] = math.log1p(self.replies_out)
+        out[1] = math.log1p(self.replies_in)
+        out[2] = math.log1p(len(self.partners_out))
+        out[3] = math.log1p(len(self.partners_in))
+        if self.messages:
+            out[4] = self.replies_out / self.messages
+        if self.threads:
+            out[5] = self.threads_started / self.threads
+        out[6] = math.log1p(self.threads)
+        if self.own_per_thread:
+            out[7] = float(np.mean(self.own_per_thread))
+        if self.coposters_per_thread:
+            out[8] = math.log1p(float(np.mean(self.coposters_per_thread)))
+        if self.gaps:
+            out[9] = math.log1p(float(np.median(self.gaps)) / 60.0)
+        if self.fast_follows:
+            out[10] = sum(self.fast_follows) / len(self.fast_follows)
+        union = self.partners_out | self.partners_in
+        if union:
+            out[11] = len(self.partners_out & self.partners_in) / len(union)
+        return out
+
+
+def structure_profiles(forum: Forum,
+                       alias_prefix: str = "",
+                       ) -> Dict[str, np.ndarray]:
+    """Compute one structure vector per alias of *forum*.
+
+    Returns a mapping for **every** user of the forum (zero vectors for
+    aliases absent from all threads), keyed ``alias_prefix + alias`` —
+    pass ``alias_prefix="tmg/"`` when the profiles will be attached to
+    a merged forum whose aliases are namespaced by source forum
+    (:func:`~repro.forums.models.merge_forums` does not carry threads).
+    """
+    authors: Dict[str, str] = {}
+    timestamps: Dict[str, int] = {}
+    for message in forum.iter_messages():
+        authors[message.message_id] = message.author
+        timestamps[message.message_id] = message.timestamp
+
+    stats: Dict[str, _AliasStats] = {}
+
+    def stat(alias: str) -> _AliasStats:
+        if alias not in stats:
+            stats[alias] = _AliasStats()
+        return stats[alias]
+
+    for record in forum.users.values():
+        entry = stat(record.alias)
+        entry.messages = len(record.messages)
+        for message in record.messages:
+            parent = message.parent_id
+            if parent is None or parent not in authors:
+                continue
+            parent_author = authors[parent]
+            entry.replies_out += 1
+            if parent_author != record.alias:
+                entry.partners_out.add(parent_author)
+                other = stat(parent_author)
+                other.replies_in += 1
+                other.partners_in.add(record.alias)
+            gap = message.timestamp - timestamps[parent]
+            entry.fast_follows.append(0 <= gap <= FAST_FOLLOW_SECONDS)
+
+    for thread_id in sorted(forum.threads):
+        thread = forum.threads[thread_id]
+        present = [mid for mid in thread.message_ids if mid in authors]
+        if not present:
+            continue
+        by_author: Dict[str, List[int]] = {}
+        for mid in present:
+            by_author.setdefault(authors[mid], []).append(timestamps[mid])
+        for alias, own_ts in by_author.items():
+            entry = stat(alias)
+            entry.threads += 1
+            entry.own_per_thread.append(len(own_ts))
+            entry.coposters_per_thread.append(len(by_author) - 1)
+            if alias == thread.author:
+                entry.threads_started += 1
+            own_ts.sort()
+            entry.gaps.extend(
+                float(b - a) for a, b in zip(own_ts, own_ts[1:]))
+
+    profiles: Dict[str, np.ndarray] = {}
+    for alias in forum.users:
+        entry = stats.get(alias)
+        vector = entry.vector() if entry is not None \
+            else np.zeros(STRUCTURE_DIM, dtype=np.float64)
+        profiles[alias_prefix + alias] = vector
+    return profiles
+
+
+def merge_profile_maps(*maps: Mapping[str, np.ndarray],
+                       ) -> Dict[str, Optional[np.ndarray]]:
+    """Union several per-forum profile maps (later maps win on clashes)."""
+    merged: Dict[str, Optional[np.ndarray]] = {}
+    for mapping in maps:
+        merged.update(mapping)
+    return merged

@@ -15,7 +15,8 @@ document id:
 * the word 1–3-gram :class:`~repro.core.ngrams.CodeCounts`,
 * the character 1–5-gram :class:`~repro.core.ngrams.CodeCounts`,
 * the punctuation/digit/special-character frequency vector,
-* the (zero-filled when absent) daily-activity row.
+* the (zero-filled when absent) daily-activity row,
+* the (zero-filled when absent) reply-graph structure row.
 
 With warm profiles the stage-2 restage is pure numpy work — re-select
 top-N codes from cached counts, re-fit Tf-Idf on the candidate slice,
@@ -83,6 +84,7 @@ class ProfileCache:
         self._char: Dict[str, ngrams.CodeCounts] = {}
         self._freq: Dict[str, np.ndarray] = {}
         self._activity: Dict[Tuple[str, int], np.ndarray] = {}
+        self._structure: Dict[str, np.ndarray] = {}
         self._bytes = 0
 
     # -- accounting -----------------------------------------------------------
@@ -90,7 +92,7 @@ class ProfileCache:
     def __len__(self) -> int:
         """Number of cached profile entries (all families)."""
         return (len(self._word) + len(self._char) + len(self._freq)
-                + len(self._activity))
+                + len(self._activity) + len(self._structure))
 
     @property
     def nbytes(self) -> int:
@@ -177,6 +179,32 @@ class ProfileCache:
             self._grow(row.nbytes)
         return row
 
+    def structure_row(self, document: "AliasDocument") -> np.ndarray:
+        """The reply-graph structure row of *document* as float64.
+
+        Documents without a structure vector get a zero row of
+        :data:`repro.core.structure.STRUCTURE_DIM` entries.  Like
+        :meth:`activity_row` the returned array is shared — callers
+        must not mutate it.
+        """
+        if self.enabled:
+            row = self._structure.get(document.doc_id)
+            if row is not None:
+                _HITS.inc()
+                return row
+        _MISSES.inc()
+        # Local import: repro.core.features imports this module.
+        from repro.core.structure import STRUCTURE_DIM
+
+        if document.structure is not None:
+            row = np.asarray(document.structure, dtype=np.float64)
+        else:
+            row = np.zeros(STRUCTURE_DIM, dtype=np.float64)
+        if self.enabled:
+            self._structure[document.doc_id] = row
+            self._grow(row.nbytes)
+        return row
+
     # -- persistence ----------------------------------------------------------
 
     def export_state(self) -> Dict[str, Dict[str, object]]:
@@ -224,15 +252,19 @@ class ProfileCache:
 
         freq_keys = list(self._freq)
         activity_keys = list(self._activity)
+        structure_keys = list(self._structure)
         freq = pack_rows(self._freq, freq_keys)
         freq["keys"] = freq_keys
         activity = pack_rows(self._activity, activity_keys)
         activity["keys"] = [[doc_id, int(bins)]
                             for doc_id, bins in activity_keys]
+        structure = pack_rows(self._structure, structure_keys)
+        structure["keys"] = structure_keys
         return {"word": pack_counts(self._word),
                 "char": pack_counts(self._char),
                 "freq": freq,
-                "activity": activity}
+                "activity": activity,
+                "structure": structure}
 
     def import_state(self, state: Dict[str, Dict[str, object]]) -> None:
         """Restore profiles packed by :meth:`export_state`.
@@ -270,13 +302,23 @@ class ProfileCache:
             row = data[int(indptr[i]):int(indptr[i + 1])]
             self._activity[(str(doc_id), int(bins))] = row
             self._grow(row.nbytes)
+        # Snapshots written before the structure family lack the key.
+        structure = state.get("structure")
+        if structure is not None:
+            indptr = np.asarray(structure["indptr"], dtype=np.int64)
+            data = np.asarray(structure["data"], dtype=np.float64)
+            for i, doc_id in enumerate(structure["keys"]):
+                row = data[int(indptr[i]):int(indptr[i + 1])]
+                self._structure[str(doc_id)] = row
+                self._grow(row.nbytes)
 
     # -- memory control -------------------------------------------------------
 
     def drop(self, doc_ids: Iterable[str]) -> None:
         """Forget cached profiles (memory control for huge corpora)."""
         for doc_id in doc_ids:
-            for family in (self._word, self._char, self._freq):
+            for family in (self._word, self._char, self._freq,
+                           self._structure):
                 entry = family.pop(doc_id, None)
                 if entry is None:
                     continue
@@ -293,5 +335,6 @@ class ProfileCache:
         self._char.clear()
         self._freq.clear()
         self._activity.clear()
+        self._structure.clear()
         self._bytes = 0
         _BYTES.set(0)

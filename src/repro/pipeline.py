@@ -29,6 +29,7 @@ from repro.core.batch import BatchedLinker
 from repro.core.documents import AliasDocument, refine_forum
 from repro.core.features import FeatureWeights
 from repro.core.linker import AliasLinker, LinkResult
+from repro.core.structure import structure_profiles
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.forums.models import Forum
 from repro.obs.logging import get_logger
@@ -116,6 +117,7 @@ class LinkingPipeline:
             "words_per_alias": self.config.words_per_alias,
             "threshold": self.config.threshold,
             "use_activity": self.config.use_activity,
+            "use_structure": self.config.use_structure,
             "use_lemmatization": self.config.use_lemmatization,
             "min_timestamps": self.config.min_timestamps,
             "batch_size": self.batch_size,
@@ -154,6 +156,15 @@ class LinkingPipeline:
         """
         role = "known" if is_known else "unknown"
         with span("pipeline.prepare_forum", forum=forum.name, role=role):
+            profiles = None
+            if self.config.use_structure:
+                # Structure comes from collection metadata (reply
+                # graph, threads, timestamps), so it is computed on
+                # the raw forum: polishing only rewrites text and
+                # must not disturb it.
+                with span("pipeline.structure", forum=forum.name):
+                    profiles = self._guard(
+                        "pipeline.structure", structure_profiles, forum)
             with span("pipeline.polish", forum=forum.name):
                 polished, polish_report = self._guard(
                     "pipeline.polish", polish_forum, forum,
@@ -166,6 +177,7 @@ class LinkingPipeline:
                     min_timestamps=self.config.min_timestamps,
                     use_lemmatization=self.config.use_lemmatization,
                     require_activity=self.config.use_activity,
+                    structure_profiles=profiles,
                 )
         log.info("pipeline.prepare_forum", forum=forum.name, role=role,
                  refined=len(documents))
@@ -189,6 +201,7 @@ class LinkingPipeline:
                 final_budget=self.config.final_budget,
                 weights=weights,
                 use_activity=self.config.use_activity,
+                use_structure=self.config.use_structure,
                 workers=self.workers,
                 cache=self.cache,
                 block_size=self.block_size,
@@ -200,6 +213,7 @@ class LinkingPipeline:
             final_budget=self.config.final_budget,
             weights=weights,
             use_activity=self.config.use_activity,
+            use_structure=self.config.use_structure,
             workers=self.workers,
             cache=self.cache,
             block_size=self.block_size,

@@ -158,7 +158,8 @@ class SnapshotReport:
 
 def _document_record(document: Any) -> Dict[str, Any]:
     activity = document.activity
-    return {
+    structure = getattr(document, "structure", None)
+    record = {
         "doc_id": document.doc_id,
         "alias": document.alias,
         "forum": document.forum,
@@ -169,12 +170,19 @@ def _document_record(document: Any) -> Dict[str, Any]:
         else np.asarray(activity, dtype=np.float64).tolist(),
         "metadata": dict(document.metadata),
     }
+    # Emitted only when present, so structure-free snapshots stay
+    # byte-identical to the pre-structure format.
+    if structure is not None:
+        record["structure"] = np.asarray(
+            structure, dtype=np.float64).tolist()
+    return record
 
 
 def _restore_document(record: Dict[str, Any]) -> Any:
     from repro.core.documents import AliasDocument
 
     activity = record.get("activity")
+    structure = record.get("structure")
     return AliasDocument(
         doc_id=str(record["doc_id"]),
         alias=str(record["alias"]),
@@ -185,13 +193,16 @@ def _restore_document(record: Dict[str, Any]) -> Any:
         activity=None if activity is None
         else np.asarray(activity, dtype=np.float64),
         metadata=dict(record.get("metadata", {})),
+        structure=None if structure is None
+        else np.asarray(structure, dtype=np.float64),
     )
 
 
 def _weights_dict(weights: Any) -> Dict[str, float]:
     return {"text": weights.text,
             "frequencies": weights.frequencies,
-            "activity": weights.activity}
+            "activity": weights.activity,
+            "structure": weights.structure}
 
 
 def _config_digest(config: Dict[str, Any]) -> str:
@@ -231,6 +242,7 @@ def _collect_state(linker: Any) -> Tuple[str, Dict[str, Any],
         "k": linker.k,
         "threshold": linker.threshold,
         "use_activity": linker.use_activity,
+        "use_structure": linker.use_structure,
         "weights": _weights_dict(linker.weights),
         "reduction_budget": asdict(reduction_budget),
         "final_budget": asdict(linker.final_budget),
@@ -251,13 +263,14 @@ def _collect_state(linker: Any) -> Tuple[str, Dict[str, Any],
             "char": {"keys": cache_state["char"]["keys"]},
             "freq": {"keys": cache_state["freq"]["keys"]},
             "activity": {"keys": cache_state["activity"]["keys"]},
+            "structure": {"keys": cache_state["structure"]["keys"]},
         }),
     ]
     for family in ("word", "char"):
         for part in ("codes", "counts", "indptr"):
             sections.append((f"cache.{family}.{part}", "ndarray",
                              cache_state[family][part]))
-    for family in ("freq", "activity"):
+    for family in ("freq", "activity", "structure"):
         for part in ("data", "indptr"):
             sections.append((f"cache.{family}.{part}", "ndarray",
                              cache_state[family][part]))
@@ -659,7 +672,7 @@ def _rebuild_cache(sections: Dict[str, Any], enabled: bool) -> Any:
     cache = ProfileCache(vocab=vocab, enabled=enabled)
     if enabled:
         index = sections["cache.index"]
-        cache.import_state({
+        state = {
             "word": {"keys": index["word"]["keys"],
                      "codes": sections["cache.word.codes"],
                      "counts": sections["cache.word.counts"],
@@ -674,7 +687,15 @@ def _rebuild_cache(sections: Dict[str, Any], enabled: bool) -> Any:
             "activity": {"keys": index["activity"]["keys"],
                          "data": sections["cache.activity.data"],
                          "indptr": sections["cache.activity.indptr"]},
-        })
+        }
+        # Snapshots written before the structure family lack these.
+        if "cache.structure.data" in sections \
+                and "structure" in index:
+            state["structure"] = {
+                "keys": index["structure"]["keys"],
+                "data": sections["cache.structure.data"],
+                "indptr": sections["cache.structure.indptr"]}
+        cache.import_state(state)
     return cache
 
 
@@ -708,6 +729,7 @@ def _rebuild_linker(header: Dict[str, Any],
             final_budget=final_budget,
             weights=weights,
             use_activity=config["use_activity"],
+            use_structure=config.get("use_structure", False),
             workers=workers,
             cache=profile_cache,
             block_size=block_size,
@@ -722,6 +744,7 @@ def _rebuild_linker(header: Dict[str, Any],
         final_budget=final_budget,
         weights=weights,
         use_activity=config["use_activity"],
+        use_structure=config.get("use_structure", False),
         use_reduction=config["use_reduction"],
         workers=workers,
         cache=profile_cache,

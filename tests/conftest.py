@@ -43,3 +43,14 @@ def reddit_alter_egos(polished_reddit):
     """Alter-ego dataset of the polished Reddit forum (read-only)."""
     return build_alter_ego_dataset(polished_reddit, seed=3,
                                    words_per_alias=600)
+
+
+@pytest.fixture(scope="session")
+def episode_suite(world):
+    """A small deterministic episode suite over the session world
+    (read-only): ``(episodes, config)``."""
+    from repro.eval.episodes import EpisodeConfig, sample_episodes
+
+    config = EpisodeConfig(seed=5, n_way=4, episodes_per_cell=4,
+                           buckets=(300,))
+    return sample_episodes(world, config), config

@@ -1,0 +1,140 @@
+"""Reply-graph / thread-structure features (repro.core.structure)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.structure import (
+    STRUCTURE_DIM,
+    STRUCTURE_FEATURE_NAMES,
+    merge_profile_maps,
+    structure_profiles,
+)
+from repro.forums.models import Forum, Message, Thread
+
+HOUR = 3600
+
+
+def _msg(mid, author, ts, parent=None):
+    return Message(message_id=mid, author=author, text="hello there",
+                   timestamp=ts, forum="f", section="s",
+                   parent_id=parent)
+
+
+@pytest.fixture()
+def forum():
+    """Two threads with a small reply graph plus one thread-less user.
+
+    t1: alice posts m1; bob replies fast (m2); alice replies slowly
+    (m3); carol posts without replying (m4).  t2: alice alone (m5).
+    dave posts outside any thread and never replies.
+    """
+    f = Forum(name="f")
+    f.add_message(_msg("m1", "alice", 0))
+    f.add_message(_msg("m2", "bob", HOUR // 2, parent="m1"))
+    f.add_message(_msg("m3", "alice", 2 * HOUR, parent="m2"))
+    f.add_message(_msg("m4", "carol", HOUR))
+    f.add_message(_msg("m5", "alice", 24 * HOUR))
+    f.add_message(_msg("m6", "dave", 3 * HOUR))
+    f.add_thread(Thread(thread_id="t1", forum="f", section="s",
+                        title="t1", author="alice",
+                        message_ids=("m1", "m2", "m3", "m4")))
+    f.add_thread(Thread(thread_id="t2", forum="f", section="s",
+                        title="t2", author="alice",
+                        message_ids=("m5",)))
+    return f
+
+
+def _feature(vector, name):
+    return vector[STRUCTURE_FEATURE_NAMES.index(name)]
+
+
+class TestStructureProfiles:
+    def test_every_user_gets_a_vector(self, forum):
+        profiles = structure_profiles(forum)
+        assert set(profiles) == {"alice", "bob", "carol", "dave"}
+        for vector in profiles.values():
+            assert vector.shape == (STRUCTURE_DIM,)
+            assert (vector >= 0).all()
+
+    def test_names_align_with_dim(self):
+        assert len(STRUCTURE_FEATURE_NAMES) == STRUCTURE_DIM
+
+    def test_threadless_user_is_zero(self, forum):
+        """No structural evidence reads as the zero vector."""
+        dave = structure_profiles(forum)["dave"]
+        assert not dave.any()
+
+    def test_reply_graph_counts(self, forum):
+        profiles = structure_profiles(forum)
+        alice, bob = profiles["alice"], profiles["bob"]
+        # alice posted one reply (m3 -> bob) out of three messages
+        # and received one (m2).
+        assert _feature(alice, "replies_out") == math.log1p(1)
+        assert _feature(alice, "replies_in") == math.log1p(1)
+        assert _feature(alice, "reply_ratio") == pytest.approx(1 / 3)
+        # alice <-> bob reply both ways: perfect reciprocity.
+        assert _feature(alice, "reciprocity") == 1.0
+        assert _feature(bob, "reciprocity") == 1.0
+
+    def test_thread_features(self, forum):
+        alice = structure_profiles(forum)["alice"]
+        # alice participated in both threads and started both.
+        assert _feature(alice, "threads") == math.log1p(2)
+        assert _feature(alice, "root_ratio") == 1.0
+        # two own messages in t1, one in t2.
+        assert _feature(alice, "thread_burst") == pytest.approx(1.5)
+        carol = structure_profiles(forum)["carol"]
+        assert _feature(carol, "root_ratio") == 0.0
+
+    def test_fast_follow(self, forum):
+        profiles = structure_profiles(forum)
+        # bob replied within 30 minutes; alice's one reply took 1.5h.
+        assert _feature(profiles["bob"], "fast_follow") == 1.0
+        assert _feature(profiles["alice"], "fast_follow") == 0.0
+
+    def test_cadence_uses_within_thread_gaps(self, forum):
+        alice = structure_profiles(forum)["alice"]
+        # alice's consecutive posts in t1 are 2h apart -> 120 minutes.
+        assert _feature(alice, "cadence") == \
+            pytest.approx(math.log1p(120.0))
+
+    def test_deterministic(self, forum):
+        a = structure_profiles(forum)
+        b = structure_profiles(forum)
+        for alias in a:
+            assert (a[alias] == b[alias]).all()
+
+    def test_alias_prefix_rekeys(self, forum):
+        plain = structure_profiles(forum)
+        prefixed = structure_profiles(forum, alias_prefix="f/")
+        assert set(prefixed) == {f"f/{alias}" for alias in plain}
+        assert (prefixed["f/alice"] == plain["alice"]).all()
+
+
+class TestMergeProfileMaps:
+    def test_union_and_precedence(self):
+        a = {"x": np.zeros(STRUCTURE_DIM)}
+        b = {"x": np.ones(STRUCTURE_DIM),
+             "y": np.full(STRUCTURE_DIM, 2.0)}
+        merged = merge_profile_maps(a, b)
+        assert set(merged) == {"x", "y"}
+        assert merged["x"][0] == 1.0  # later map wins
+
+
+class TestWorldIntegration:
+    def test_synthetic_world_has_reply_structure(self, world):
+        """The synth worlds carry reply chains dense enough that the
+        family is informative, not a constant block."""
+        from repro.core.documents import refine_forum
+
+        tmg = world.forums["tmg"]
+        profiles = structure_profiles(tmg)
+        nonzero = [a for a, v in profiles.items() if v.any()]
+        assert len(nonzero) >= 0.8 * len(profiles)
+        documents = refine_forum(tmg, structure_profiles=profiles)
+        assert documents
+        for document in documents:
+            assert document.structure is not None
+            assert document.structure.shape == (STRUCTURE_DIM,)

@@ -360,3 +360,83 @@ class TestBatchedDegradedLinking:
             BatchedLinker(batch_size=20, k=5,
                           threshold=0.0).fit(known).link(
                 unknowns, budget=budget)
+
+
+class TestEpisodeDegradedAccounting:
+    """Deadline budgets inside the episode harness: degraded and
+    quarantined episodes must surface as honest per-cell counts, never
+    as silently polluted quality metrics."""
+
+    def test_tight_budget_reports_degraded_episodes(
+            self, episode_suite, monkeypatch):
+        """The budget expires between the stages of every episode:
+        each one degrades to stage-1 evidence and says so."""
+        from repro.eval.episodes import run_episodes
+
+        episodes, config = episode_suite
+        clock = ManualClock()
+        inner = AliasLinker._reduce_isolated
+
+        def expire_after_stage1(self, pending, skipped, store):
+            out = inner(self, pending, skipped, store)
+            clock.advance(1.0)
+            return out
+
+        monkeypatch.setattr(AliasLinker, "_reduce_isolated",
+                            expire_after_stage1)
+
+        def budget_factory():
+            clock.now = 0.0
+            return DeadlineBudget(10, clock=clock)
+
+        before = _metric("episodes_degraded_total")
+        report = run_episodes(episodes, features=config.features,
+                              budget_factory=budget_factory)
+        assert report.n_degraded == len(episodes)
+        assert report.n_skipped == 0
+        assert _metric("episodes_degraded_total") \
+            == before + len(episodes)
+        for outcome in report.outcomes:
+            assert outcome.degraded
+            assert outcome.degraded_reasons == ("stage1_only",)
+            assert outcome.rank is None
+        for metrics in report.cells.values():
+            assert metrics["n_degraded"] == metrics["n_episodes"]
+            assert metrics["n_full"] == 0.0
+            # No full-fidelity episodes -> no quality numbers, rather
+            # than numbers quietly computed from degraded evidence.
+            assert metrics["auc"] == 0.0
+            assert metrics["brier"] == 0.0
+
+    def test_expired_budget_quarantines_episodes(self, episode_suite):
+        from repro.eval.episodes import run_episodes
+
+        episodes, config = episode_suite
+        clock = ManualClock()
+
+        def budget_factory():
+            clock.now = 0.0
+            budget = DeadlineBudget(10, clock=clock)
+            clock.advance(1.0)  # already past the 10 ms deadline
+            return budget
+
+        report = run_episodes(episodes, features=config.features,
+                              budget_factory=budget_factory)
+        assert report.n_skipped == len(episodes)
+        assert report.n_degraded == 0
+        for outcome in report.outcomes:
+            assert outcome.skipped
+            assert outcome.reason.startswith("deadline")
+        for metrics in report.cells.values():
+            assert metrics["n_skipped"] == metrics["n_episodes"]
+
+    def test_generous_budget_is_invisible(self, episode_suite):
+        from repro.eval.episodes import run_episodes
+
+        episodes, config = episode_suite
+        plain = run_episodes(episodes, features=config.features)
+        rich = run_episodes(
+            episodes, features=config.features,
+            budget_factory=lambda: DeadlineBudget(600_000))
+        assert json.dumps(plain.to_dict(), sort_keys=True) \
+            == json.dumps(rich.to_dict(), sort_keys=True)

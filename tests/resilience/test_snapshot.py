@@ -163,6 +163,70 @@ class TestVerify:
             load_index(tmp_path / "absent.snap")
 
 
+@pytest.fixture(scope="module")
+def structure_suite(world):
+    """A small episode suite built with all three feature families."""
+    from repro.config import FeatureConfig
+    from repro.eval.episodes import EpisodeConfig, sample_episodes
+
+    config = EpisodeConfig(
+        seed=5, n_way=4, episodes_per_cell=3, buckets=(300,),
+        features=FeatureConfig.from_spec(
+            "stylometry,activity,structure"))
+    return sample_episodes(world, config), config
+
+
+class TestStructureRoundTrip:
+    """The structure feature family must survive save/load unharmed:
+    a reloaded linker scores episodes bit-identically to the fitted
+    one it was snapshotted from."""
+
+    def test_structure_linker_save_load_bit_identical(
+            self, structure_suite, tmp_path):
+        episodes, _ = structure_suite
+        episode = episodes[0]
+        linker = AliasLinker(k=len(episode.candidates), threshold=0.0,
+                             use_structure=True)
+        linker.fit(list(episode.candidates))
+        direct = linker.link([episode.unknown])
+        path = tmp_path / "structure.snap"
+        save_index(linker, path)
+        loaded = load_index(path)
+        assert loaded.use_structure is True
+        assert _result_json(loaded.link([episode.unknown])) \
+            == _result_json(direct)
+
+    def test_episode_run_through_snapshots_bit_identical(
+            self, structure_suite, tmp_path):
+        """run_episodes(snapshot_dir=...) saves and reloads every
+        fitted linker; the round-trip must be invisible in every
+        outcome and cell metric."""
+        import json as _json
+
+        from repro.eval.episodes import run_episodes
+
+        episodes, config = structure_suite
+        direct = run_episodes(episodes, features=config.features)
+        via_snapshot = run_episodes(episodes, features=config.features,
+                                    snapshot_dir=tmp_path)
+        assert _json.dumps(direct.to_dict(), sort_keys=True) \
+            == _json.dumps(via_snapshot.to_dict(), sort_keys=True)
+        assert direct.n_degraded == 0 and direct.n_skipped == 0
+
+    def test_structure_free_snapshot_still_loads(self, corpus,
+                                                 tmp_path):
+        """Back-compat: snapshots written without the structure family
+        load into a linker with the family off."""
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        path = tmp_path / "plain.snap"
+        save_index(linker, path)
+        loaded = load_index(path)
+        assert loaded.use_structure is False
+        assert _result_json(loaded.link(unknowns)) \
+            == _result_json(linker.link(unknowns))
+
+
 class TestUnderFsFaults:
     @pytest.fixture
     def fs_chaos(self):

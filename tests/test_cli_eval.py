@@ -1,0 +1,97 @@
+"""Tests for the ``darklight eval episodes`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+EPISODE_ARGS = ["eval", "episodes", "--seed", "3", "--n-way", "4",
+                "--episodes-per-cell", "2", "--buckets", "300"]
+
+
+@pytest.fixture(scope="module")
+def episode_run(tmp_path_factory):
+    """One small CLI episode run: returns (report, manifest bytes)."""
+    out = tmp_path_factory.mktemp("episodes")
+    report_path = out / "report.json"
+    manifest_path = out / "manifest.json"
+    code = main(EPISODE_ARGS + ["--out", str(report_path),
+                                "--manifest-out", str(manifest_path)])
+    assert code == 0
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    return report, manifest_path.read_bytes()
+
+
+class TestEpisodesCommand:
+    def test_report_shape(self, episode_run):
+        report, _ = episode_run
+        assert report["variant"] == "full"
+        assert report["features"] == "stylometry,activity"
+        assert len(report["manifest_sha256"]) == 64
+        assert set(report["cells"]) == {"dark-dark/w300",
+                                        "open-dark/w300"}
+        for metrics in report["cells"].values():
+            assert metrics["n_episodes"] == 2.0
+
+    def test_per_cell_table_printed(self, capsys):
+        code = main(EPISODE_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "episodes: 4" in out
+        assert "dark-dark/w300" in out and "auc" in out
+
+    def test_same_seed_is_byte_identical(self, episode_run, tmp_path):
+        """The acceptance criterion: running twice with the same seed
+        produces identical manifests and identical scores."""
+        report, manifest = episode_run
+        report_path = tmp_path / "report.json"
+        manifest_path = tmp_path / "manifest.json"
+        code = main(EPISODE_ARGS + ["--out", str(report_path),
+                                    "--manifest-out",
+                                    str(manifest_path)])
+        assert code == 0
+        assert manifest_path.read_bytes() == manifest
+        assert json.loads(report_path.read_text(encoding="utf-8")) \
+            == report
+
+    def test_other_seed_other_manifest(self, episode_run, tmp_path):
+        _, manifest = episode_run
+        manifest_path = tmp_path / "manifest.json"
+        args = list(EPISODE_ARGS)
+        args[args.index("--seed") + 1] = "4"
+        code = main(args + ["--manifest-out", str(manifest_path)])
+        assert code == 0
+        assert manifest_path.read_bytes() != manifest
+
+    def test_json_output(self, capsys):
+        code = main(EPISODE_ARGS + ["--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["variant"] == "full"
+        assert len(document["outcomes"]) == 4
+
+    def test_bad_features_spec_fails(self, capsys):
+        code = main(EPISODE_ARGS + ["--features", "telepathy"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGoldenGateCli:
+    def test_check_against_fresh_golden(self, tmp_path, capsys):
+        """--write-golden then --check on the same variant passes;
+        --check with the stage1 variant exits nonzero."""
+        golden = tmp_path / "golden.json"
+        code = main(["eval", "episodes", "--write-golden",
+                     str(golden)])
+        assert code == 0
+        assert golden.exists()
+        capsys.readouterr()
+        code = main(["eval", "episodes", "--check", str(golden)])
+        assert code == 0
+        assert "golden check passed" in capsys.readouterr().out
+        code = main(["eval", "episodes", "--check", str(golden),
+                     "--variant", "stage1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "golden check FAILED" in err

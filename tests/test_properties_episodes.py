@@ -1,0 +1,139 @@
+"""Property tests of the episode harness: seed-stability, pre-PR
+bit-identity with the structure family disabled, and order invariance.
+"""
+
+import json
+import random
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAPER_THRESHOLD, FeatureConfig
+from repro.core.documents import AliasDocument
+from repro.core.linker import AliasLinker
+from repro.eval.episodes import (
+    EpisodeConfig,
+    EpisodePool,
+    manifest_bytes,
+    run_episodes,
+    sample_episodes,
+    sample_from_pools,
+)
+
+
+def _make_docs(n, seed, prefix):
+    rng = np.random.default_rng(seed)
+    vocab = np.array([f"tok{i:04d}" for i in range(800)])
+    docs = []
+    for i in range(n):
+        start = (i * 37) % 500
+        words = tuple(rng.choice(vocab[start:start + 300], size=150))
+        activity = rng.random(24)
+        docs.append(AliasDocument(
+            doc_id=f"{prefix}{i}", alias=f"{prefix}{i}", forum=prefix,
+            text=" ".join(words), words=words, timestamps=(),
+            activity=activity / activity.sum()))
+    return docs
+
+
+POOL = EpisodePool(
+    drift="dark-dark", bucket=200,
+    known=tuple(_make_docs(20, seed=11, prefix="k")),
+    unknown=tuple(_make_docs(10, seed=12, prefix="u")),
+    truth={f"u{i}": f"k{i}" for i in range(10)})
+
+
+class TestSeedStability:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_manifest_bytes(self, seed):
+        config = EpisodeConfig(seed=seed, n_way=4,
+                               episodes_per_cell=5, buckets=(200,))
+        first = manifest_bytes(sample_from_pools([POOL], config),
+                               config)
+        second = manifest_bytes(sample_from_pools([POOL], config),
+                                config)
+        assert first == second
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_panels_respect_n_way(self, n_way):
+        config = EpisodeConfig(seed=3, n_way=n_way,
+                               episodes_per_cell=5, buckets=(200,))
+        for episode in sample_from_pools([POOL], config):
+            assert 2 <= len(episode.candidates) <= n_way
+
+    def test_independent_worlds_same_manifest(self, world,
+                                              episode_suite):
+        """Two separately built worlds with the same seed sample the
+        same suite — the manifest proves runs are comparable."""
+        from repro.synth.world import small_world
+
+        episodes, config = episode_suite
+        fresh = sample_episodes(small_world(seed=7), config)
+        assert manifest_bytes(fresh, config) \
+            == manifest_bytes(episodes, config)
+
+
+class TestPrePRBitIdentity:
+    def test_structure_off_matches_direct_linker(self, episode_suite):
+        """With the default families the episode runner is exactly the
+        pre-existing two-stage linker: per-panel fit + link, scores
+        bit-for-bit equal."""
+        episodes, config = episode_suite
+        assert config.features == FeatureConfig()
+        report = run_episodes(episodes, features=config.features)
+        by_id = {o.episode_id: o for o in report.outcomes}
+        for episode in episodes:
+            linker = AliasLinker(k=len(episode.candidates),
+                                 threshold=PAPER_THRESHOLD,
+                                 use_activity=True)
+            linker.fit(list(episode.candidates))
+            result = linker.link([episode.unknown])
+            match = result.matches[0]
+            outcome = by_id[episode.episode_id]
+            assert outcome.best_id == match.candidate_id
+            assert outcome.best_score == float(match.score)
+            assert outcome.accepted == match.accepted
+
+
+class TestOrderInvariance:
+    def test_episode_order_shuffle_is_invisible(self, episode_suite):
+        """Scores do not depend on the order episodes are run in (the
+        shared cache is pre-warmed in canonical order)."""
+        episodes, config = episode_suite
+        shuffled = list(episodes)
+        random.Random(41).shuffle(shuffled)
+        assert [e.episode_id for e in shuffled] \
+            != [e.episode_id for e in episodes]
+        straight = run_episodes(episodes, features=config.features)
+        permuted = run_episodes(shuffled, features=config.features)
+        a = sorted((o.to_dict() for o in straight.outcomes),
+                   key=lambda o: o["episode_id"])
+        b = sorted((o.to_dict() for o in permuted.outcomes),
+                   key=lambda o: o["episode_id"])
+        assert json.dumps(a, sort_keys=True) \
+            == json.dumps(b, sort_keys=True)
+        assert straight.cells == permuted.cells
+
+    def test_stage1_order_shuffle_is_invisible(self, episode_suite):
+        episodes, config = episode_suite
+        shuffled = list(reversed(episodes))
+        straight = run_episodes(episodes, variant="stage1")
+        permuted = run_episodes(shuffled, variant="stage1")
+        assert straight.cells == permuted.cells
+
+    def test_features_spec_round_trip(self):
+        for spec in ("stylometry", "stylometry,activity",
+                     "stylometry,activity,structure"):
+            assert FeatureConfig.from_spec(spec).spec() == spec
+
+    def test_config_features_thread_through(self):
+        config = EpisodeConfig(
+            features=FeatureConfig.from_spec("stylometry"))
+        assert config.to_dict()["features"] == "stylometry"
+        other = replace(config, seed=99)
+        assert other.features == config.features
