@@ -22,6 +22,15 @@ synthetic pool and scoring it with the full two-stage linker and the
 stage-1-only variant.  Its row lands in the same trajectory under the
 ``workers="episodes"`` key.
 
+A third scenario sweeps the **stage-1 strategies** (``blocked`` vs the
+term-pruned ``invindex``) over large synthetic Tf-Idf-shaped sparse
+corpora — 20k/50k/100k known rows via ``REPRO_BENCH_STAGE1`` — and
+records, per row, the index build time, both reduce wall times, the
+visited-postings fraction against the dense posting count, per-row RSS,
+and a bit-identity flag.  Matrices are synthesized directly (document
+synthesis + feature fit at 100k known costs tens of minutes and would
+measure the fit, not the scan).
+
 Corpus sizes come from ``REPRO_BENCH_SIZES`` (comma-separated
 ``<known>x<unknown>`` pairs, e.g. ``"2000x200"``, or the literal
 ``sweep`` for the 2k/10k/50k known-side trajectory); the parallel
@@ -43,10 +52,14 @@ import tempfile
 from pathlib import Path
 
 import numpy as np
+from scipy import sparse
 
 from _util import emit, seconds, table, timed, update_trajectory
 from repro.core.documents import AliasDocument
 from repro.core.linker import AliasLinker
+from repro.core.tfidf import l2_normalize_rows
+from repro.perf.blocked import blocked_top_k
+from repro.perf.invindex import ShardedIndex
 from repro.resilience.snapshot import load_index, save_index
 from repro.obs.manifest import build_manifest
 from repro.obs.metrics import get_registry
@@ -54,21 +67,36 @@ from repro.obs.prof import peak_rss_kb, read_rss_kb
 
 SIZES_ENV = "REPRO_BENCH_SIZES"
 WORKERS_ENV_BENCH = "REPRO_BENCH_WORKERS"
+STAGE1_SIZES_ENV = "REPRO_BENCH_STAGE1"
+STAGE1_SHARDS_ENV = "REPRO_BENCH_SHARDS"
 DEFAULT_SIZES = "300x60,1200x150"
+DEFAULT_STAGE1_SIZES = "20000x200"
 #: The known-side scaling trajectory from the ROADMAP
 #: (``REPRO_BENCH_SIZES=sweep``).
 SWEEP_SIZES = "2000x200,10000x400,50000x800"
+#: The stage-1 strategy trajectory (``REPRO_BENCH_STAGE1=sweep``).
+STAGE1_SWEEP_SIZES = "20000x200,50000x200,100000x200"
 
 
-def _sizes():
-    raw = os.environ.get(SIZES_ENV, DEFAULT_SIZES)
+def _parse_sizes(raw, sweep):
     if raw.strip().lower() == "sweep":
-        raw = SWEEP_SIZES
+        raw = sweep
     pairs = []
     for chunk in raw.split(","):
         known, unknown = chunk.strip().lower().split("x")
         pairs.append((int(known), int(unknown)))
     return pairs
+
+
+def _sizes():
+    return _parse_sizes(os.environ.get(SIZES_ENV, DEFAULT_SIZES),
+                        SWEEP_SIZES)
+
+
+def _stage1_sizes():
+    return _parse_sizes(
+        os.environ.get(STAGE1_SIZES_ENV, DEFAULT_STAGE1_SIZES),
+        STAGE1_SWEEP_SIZES)
 
 
 def _peak_rss_mb():
@@ -122,6 +150,33 @@ def _measure(n_known, n_unknown, workers):
     with timed("bench.reduce", n_unknown=n_unknown) as span:
         reduced = cached.reducer.reduce(unknown)
     row["reduce_s"] = seconds(span)
+
+    # Stage-1 strategy columns on the *same* fitted feature space:
+    # build the sharded inverted index, reduce again through it, and
+    # record the visited-postings fraction against the dense count.
+    shards = int(os.environ.get(STAGE1_SHARDS_ENV, "4"))
+    cached.reducer.shards = min(shards, n_known)
+    with timed("bench.invindex_build", n_known=n_known) as span:
+        cached.reducer.rebuild_index()
+    row["invindex_build_s"] = seconds(span)
+    row["invindex_shards"] = cached.reducer._index.n_shards
+    visited_before = _counter_value("invindex_postings_visited_total")
+    dense_before = _counter_value("invindex_postings_dense_total")
+    cached.reducer.stage1 = "invindex"
+    with timed("bench.reduce_invindex", n_unknown=n_unknown) as span:
+        reduced_inv = cached.reducer.reduce(unknown)
+    row["reduce_invindex_s"] = seconds(span)
+    cached.reducer.stage1 = "blocked"
+    cached.reducer._index = None
+    visited = (_counter_value("invindex_postings_visited_total")
+               - visited_before)
+    dense = (_counter_value("invindex_postings_dense_total")
+             - dense_before)
+    row["invindex_visited_frac"] = visited / max(dense, 1.0)
+    row["invindex_speedup"] = (row["reduce_s"]
+                               / max(row["reduce_invindex_s"], 1e-9))
+    row["stage1_identical"] = reduced_inv == reduced
+
     row["restage_cached_s"] = _restage_time(cached, reduced)
 
     uncached = AliasLinker(threshold=0.0, cache=False)
@@ -145,6 +200,15 @@ def _measure(n_known, n_unknown, workers):
     with timed("bench.link_parallel", workers=workers) as span:
         parallel_result = cached.link(unknown)
     row["link_parallel_s"] = seconds(span)
+    # Second parallel link on the same fitted linker: the persistent
+    # restage pool should serve it without a fresh fork (reuse hits
+    # land in the row so a 0 here flags a gated / refit run).
+    reuse_before = _counter_value("parallel_pool_reuse_total")
+    with timed("bench.link_parallel_warm", workers=workers) as span:
+        warm_result = cached.link(unknown)
+    row["link_parallel_warm_s"] = seconds(span)
+    row["parallel_pool_reuse"] = (
+        _counter_value("parallel_pool_reuse_total") - reuse_before)
     cached.workers = 1
     row["parallel_speedup"] = (row["link_serial_s"]
                                / max(row["link_parallel_s"], 1e-9))
@@ -155,8 +219,9 @@ def _measure(n_known, n_unknown, workers):
                                - overhead_before["parallel.fork_ms"])
     row["parallel_merge_ms"] = (_counter_value("parallel.merge_ms")
                                 - overhead_before["parallel.merge_ms"])
-    row["outputs_identical"] = (serial_result.to_dict()
-                                == parallel_result.to_dict())
+    row["outputs_identical"] = (
+        serial_result.to_dict() == parallel_result.to_dict()
+        and warm_result.to_dict() == parallel_result.to_dict())
 
     # Cold-start path: snapshot the warm linker, reload, re-link.
     with tempfile.TemporaryDirectory(prefix="bench-snap-") as tmp:
@@ -176,6 +241,76 @@ def _measure(n_known, n_unknown, workers):
     row["cold_identical"] = (serial_result.to_dict()
                              == cold_result.to_dict())
 
+    row["rss_after_mb"] = read_rss_kb() / 1024.0
+    row["peak_rss_mb"] = _peak_rss_mb()
+    return row
+
+
+def _stage1_counts(rng, rows, n_terms, words_per_doc):
+    """Zipf word draws for *rows* documents, as a count matrix."""
+    cols = (rng.zipf(1.3, size=rows * words_per_doc) - 1) % n_terms
+    row_ids = np.repeat(np.arange(rows), words_per_doc)
+    counts = sparse.coo_matrix(
+        (np.ones(rows * words_per_doc), (row_ids, cols)),
+        shape=(rows, n_terms)).tocsr()
+    counts.sum_duplicates()
+    return counts
+
+
+def _stage1_matrices(rng, n_known, n_unknown, n_terms=20000,
+                     words_per_doc=200):
+    """Tf-Idf matrices with the real feature space's shape.
+
+    Zipf-drawn vocabularies, log-tf, smoothed log-idf fitted on the
+    known side (like the real pipeline), L2-normalized rows.  This is
+    the weight skew the inverted index's max-weight pruning exploits —
+    raw summed counts instead would concentrate all query mass in a
+    few head terms and reproduce the adversarial unprunable case.
+    """
+    known_counts = _stage1_counts(rng, n_known, n_terms, words_per_doc)
+    query_counts = _stage1_counts(rng, n_unknown, n_terms,
+                                  words_per_doc)
+    df = np.asarray((known_counts > 0).sum(axis=0)).ravel() + 1.0
+    idf = np.log((n_known + 1.0) / df)
+
+    def weigh(counts):
+        tf = counts.copy()
+        tf.data = 1.0 + np.log(tf.data)
+        return l2_normalize_rows(tf.multiply(idf).tocsr())
+
+    return weigh(known_counts), weigh(query_counts)
+
+
+def _measure_stage1(n_known, n_unknown, shards, k=10):
+    """One stage-1 strategy row: blocked vs invindex on one corpus."""
+    rng = np.random.default_rng(n_known)
+    corpus, queries = _stage1_matrices(rng, n_known, n_unknown)
+    row = {"n_known": n_known, "n_unknown": n_unknown,
+           "workers": f"stage1x{shards}", "shards": shards,
+           "rss_before_mb": read_rss_kb() / 1024.0}
+    with timed("bench.stage1_blocked", n_known=n_known) as span:
+        blocked_idx, blocked_val = blocked_top_k(queries, corpus, k)
+    row["reduce_blocked_s"] = seconds(span)
+    with timed("bench.stage1_invindex_build", n_known=n_known) as span:
+        index = ShardedIndex(corpus, shards=shards)
+    row["invindex_build_s"] = seconds(span)
+    visited_before = _counter_value("invindex_postings_visited_total")
+    dense_before = _counter_value("invindex_postings_dense_total")
+    with timed("bench.stage1_invindex", n_known=n_known) as span:
+        inv_idx, inv_val = index.top_k(queries, k)
+    row["reduce_invindex_s"] = seconds(span)
+    visited = (_counter_value("invindex_postings_visited_total")
+               - visited_before)
+    dense = (_counter_value("invindex_postings_dense_total")
+             - dense_before)
+    row["invindex_postings_visited"] = visited
+    row["invindex_postings_dense"] = dense
+    row["invindex_visited_frac"] = visited / max(dense, 1.0)
+    row["invindex_speedup"] = (row["reduce_blocked_s"]
+                               / max(row["reduce_invindex_s"], 1e-9))
+    row["stage1_identical"] = bool(
+        np.array_equal(inv_idx, blocked_idx)
+        and np.array_equal(inv_val, blocked_val))
     row["rss_after_mb"] = read_rss_kb() / 1024.0
     row["peak_rss_mb"] = _peak_rss_mb()
     return row
@@ -270,6 +405,35 @@ def test_linking_throughput():
                   "parallel column measures pool overhead, not "
                   "scaling; re-run on a multi-core host."]
 
+    stage1_rows = [_measure_stage1(nk, nu, shards=int(
+        os.environ.get(STAGE1_SHARDS_ENV, "4")))
+        for nk, nu in _stage1_sizes()]
+    lines += ["", "Stage-1 strategies — blocked vs term-pruned "
+              f"inverted index (synthetic Tf-Idf matrices; sizes via "
+              f"{STAGE1_SIZES_ENV})", ""]
+    lines += table(
+        ("known", "unknown", "shards", "blocked s", "build s",
+         "invindex s", "inv x", "visited frac", "identical",
+         "rss MB", "peak MB"),
+        [(r["n_known"], r["n_unknown"], r["shards"],
+          f"{r['reduce_blocked_s']:.2f}",
+          f"{r['invindex_build_s']:.2f}",
+          f"{r['reduce_invindex_s']:.2f}",
+          f"{r['invindex_speedup']:.2f}",
+          f"{r['invindex_visited_frac']:.3f}",
+          str(r["stage1_identical"]),
+          f"{r['rss_after_mb']:.0f}", f"{r['peak_rss_mb']:.0f}")
+         for r in stage1_rows]
+        + [(r["n_known"], r["n_unknown"], r["invindex_shards"],
+            f"{r['reduce_s']:.2f}", f"{r['invindex_build_s']:.2f}",
+            f"{r['reduce_invindex_s']:.2f}",
+            f"{r['invindex_speedup']:.2f}",
+            f"{r['invindex_visited_frac']:.3f}",
+            str(r["stage1_identical"]),
+            f"{r['rss_after_mb']:.0f}", f"{r['peak_rss_mb']:.0f}")
+           for r in rows])
+    rows.extend(stage1_rows)
+
     episode_row = _measure_episodes()
     lines += ["", "Episode harness smoke "
               f"(n_way=6, {episode_row['n_unknown']} episodes, "
@@ -291,6 +455,9 @@ def test_linking_throughput():
     manifest = build_manifest(
         command="bench_linking_throughput",
         config={"sizes": os.environ.get(SIZES_ENV, DEFAULT_SIZES),
+                "stage1_sizes": os.environ.get(STAGE1_SIZES_ENV,
+                                               DEFAULT_STAGE1_SIZES),
+                "shards": int(os.environ.get(STAGE1_SHARDS_ENV, "4")),
                 "workers": workers},
         seed=1,
     )
@@ -302,6 +469,10 @@ def test_linking_throughput():
 
     for row in rows:
         if row["workers"] == "episodes":
+            continue
+        # Every stage-1 strategy must produce bit-identical output.
+        assert row["stage1_identical"]
+        if str(row["workers"]).startswith("stage1"):
             continue
         # Any worker count must produce bit-identical links.
         assert row["outputs_identical"]

@@ -10,7 +10,8 @@ Six subcommands cover the end-to-end workflow of the paper:
   (Sections IV-I/IV-J); ``--checkpoint FILE``/``--resume`` make long
   runs crash-safe, ``--max-retries``/``--retry-deadline`` bound
   transient-failure retries (see ``docs/robustness.md``),
-  ``--workers N``/``--no-cache``/``--block-size`` tune the perf
+  ``--workers N``/``--no-cache``/``--block-size``/
+  ``--stage1 {dense,blocked,invindex}``/``--shards N`` tune the perf
   subsystem (see ``docs/performance.md``); ``--index SNAP`` links
   against a prebuilt snapshot instead of refitting, and
   ``--deadline-ms``/``--degraded-ok`` bound the linking wall-clock
@@ -165,7 +166,8 @@ def _cmd_link(args: argparse.Namespace) -> int:
 
         linker = load_index(args.index, workers=args.workers,
                             cache=not args.no_cache,
-                            block_size=args.block_size)
+                            block_size=args.block_size,
+                            stage1=args.stage1, shards=args.shards)
         if args.threshold is not None:
             linker.threshold = args.threshold
         threshold = linker.threshold
@@ -192,6 +194,8 @@ def _cmd_link(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=not args.no_cache,
             block_size=args.block_size,
+            stage1=args.stage1 or "blocked",
+            shards=args.shards,
         )
         args.manifest_config = pipeline.manifest_config()
         known_docs = pipeline.prepare_forum(known, is_known=True)
@@ -247,6 +251,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=not args.no_cache,
             block_size=args.block_size,
+            stage1=args.stage1 or "blocked",
+            shards=args.shards,
         )
         args.manifest_config = pipeline.manifest_config()
         known = pipeline.prepare_forum(forum, is_known=True)
@@ -548,6 +554,16 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="ROWS",
                       help="known aliases scored per stage-1 block "
                            "(default from REPRO_BLOCK_SIZE, else 4096)")
+    link.add_argument("--stage1", default=None,
+                      choices=("dense", "blocked", "invindex"),
+                      help="stage-1 scoring strategy (default: "
+                           "blocked; with --index, whatever the "
+                           "snapshot was built with); every strategy "
+                           "links bit-identically")
+    link.add_argument("--shards", type=int, default=None, metavar="K",
+                      help="inverted-index partitions for "
+                           "--stage1 invindex (default from "
+                           "REPRO_SHARDS, else 1)")
     link.set_defaults(func=_cmd_link)
 
     index = sub.add_parser(
@@ -569,6 +585,15 @@ def build_parser() -> argparse.ArgumentParser:
     ibuild.add_argument("--no-cache", action="store_true")
     ibuild.add_argument("--block-size", type=int, default=None,
                         metavar="ROWS")
+    ibuild.add_argument("--stage1", default=None,
+                        choices=("dense", "blocked", "invindex"),
+                        help="stage-1 strategy baked into the "
+                             "snapshot; invindex saves the posting "
+                             "arrays so loads skip the build")
+    ibuild.add_argument("--shards", type=int, default=None,
+                        metavar="K",
+                        help="inverted-index partitions for "
+                             "--stage1 invindex")
     ibuild.set_defaults(func=_cmd_index)
     iverify = isub.add_parser(
         "verify", help="check every section checksum of a snapshot")

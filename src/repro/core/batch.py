@@ -77,6 +77,12 @@ class BatchedLinker:
         re-tokenizing the pool per batch.
     block_size:
         Stage-1 scoring block size forwarded to every reducer.
+    stage1 / shards:
+        Stage-1 scoring strategy and shard count forwarded to every
+        reducer and inner linker (see :class:`AliasLinker`).  Note
+        that ``"invindex"`` rebuilds a small index per batch — at the
+        paper's B=100 the build dwarfs the scan, so ``"blocked"``
+        usually wins here; the knob exists for symmetry and testing.
     breaker:
         Optional circuit breaker forwarded to the per-unknown final
         attribution (see :class:`AliasLinker`).
@@ -93,6 +99,8 @@ class BatchedLinker:
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
                  block_size: Optional[int] = None,
+                 stage1: str = "blocked",
+                 shards: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if batch_size < 2:
             raise ConfigurationError(
@@ -120,6 +128,8 @@ class BatchedLinker:
         else:
             self.cache = ProfileCache(enabled=bool(cache))
         self.block_size = block_size
+        self.stage1 = stage1
+        self.shards = shards
         self.breaker = breaker
         self._known: Optional[List[AliasDocument]] = None
 
@@ -154,6 +164,8 @@ class BatchedLinker:
                     # the same raw profiles (one tokenization per doc).
                     encoder=DocumentEncoder(cache=self.cache),
                     block_size=self.block_size,
+                    stage1=self.stage1,
+                    shards=self.shards,
                 )
                 reducer.fit(batch)
                 for i, candidates in enumerate(reducer.reduce(unknowns)):
@@ -229,6 +241,8 @@ class BatchedLinker:
                 workers=1,  # never nest pools inside a worker
                 cache=self.cache,
                 block_size=self.block_size,
+                stage1=self.stage1,
+                shards=self.shards,
                 breaker=self.breaker,
             )
             linker.fit(pool)

@@ -55,11 +55,14 @@ class IncrementalLinker:
         becomes ``True`` to signal that a full :meth:`refit` is
         advisable (the frozen feature space is drifting away from the
         corpus).
-    workers / cache / block_size:
+    workers / cache / block_size / stage1 / shards:
         Forwarded to every underlying
         :class:`~repro.core.linker.AliasLinker` (see there); a refit
         builds a fresh cache unless a shared
         :class:`~repro.perf.cache.ProfileCache` instance is supplied.
+        With ``stage1="invindex"`` the sharded inverted index is
+        rebuilt after every :meth:`add_known` so queries always see
+        the grown corpus.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -73,6 +76,8 @@ class IncrementalLinker:
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
                  block_size: Optional[int] = None,
+                 stage1: str = "blocked",
+                 shards: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if refit_after < 1:
             raise ConfigurationError(
@@ -90,6 +95,7 @@ class IncrementalLinker:
             weights=weights, use_activity=use_activity,
             use_structure=use_structure,
             workers=workers, cache=cache, block_size=block_size,
+            stage1=stage1, shards=shards,
             breaker=breaker)
         self.refit_after = refit_after
         self._linker: Optional[AliasLinker] = None
@@ -168,7 +174,14 @@ class IncrementalLinker:
             extractor._tfidf = TfidfModel().fit(counts)
             reducer._known = self._known
             reducer._known_matrix = extractor.transform(self._known)
+            if reducer.stage1 == "invindex":
+                # The inverted index snapshots the known matrix; a
+                # grown matrix means new postings and new term bounds.
+                reducer.rebuild_index()
             self._linker._known = self._known
+            # Invalidate any persistent restage pool: forked workers
+            # hold the pre-growth memory image.
+            self._linker._state_version += 1
 
     # -- querying --------------------------------------------------------------
 

@@ -23,11 +23,17 @@ from repro.config import DEFAULT_K, SPACE_REDUCTION_FEATURES, FeatureBudget
 from repro.core.documents import AliasDocument
 from repro.core.features import DocumentEncoder, FeatureExtractor, \
     FeatureWeights
-from repro.core.similarity import cosine_similarity, rank_of
+from repro.core.similarity import cosine_similarity, rank_of, top_k
 from repro.errors import ConfigurationError, NotFittedError
-from repro.perf.blocked import blocked_top_k
+from repro.perf.blocked import blocked_top_k, resolve_block_size
+from repro.perf.invindex import ShardedIndex, resolve_shards
 from repro.obs.metrics import counter
 from repro.obs.spans import span
+
+#: The stage-1 scoring strategies :meth:`KAttributor.reduce` can run.
+#: All three produce bit-identical candidate sets; they differ only in
+#: memory shape and work visited (see ``docs/performance.md``).
+STAGE1_CHOICES = ("dense", "blocked", "invindex")
 
 #: Reduction queries answered (one per unknown alias per reduce call).
 _QUERIES = counter("kattribution_queries_total")
@@ -81,6 +87,20 @@ class KAttributor:
         Known-corpus rows scored per block during :meth:`reduce`
         (memory bound for the stage-1 similarity matrix); ``None``
         resolves through ``REPRO_BLOCK_SIZE`` and the default.
+        Resolved exactly once, here — ``self.block_size`` is always a
+        concrete positive int afterwards (manifests record it, and a
+        mid-run environment change cannot skew a sweep).
+    stage1:
+        Scoring strategy for :meth:`reduce` — ``"blocked"`` (default;
+        column blocks, top-k folded per block), ``"dense"`` (the
+        one-shot similarity matrix) or ``"invindex"`` (term-pruned
+        sharded inverted index, sublinear in the posting mass on
+        prunable corpora).  All three return bit-identical candidate
+        sets.
+    shards:
+        Partition count for the ``"invindex"`` strategy; ``None``
+        resolves through ``REPRO_SHARDS`` and defaults to 1.  Also
+        resolved once, at construction.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -89,11 +109,19 @@ class KAttributor:
                  use_activity: bool = True,
                  use_structure: bool = False,
                  encoder: DocumentEncoder | None = None,
-                 block_size: Optional[int] = None) -> None:
+                 block_size: Optional[int] = None,
+                 stage1: str = "blocked",
+                 shards: Optional[int] = None) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
+        if stage1 not in STAGE1_CHOICES:
+            raise ConfigurationError(
+                f"stage1 must be one of {STAGE1_CHOICES}, "
+                f"got {stage1!r}")
         self.k = k
-        self.block_size = block_size
+        self.block_size = resolve_block_size(block_size)
+        self.stage1 = stage1
+        self.shards = resolve_shards(shards)
         self.extractor = FeatureExtractor(
             budget=budget,
             weights=weights,
@@ -103,6 +131,7 @@ class KAttributor:
         )
         self._known: Optional[List[AliasDocument]] = None
         self._known_matrix: Optional[sparse.csr_matrix] = None
+        self._index: Optional[ShardedIndex] = None
 
     @property
     def known_documents(self) -> List[AliasDocument]:
@@ -117,6 +146,38 @@ class KAttributor:
         with span("kattribution.fit", n_known=len(known), k=self.k):
             self._known = list(known)
             self._known_matrix = self.extractor.fit_transform(self._known)
+            self._index = None
+            if self.stage1 == "invindex":
+                self.rebuild_index()
+        return self
+
+    def rebuild_index(self) -> "KAttributor":
+        """(Re)build the sharded inverted index over the known matrix.
+
+        Called by :meth:`fit` when ``stage1="invindex"``, and by the
+        incremental path after it swaps a grown known matrix in.
+        """
+        if self._known_matrix is None:
+            raise NotFittedError("KAttributor.fit has not been called")
+        with span("kattribution.build_index",
+                  n_known=self._known_matrix.shape[0],
+                  shards=self.shards):
+            self._index = ShardedIndex(self._known_matrix,
+                                       shards=self.shards)
+        return self
+
+    def attach_index(self, index: ShardedIndex) -> "KAttributor":
+        """Adopt a prebuilt :class:`~repro.perf.invindex.ShardedIndex`
+        (the snapshot load path — posting arrays may be mmap-backed
+        views, skipping the build entirely)."""
+        if self._known_matrix is None:
+            raise NotFittedError("KAttributor.fit has not been called")
+        if index.n_docs != self._known_matrix.shape[0]:
+            raise ConfigurationError(
+                f"index covers {index.n_docs} rows, known matrix has "
+                f"{self._known_matrix.shape[0]}")
+        self._index = index
+        self.shards = index.n_shards
         return self
 
     def scores(self, unknowns: Sequence[AliasDocument]) -> np.ndarray:
@@ -127,19 +188,36 @@ class KAttributor:
         return cosine_similarity(unknown_matrix, self._known_matrix)
 
     def reduce(self, unknowns: Sequence[AliasDocument],
-               ) -> List[Candidates]:
-        """Return the top-k candidate sets for each unknown alias."""
+               executor: Optional[object] = None) -> List[Candidates]:
+        """Return the top-k candidate sets for each unknown alias.
+
+        *executor* optionally fans the ``"invindex"`` strategy's shard
+        scoring over a :class:`~repro.perf.parallel.ParallelExecutor`;
+        the other strategies ignore it.  Every strategy produces the
+        same candidate sets bit for bit.
+        """
         if self._known_matrix is None:
             raise NotFittedError("KAttributor.fit has not been called")
         with span("kattribution.reduce", n_unknowns=len(unknowns),
-                  k=self.k):
+                  k=self.k, stage1=self.stage1):
             unknown_matrix = self.extractor.transform(unknowns)
-            # Score in column blocks so the dense (unknowns x known)
-            # matrix never materializes whole; the fold is bit-equal
-            # to top_k over the one-shot scores.
-            indices, values = blocked_top_k(
-                unknown_matrix, self._known_matrix, self.k,
-                self.block_size)
+            if self.stage1 == "invindex":
+                if self._index is None:
+                    self.rebuild_index()
+                indices, values = self._index.top_k(
+                    unknown_matrix, self.k, executor=executor)
+            elif self.stage1 == "dense":
+                # The one-shot similarity matrix: simplest, largest.
+                indices, values = top_k(
+                    cosine_similarity(unknown_matrix,
+                                      self._known_matrix), self.k)
+            else:
+                # Score in column blocks so the dense (unknowns x
+                # known) matrix never materializes whole; the fold is
+                # bit-equal to top_k over the one-shot scores.
+                indices, values = blocked_top_k(
+                    unknown_matrix, self._known_matrix, self.k,
+                    self.block_size)
             results: List[Candidates] = []
             for row, unknown in enumerate(unknowns):
                 docs = tuple(self._known[int(i)] for i in indices[row])

@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, \
     Sequence, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 
 from repro.config import (
     DEFAULT_K,
@@ -350,6 +351,32 @@ def _assemble(unknowns: Sequence[Any],
                       skipped=skipped_list)
 
 
+def _restage_chunk_size(n_unknowns: int, workers: int) -> int:
+    """Unknowns per restage chunk.
+
+    Large enough that the block-diagonal rescore amortizes its setup
+    (and, parallel, that per-item pickling is cheap relative to work),
+    small enough that workers load-balance (4 chunks per worker) and
+    the dense score block stays bounded (64 rows x 64k columns).
+    """
+    if n_unknowns <= 0:
+        return 1
+    per_worker = -(-n_unknowns // max(workers * 4, 1))
+    return max(1, min(64, per_worker))
+
+
+def _restage_chunk_task(linker: "AliasLinker",
+                        chunk: Sequence[Candidates],
+                        ) -> List[Tuple[str, Any]]:
+    """``map_shared`` entry point for one restage chunk.
+
+    Module-level so the persistent pool can pickle the function
+    reference; the fitted linker rides along as the fork-shared state
+    and only the chunk itself crosses the pipe.
+    """
+    return linker._stage2_chunk(chunk)
+
+
 class AliasLinker:
     """The paper's complete algorithm, ready to fit and run.
 
@@ -383,7 +410,16 @@ class AliasLinker:
         instance to share profiles across linkers.
     block_size:
         Known-corpus rows scored per stage-1 block (memory bound);
-        ``None`` resolves through ``REPRO_BLOCK_SIZE``.
+        ``None`` resolves through ``REPRO_BLOCK_SIZE``.  Resolved once
+        at construction; ``self.block_size`` is always a concrete int.
+    stage1:
+        Stage-1 scoring strategy: ``"blocked"`` (default), ``"dense"``
+        or ``"invindex"`` (term-pruned sharded inverted index).  All
+        three return bit-identical candidate sets; see
+        ``docs/performance.md`` for when each wins.
+    shards:
+        Partition count for the ``"invindex"`` index; ``None`` resolves
+        through ``REPRO_SHARDS`` (default 1).
     breaker:
         Optional :class:`~repro.resilience.degrade.CircuitBreaker`
         guarding stage 2: after enough consecutive restage failures it
@@ -402,6 +438,8 @@ class AliasLinker:
                  workers: Optional[int] = None,
                  cache: Union[bool, ProfileCache] = True,
                  block_size: Optional[int] = None,
+                 stage1: str = "blocked",
+                 shards: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if k < 1:
             raise ConfigurationError(
@@ -432,14 +470,26 @@ class AliasLinker:
             use_structure=use_structure,
             encoder=self.encoder,
             block_size=block_size,
+            stage1=stage1,
+            shards=shards,
         )
+        # The reducer resolves the perf knobs exactly once; mirror the
+        # concrete values here so manifests and snapshots read them
+        # without re-consulting the environment.
+        self.stage1 = self.reducer.stage1
+        self.shards = self.reducer.shards
+        self.block_size = self.reducer.block_size
         self._known: Optional[List[AliasDocument]] = None
+        #: Bumped on every (re)fit; keys the persistent restage pool so
+        #: stale forked state is never reused across fits.
+        self._state_version = 0
 
     def fit(self, known: Sequence[AliasDocument]) -> "AliasLinker":
         """Index the known aliases (the paper's set Z)."""
         with span("linker.fit", n_known=len(known)):
             self._known = list(known)
             self.reducer.fit(self._known)
+            self._state_version += 1
         log.debug("linker.fit", n_known=len(self._known), k=self.k)
         return self
 
@@ -460,6 +510,20 @@ class AliasLinker:
         restage; degraded mode uses it to shed the activity block when
         a deadline is nearly spent.
         """
+        candidate_matrix, unknown_matrix = self._stage2_vectors(
+            unknown, candidates, use_activity=use_activity)
+        scores = cosine_similarity(unknown_matrix, candidate_matrix)[0]
+        return [(doc.doc_id, float(score))
+                for doc, score in zip(candidates, scores)]
+
+    def _stage2_vectors(self, unknown: AliasDocument,
+                        candidates: Sequence[AliasDocument],
+                        use_activity: Optional[bool] = None,
+                        ) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """The per-pair candidate-set fit, returning the two stage-2
+        matrices (candidates, then the unknown) without scoring them —
+        the batched restage folds many pairs into one similarity call.
+        """
         if use_activity is None:
             use_activity = self.use_activity
         extractor = FeatureExtractor(
@@ -472,9 +536,39 @@ class AliasLinker:
         extractor.fit(list(candidates))
         candidate_matrix = extractor.transform(list(candidates))
         unknown_matrix = extractor.transform([unknown])
-        scores = cosine_similarity(unknown_matrix, candidate_matrix)[0]
-        return [(doc.doc_id, float(score))
-                for doc, score in zip(candidates, scores)]
+        return candidate_matrix, unknown_matrix
+
+    @staticmethod
+    def _cosine_blocks(blocks: Sequence[Tuple[sparse.csr_matrix,
+                                              sparse.csr_matrix]],
+                       ) -> List[np.ndarray]:
+        """Cosine score rows for many independent ``(candidates,
+        unknown)`` pairs via one block-diagonal sparse product.
+
+        Each pair lives in its own feature space, so the pairs are laid
+        out on a block diagonal and multiplied in a single matmul.
+        scipy's CSR matmul accumulates every output cell along the
+        stored order of the left row's entries; the diagonal layout
+        shifts column ids without reordering any row, so row *i* of the
+        big product is bit-identical to pair *i*'s own
+        ``cosine_similarity`` call.
+        """
+        if len(blocks) == 1:
+            candidate_matrix, unknown_matrix = blocks[0]
+            return [cosine_similarity(unknown_matrix,
+                                      candidate_matrix)[0]]
+        big_unknown = sparse.block_diag(
+            [unknown for _, unknown in blocks], format="csr")
+        big_candidates = sparse.block_diag(
+            [cand for cand, _ in blocks], format="csr")
+        scores = cosine_similarity(big_unknown, big_candidates)
+        rows: List[np.ndarray] = []
+        offset = 0
+        for row, (candidate_matrix, _) in enumerate(blocks):
+            width = candidate_matrix.shape[0]
+            rows.append(scores[row, offset:offset + width])
+            offset += width
+        return rows
 
     def rescore(self, unknown: AliasDocument,
                 candidates: Sequence[AliasDocument],
@@ -486,6 +580,33 @@ class AliasLinker:
         through the same code path.
         """
         return self._rescore(unknown, list(candidates))
+
+    def rescore_batch(self, pairs: Sequence[Tuple[AliasDocument,
+                                                  Sequence[AliasDocument]]],
+                      ) -> List[List[Tuple[str, float]]]:
+        """Vectorized restage of many ``(unknown, candidates)`` pairs.
+
+        Semantically ``[self.rescore(u, c) for u, c in pairs]`` — every
+        pair keeps its own candidate-set fit, which is what makes the
+        second stage precise — but the per-pair cosine products are
+        folded into one block-diagonal sparse matmul, so the scores are
+        bit-identical while the Python/BLAS dispatch overhead is paid
+        once per batch instead of once per unknown.  Unlike
+        :meth:`link`'s internal chunking, errors propagate: callers
+        own their pairs.
+        """
+        normalized = [(unknown, list(candidates))
+                      for unknown, candidates in pairs]
+        if not normalized:
+            return []
+        blocks = [self._stage2_vectors(unknown, candidates)
+                  for unknown, candidates in normalized]
+        rows = self._cosine_blocks(blocks)
+        return [
+            [(doc.doc_id, float(score))
+             for doc, score in zip(candidates, pair_scores)]
+            for (_, candidates), pair_scores in zip(normalized, rows)
+        ]
 
     def _warm(self, unknowns: Iterable[AliasDocument]) -> None:
         """Intern every unknown's profiles in submission order.
@@ -532,6 +653,44 @@ class AliasLinker:
         except Exception as exc:  # noqa: BLE001 - quarantined by caller
             return ("error", f"final attribution failed: {exc}")
         return ("ok", (scored, best_id, float(best_score)))
+
+    def _stage2_chunk(self, chunk: Sequence[Candidates],
+                      ) -> List[Tuple[str, Any]]:
+        """Restage a chunk of unknowns with one batched similarity.
+
+        Error isolation stays per-unknown: a pair whose candidate-set
+        fit raises is reported as ``("error", reason)`` — with the same
+        message :meth:`_stage2_task` would produce — without dragging
+        down its chunk-mates, whose matrices still enter the shared
+        block-diagonal product.
+        """
+        outcomes: List[Optional[Tuple[str, Any]]] = [None] * len(chunk)
+        prepped: List[Tuple[int, sparse.csr_matrix,
+                            sparse.csr_matrix]] = []
+        for pos, candidates in enumerate(chunk):
+            unknown = candidates.unknown
+            try:
+                with span("linker.stage2", unknown=unknown.doc_id,
+                          k=len(candidates.documents)):
+                    cand_matrix, unk_matrix = self._stage2_vectors(
+                        unknown, candidates.documents)
+                prepped.append((pos, cand_matrix, unk_matrix))
+            except Exception as exc:  # noqa: BLE001 - quarantined later
+                outcomes[pos] = ("error",
+                                 f"final attribution failed: {exc}")
+        if prepped:
+            rows = self._cosine_blocks(
+                [(cand, unk) for _, cand, unk in prepped])
+            for (pos, _, _), pair_scores in zip(prepped, rows):
+                candidates = chunk[pos]
+                scored = [(doc.doc_id, float(score))
+                          for doc, score in zip(candidates.documents,
+                                                pair_scores)]
+                best_id, best_score = max(scored,
+                                          key=lambda pair: pair[1])
+                outcomes[pos] = ("ok", (scored, best_id,
+                                        float(best_score)))
+        return list(outcomes)
 
     def _stage2_guarded(self, candidates: Candidates,
                         budget: Optional[DeadlineBudget],
@@ -587,12 +746,14 @@ class AliasLinker:
     def _reduce_isolated(self, pending: Sequence[AliasDocument],
                          skipped: Dict[str, SkippedUnknown],
                          store: Optional[CheckpointStore],
+                         executor: Optional[ParallelExecutor] = None,
                          ) -> List[Candidates]:
         """Stage 1 with per-document error isolation.
 
         The fast path reduces the whole batch in one matrix operation;
         if that raises, the batch is retried one document at a time so
-        only the genuinely bad documents are quarantined.
+        only the genuinely bad documents are quarantined.  *executor*
+        is forwarded to the reducer for ``"invindex"`` shard fan-out.
         """
         if not pending:
             return []
@@ -605,7 +766,7 @@ class AliasLinker:
                     for u in pending
                 ]
             try:
-                return self.reducer.reduce(pending)
+                return self.reducer.reduce(pending, executor=executor)
             except Exception:
                 survivors: List[Candidates] = []
                 for unknown in pending:
@@ -674,20 +835,34 @@ class AliasLinker:
                                 "search-space reduction",
                                 "deadline", skipped, store)
                 pending = []
-            reduced = self._reduce_isolated(pending, skipped, store)
+            # Guarded runs stay fully serial (the budget clock and
+            # breaker live here and must see every call); otherwise one
+            # executor serves both the stage-1 shard fan-out and the
+            # restage, so its persistent pool is forked at most once.
+            executor = None if guarded else ParallelExecutor(self.workers)
+            if executor is None:
+                reduced = self._reduce_isolated(pending, skipped, store)
+            else:
+                reduced = self._reduce_isolated(pending, skipped, store,
+                                                executor=executor)
             self._warm(c.unknown for c in reduced)
             if guarded:
-                # Serial on purpose: the budget clock and breaker state
-                # live in this process and must see every call.
                 with span("linker.restage", n_unknowns=len(reduced),
                           workers=1):
                     outcomes = [self._stage2_guarded(c, budget)
                                 for c in reduced]
             else:
-                executor = ParallelExecutor(self.workers)
+                chunk = _restage_chunk_size(len(reduced),
+                                            executor.workers)
+                chunks = [list(reduced[i:i + chunk])
+                          for i in range(0, len(reduced), chunk)]
                 with span("linker.restage", n_unknowns=len(reduced),
                           workers=executor.workers):
-                    outcomes = executor.map(self._stage2_task, reduced)
+                    folded = executor.map_shared(
+                        _restage_chunk_task, chunks, state=self,
+                        version=self._state_version)
+                outcomes = [outcome for part in folded
+                            for outcome in part]
             # Match construction, metrics and checkpoint records stay in
             # the parent, in reduced order — a workers=4 run writes the
             # same records in the same order as workers=1.

@@ -64,6 +64,7 @@ TIMING_FIELDS: Tuple[str, ...] = ("created_at", "elapsed_s")
 ENV_KNOBS: Tuple[str, ...] = (
     "REPRO_WORKERS",
     "REPRO_BLOCK_SIZE",
+    "REPRO_SHARDS",
     "REPRO_CACHE",
     "REPRO_FAULT_SEED",
     "REPRO_FAULT_RATE",
@@ -75,6 +76,8 @@ ENV_KNOBS: Tuple[str, ...] = (
     "REPRO_SCALE",
     "REPRO_BENCH_SIZES",
     "REPRO_BENCH_WORKERS",
+    "REPRO_BENCH_STAGE1",
+    "REPRO_BENCH_SHARDS",
 )
 
 
@@ -112,6 +115,27 @@ def _numpy_version() -> Optional[str]:
         return None
 
 
+def _available_cores() -> Optional[int]:
+    """Cores available to this process (lazy import: keeps the obs
+    layer free of a hard perf-layer dependency at module load)."""
+    try:
+        from repro.perf.parallel import available_cores
+        return int(available_cores())
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def _parallel_gate_enabled() -> Optional[bool]:
+    """Whether the available-core gate (``REPRO_PARALLEL_GATE``) is
+    active — i.e. whether over-subscribed worker counts silently ran
+    serial in this process."""
+    try:
+        from repro.perf.parallel import _gate_enabled
+        return bool(_gate_enabled())
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
 def build_manifest(command: Optional[str] = None,
                    argv: Optional[Iterable[str]] = None,
                    config: Optional[Mapping[str, Any]] = None,
@@ -142,6 +166,12 @@ def build_manifest(command: Optional[str] = None,
         "seed": seed,
         "env": {knob: os.environ[knob] for knob in ENV_KNOBS
                 if knob in os.environ},
+        # Parallel provenance: how many cores the run could actually
+        # use and whether the core gate was active — a workers=4 row
+        # measured on 1 core (gated onto the serial path) must never
+        # read as a real 4-worker measurement.
+        "cores": _available_cores(),
+        "parallel_gate": _parallel_gate_enabled(),
         "python": platform.python_version(),
         "numpy": _numpy_version(),
         "platform": platform.platform(),

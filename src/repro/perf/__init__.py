@@ -1,22 +1,28 @@
 """Performance subsystem: profile caching, parallel restage, blocked
-stage-1 scoring.
+and inverted-index stage-1 scoring.
 
-Three levers that together let the two-stage linker scale to corpus
+Four levers that together let the two-stage linker scale to corpus
 sizes the paper never touched:
 
 * :class:`~repro.perf.cache.ProfileCache` — every document's raw
   n-gram counts, frequency features and activity row are computed
   exactly once and reused by both stages and every restage;
 * :class:`~repro.perf.parallel.ParallelExecutor` — per-unknown stage-2
-  work fans across cores over a fork pool, with the cache shared
+  work fans across cores over a fork pool (per-call, or persistent
+  across ``link()`` calls via ``map_shared``), with the cache shared
   read-only and deterministic, order-stable output;
 * :func:`~repro.perf.blocked.blocked_top_k` — stage-1 similarity is
   scored in column blocks with the top-k folded per block, so the
-  dense ``(n_unknowns, n_known)`` matrix never materializes whole.
+  dense ``(n_unknowns, n_known)`` matrix never materializes whole;
+* :class:`~repro.perf.invindex.ShardedIndex` — stage-1 goes
+  *sublinear*: a term-pruned inverted index visits only the posting
+  mass the top-k actually needs, sharded into independently scored,
+  exactly merged partitions — bit-identical to ``blocked_top_k``.
 
 Tuning knobs: ``REPRO_WORKERS`` (or ``link --workers`` / the linkers'
-``workers=`` parameter) and ``REPRO_BLOCK_SIZE`` (or ``block_size=``).
-See ``docs/performance.md``.
+``workers=`` parameter), ``REPRO_BLOCK_SIZE`` (or ``block_size=``),
+``REPRO_SHARDS`` (or ``link --shards`` / ``shards=``) and the linkers'
+``stage1=`` strategy selector.  See ``docs/performance.md``.
 """
 
 from repro.perf.blocked import (
@@ -26,19 +32,33 @@ from repro.perf.blocked import (
     resolve_block_size,
 )
 from repro.perf.cache import ProfileCache
+from repro.perf.invindex import (
+    DEFAULT_SHARDS,
+    SHARDS_ENV,
+    InvertedIndex,
+    ShardedIndex,
+    resolve_shards,
+)
 from repro.perf.parallel import (
     WORKERS_ENV,
     ParallelExecutor,
     resolve_workers,
+    shutdown_pools,
 )
 
 __all__ = [
     "BLOCK_SIZE_ENV",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_SHARDS",
+    "InvertedIndex",
     "ParallelExecutor",
     "ProfileCache",
+    "SHARDS_ENV",
+    "ShardedIndex",
     "WORKERS_ENV",
     "blocked_top_k",
     "resolve_block_size",
+    "resolve_shards",
     "resolve_workers",
+    "shutdown_pools",
 ]

@@ -1,0 +1,742 @@
+"""Sublinear stage-1 scoring: pruned inverted-index candidate search.
+
+:func:`~repro.perf.blocked.blocked_top_k` is exact-but-dense — every
+query is scored against every corpus row, so stage 1 stays linear in
+the known side no matter how selective the top-k actually is.  At
+100k+ known aliases (the internet-scale regime the reduction stage
+exists for) most of that work is provably wasted: the Tf-Idf features
+are sparse and non-negative, so a handful of high-weight terms decides
+the top-k long before the long, low-weight posting lists are touched.
+
+:class:`InvertedIndex` exploits that with term-at-a-time max-score
+pruning (the TAAT flavor of Turtle & Flood's MaxScore), batched
+across queries:
+
+1. posting lists are permuted once, at build time, into a global
+   *impact order* — descending per-term max posting weight — and the
+   scan walks that order in stages of roughly geometric posting
+   mass.  Because the order is shared by every query, one stage is a
+   contiguous column range for the whole batch, and the stage's
+   partial scores fold into the accumulator as a *single* C-speed
+   sparse matrix product over all still-active queries (a per-query
+   term order would be slightly tighter per query, but forfeits the
+   batching that makes the scan cheaper per entry than a dense
+   pass);
+2. a dense accumulator tracks the running partial score of every
+   corpus row per query, and ``theta`` — the k-th best partial —
+   only grows as stages are applied;
+3. each step knows a *residual* — an upper bound on what the
+   still-unprocessed terms can add to any single row.  Two bounds are
+   maintained and the tighter wins: the classic MaxScore sum of
+   per-term caps, and the Cauchy-Schwarz bound ``(L2 norm of the
+   remaining query weights) x (max corpus row norm)``, which decays
+   much faster on dense-ish cosine queries where the cap sum wildly
+   overshoots any reachable score;
+4. once the residual falls below ``theta`` (minus a float-safety
+   margin), no untouched row can reach the top-k, and of the touched
+   candidates only the *band* whose partial score is within
+   ``residual`` of ``theta`` can still displace anything — so the
+   scan may **stop** and exactly re-score just the band, never
+   reading the remaining posting lists (the long, low-weight tail of
+   a large corpus);
+5. stopping at the *first* legal moment is a trap, though: there
+   ``residual ~ theta`` and the band is nearly the whole candidate
+   pool.  The exit therefore also requires the *benefit* test — the
+   estimated re-score cost (band size x mean row nnz) must undercut
+   the posting mass still unscanned.  Until it does, scanning
+   continues: every further term raises ``theta``, shrinks the
+   residual, and tightens the band.  On data with no prunable
+   structure the scan simply runs to completion and degrades to a
+   dense-equivalent pass (plus a vanishing final band), instead of
+   re-scoring everything twice.
+
+**Exactness.**  The pruning decision uses the accumulated partial
+scores, but the *returned* scores never do: the surviving band is
+re-scored with the same sparse dot product the dense path uses
+(identical summation order — scipy's CSR matmul accumulates along the
+query row's stored term order), so indices *and* values are
+bit-identical to ``blocked_top_k``, tie order included (ties break by
+ascending corpus index; untouched rows score exactly 0.0 and fill in
+ascending order when the candidate pool runs short).  ``_EPS`` (1e-9,
+vs. accumulated float64 error of at most ~1e-12 over the unit-bounded
+cosine scores) makes every cut *conservative*: a borderline row is
+kept and re-scored rather than trusted to a rounded bound.  At the
+early exit, ``theta`` guarantees k candidates whose exact score is at
+least ``theta - _EPS``; an untouched row totals at most
+``residual < theta - 2 * _EPS``, and a candidate outside the band at
+most ``partial + residual < theta - 2 * _EPS``, so neither can reach
+the k-th best exact score even through worst-case rounding.  The
+equivalence is property-tested in ``tests/perf/test_invindex.py``.
+
+:class:`ShardedIndex` splits the corpus into contiguous row
+partitions, each with its own pruned index, scored independently
+(serially, or fanned over a
+:class:`~repro.perf.parallel.ParallelExecutor`) and exactly merged
+with the same stable ``(-score, index)`` fold the blocked path uses —
+shard results arrive in ascending row order, so the stable sort
+preserves the global tie order.
+
+Telemetry: ``invindex_postings_visited_total`` (posting entries
+actually multiply-accumulated, including the exact re-score),
+``invindex_postings_dense_total`` (entries a dense pass would score
+for the same queries — the denominator of the pruning win),
+``invindex_candidates_pruned_total`` (corpus rows never exactly
+scored — untouched rows plus candidates cut from the band) and
+``invindex_early_exit_total`` (queries whose scan hit the upper-bound
+exit), plus one ``invindex.shard`` span per partition scored.
+
+The shard count comes from the argument, then the ``REPRO_SHARDS``
+environment variable, then 1.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.similarity import top_k
+from repro.errors import ConfigurationError
+from repro.obs.metrics import counter
+from repro.obs.spans import span
+
+__all__ = ["InvertedIndex", "ShardedIndex", "resolve_shards",
+           "SHARDS_ENV", "DEFAULT_SHARDS"]
+
+#: Environment variable overriding the default shard count.
+SHARDS_ENV = "REPRO_SHARDS"
+
+#: Index partitions when nothing else is configured.
+DEFAULT_SHARDS = 1
+
+#: Safety margin for the pruning and re-score band decisions.  Partial
+#: scores are float64 sums of unit-bounded non-negative products, so
+#: their accumulated rounding error is bounded far below this; pruning
+#: strictly *more* conservatively than the error bound is what keeps
+#: the fast path bit-identical to the dense one.
+_EPS = 1e-9
+
+#: Posting entries multiply-accumulated (scan + exact re-score).
+_VISITED = counter("invindex_postings_visited_total")
+#: Posting entries a dense pass would have scored for the same queries.
+_DENSE = counter("invindex_postings_dense_total")
+#: Corpus rows never exactly scored thanks to the upper-bound exit.
+_PRUNED = counter("invindex_candidates_pruned_total")
+#: Queries whose term scan hit the upper-bound early exit.
+_EARLY_EXIT = counter("invindex_early_exit_total")
+
+
+def resolve_shards(shards: Optional[int] = None) -> int:
+    """Resolve a shard count: argument > ``REPRO_SHARDS`` > 1."""
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV)
+        if raw is None or not raw.strip():
+            return DEFAULT_SHARDS
+        try:
+            shards = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{SHARDS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    shards = int(shards)
+    if shards < 1:
+        raise ConfigurationError(
+            f"shards must be a positive integer, got {shards}")
+    return shards
+
+
+class InvertedIndex:
+    """Term-pruned exact top-k over one contiguous corpus slice.
+
+    Parameters
+    ----------
+    corpus:
+        L2-normalized non-negative sparse matrix, one row per known
+        document (the whole corpus, not the slice — slicing is by
+        ``start``/``end`` so shards share the parent matrix).
+    start / end:
+        Row range this index covers (defaults to the full corpus).
+    postings:
+        Optional prebuilt ``(data, rows, indptr, max_weight)`` posting
+        arrays (e.g. mmap-backed snapshot sections) — skips the CSC
+        conversion.  ``rows`` are local to the slice; the CSC arrays
+        are in *impact column order* (the deterministic stable argsort
+        of descending ``max_weight``, which stays in original term
+        order) — i.e. exactly what :attr:`postings` returned when the
+        snapshot was written.
+    """
+
+    #: Early-exit benefit ratio: exit once the estimated band
+    #: re-score cost is below this multiple of the unscanned posting
+    #: mass.  The batched stage scan runs ~2x *cheaper* per entry than
+    #: the band re-score (one amortized sparse matmat vs per-query row
+    #: gathers), so values below 1.0 optimize wall time; exactness
+    #: never depends on it.
+    benefit_ratio = 0.5
+
+    def __init__(self, corpus: sparse.spmatrix, start: int = 0,
+                 end: Optional[int] = None,
+                 postings: Optional[Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray, np.ndarray]] = None,
+                 ) -> None:
+        self._corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+        self.start = int(start)
+        self.end = self._corpus.shape[0] if end is None else int(end)
+        if not 0 <= self.start <= self.end <= self._corpus.shape[0]:
+            raise ConfigurationError(
+                f"invalid index slice [{self.start}, {self.end}) over "
+                f"{self._corpus.shape[0]} corpus rows")
+        self.n_docs = self.end - self.start
+        self.n_terms = self._corpus.shape[1]
+        if postings is not None:
+            self._data, self._rows, self._indptr, self._maxw = postings
+        else:
+            csc = sparse.csc_matrix(
+                self._corpus[self.start:self.end], dtype=np.float64)
+            self._data = csc.data
+            self._rows = csc.indices
+            self._indptr = csc.indptr
+            self._maxw = np.zeros(self.n_terms, dtype=np.float64)
+            lengths = np.diff(self._indptr)
+            nonempty = np.flatnonzero(lengths > 0)
+            if nonempty.size:
+                # reduceat segments run from each nonempty column's
+                # start to the next one's; interleaved empty columns
+                # contribute no entries, so each segment is exactly
+                # one column's postings.
+                self._maxw[nonempty] = np.maximum.reduceat(
+                    self._data, self._indptr[nonempty])
+        if self._data.size and float(self._data.min()) < 0.0:
+            raise ConfigurationError(
+                "inverted-index pruning requires non-negative feature "
+                "values (max-weight upper bounds would not hold)")
+        # Largest corpus-row L2 norm in the slice: the Cauchy-Schwarz
+        # residual bound is ||q_rest|| * this (1.0 for the normalized
+        # Tf-Idf matrices the linker feeds in).
+        if self._data.size:
+            sq = np.bincount(self._rows, weights=self._data * self._data,
+                             minlength=self.n_docs)
+            self._norm_max = float(np.sqrt(sq.max()))
+        else:
+            self._norm_max = 0.0
+        # Global impact order: posting columns permuted by descending
+        # per-term max weight, shared by every query.  One fixed order
+        # means a scan stage is a *contiguous* column range for all
+        # queries at once, so each stage collapses into a single
+        # batched sparse product instead of per-query column gathers.
+        # The permutation is a deterministic function of max_weight
+        # (stable argsort), so snapshot round-trips rebuild it
+        # identically from the saved arrays.
+        self._go = np.argsort(-self._maxw, kind="stable")
+        if postings is None:
+            csc = sparse.csc_matrix(
+                (self._data, self._rows, self._indptr),
+                shape=(self.n_docs, self.n_terms), copy=False)
+            csc = csc[:, self._go]
+            csc.sort_indices()
+            self._data = csc.data
+            self._rows = csc.indices
+            self._indptr = csc.indptr
+        self._maxw_imp = self._maxw[self._go]
+        self._plen_imp = np.diff(self._indptr).astype(np.int64)
+        # Zero-copy CSC wrapper over the (impact-ordered) posting
+        # arrays: scan stages slice contiguous column ranges out of it
+        # (the arrays may be read-only mmap views; slicing only reads).
+        self._csc = sparse.csc_matrix(
+            (self._data, self._rows, self._indptr),
+            shape=(self.n_docs, self.n_terms), copy=False)
+        # Stage boundaries: cut points in the impact order at roughly
+        # geometric fractions of the total posting mass.  Early stages
+        # are cheap (rare, high-bound terms) and give the exit test
+        # frequent chances while theta is still climbing; late stages
+        # are wide because by then either the scan has exited or the
+        # data is unprunable and fewer checks waste less.
+        cum = np.cumsum(self._plen_imp, dtype=np.float64)
+        total = float(cum[-1]) if cum.size else 0.0
+        if total <= 0.0:
+            self._stages = [(0, self.n_terms)]
+        else:
+            fracs = (0.005, 0.01, 0.02, 0.035, 0.055, 0.08, 0.11,
+                     0.15, 0.2, 0.26, 0.33, 0.41, 0.5, 0.6, 0.71,
+                     0.84, 1.0)
+            # Merge cut points until every stage carries at least a
+            # few accumulator widths of posting mass: each stage pays
+            # O(n_docs) accumulator/bookkeeping traffic per active
+            # query, so on low-mass (unprunable) corpora a full
+            # ladder would cost more in overhead than in scanning.
+            floor = 8.0 * self.n_docs
+            ends = []
+            last_mass = 0.0
+            for f in fracs:
+                end = min(int(np.searchsorted(cum, f * total)) + 1,
+                          self.n_terms)
+                if ends and end <= ends[-1]:
+                    continue
+                mass = float(cum[end - 1])
+                if ends and f < 1.0 and mass - last_mass < floor:
+                    continue
+                ends.append(end)
+                last_mass = mass
+            if ends[-1] != self.n_terms:
+                ends.append(self.n_terms)
+            self._stages = list(zip([0] + ends[:-1], ends))
+        # Per-row residual norms, one row per stage boundary: the L2
+        # mass each corpus row still has in the columns *after* the
+        # boundary.  The scanned column set is query-independent (the
+        # global impact order), so these are static per index and give
+        # the band test a per-row Cauchy-Schwarz bound — a row that
+        # already revealed most of its mass can barely move, no matter
+        # what the worst row in the slice could still do.
+        if self._data.size:
+            row_sq = np.bincount(self._rows,
+                                 weights=self._data * self._data,
+                                 minlength=self.n_docs)
+        else:
+            row_sq = np.zeros(self.n_docs, dtype=np.float64)
+        self._rest_norm = np.empty((len(self._stages), self.n_docs),
+                                   dtype=np.float64)
+        self._restmax = np.empty(len(self._stages), dtype=np.float64)
+        cumsq = np.zeros(self.n_docs, dtype=np.float64)
+        for si, (p0, p1) in enumerate(self._stages):
+            lo, hi = self._indptr[p0], self._indptr[p1]
+            if hi > lo:
+                d = self._data[lo:hi]
+                cumsq += np.bincount(self._rows[lo:hi], weights=d * d,
+                                     minlength=self.n_docs)
+            rest = np.sqrt(np.clip(row_sq - cumsq, 0.0, None))
+            self._rest_norm[si] = rest
+            self._restmax[si] = float(rest.max()) if rest.size else 0.0
+        # Dense query scratch row for the exact band re-score, plus a
+        # 0/1 indicator of the query's terms (used to count the
+        # re-score's restricted posting visits with one cheap
+        # indicator matvec) and a reusable all-ones data buffer.
+        self._qscratch = np.zeros(self.n_terms, dtype=np.float64)
+        self._qind = np.zeros(self.n_terms, dtype=np.float64)
+        self._ones = np.ones(0, dtype=np.float64)
+
+    @property
+    def postings(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+        """``(data, rows, indptr, max_weight)`` — snapshot payload.
+
+        The CSC arrays are in impact column order; ``max_weight`` is
+        in original term order, and the permutation is rebuilt from it
+        deterministically on load.
+        """
+        return self._data, self._rows, self._indptr, self._maxw
+
+    def top_k(self, queries: sparse.spmatrix, k: int,
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-query top-*k* slice rows by cosine, term-pruned.
+
+        Returns ``(indices, values)`` of shape
+        ``(n_queries, min(k, n_docs))`` — indices are *local* to the
+        slice; :class:`ShardedIndex` re-bases them.  Output is
+        bit-identical to ``top_k(cosine_similarity(queries, slice), k)``.
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        q = sparse.csr_matrix(queries, dtype=np.float64)
+        if q.shape[1] != self.n_terms:
+            raise ConfigurationError(
+                f"dimension mismatch: queries have {q.shape[1]} "
+                f"features, index has {self.n_terms}")
+        kk = min(k, self.n_docs)
+        n_queries = q.shape[0]
+        indices = np.zeros((n_queries, kk), dtype=np.int64)
+        values = np.zeros((n_queries, kk), dtype=np.float64)
+        # One column permutation per call puts the queries in the
+        # index's impact order, so every scan stage is a contiguous
+        # column slice on both sides of the batched partial product.
+        q_imp = q[:, self._go]
+        q_imp.sort_indices()
+        # The dense (batch x n_docs) accumulator caps the query batch:
+        # ~256 MB of partial scores per batch.
+        batch = max(1, int(32_000_000 // max(self.n_docs, 1)))
+        for b0 in range(0, n_queries, batch):
+            b1 = min(b0 + batch, n_queries)
+            self._topk_batch(q, q_imp, b0, b1, kk, indices, values)
+        return indices, values
+
+    # -- one query batch ----------------------------------------------------
+
+    def _topk_batch(self, q: sparse.csr_matrix, q_imp: sparse.csr_matrix,
+                    b0: int, b1: int, kk: int, indices: np.ndarray,
+                    values: np.ndarray) -> None:
+        nb = b1 - b0
+        n_docs = self.n_docs
+        plen = self._plen_imp
+        mean_nnz = float(self._data.size) / max(n_docs, 1)
+        # Per-query pruning state, in impact order: the ascending
+        # column ranks of the query's live terms, and suffix sums over
+        # them.  ``caps_suf[c]`` bounds what the terms still unscanned
+        # after ``c`` processed can add to any single row (MaxScore cap
+        # sum); ``qsq_suf[c]`` is the squared L2 mass of those weights
+        # for the Cauchy-Schwarz bound; ``un_suf[c]`` is their posting
+        # mass — the cost of *not* exiting, for the benefit test.
+        ranks: List[np.ndarray] = []
+        caps_suf: List[Optional[np.ndarray]] = []
+        qsq_suf: List[Optional[np.ndarray]] = []
+        un_suf: List[Optional[np.ndarray]] = []
+        alive = np.zeros(nb, dtype=bool)
+        dense_total = 0
+        for j in range(nb):
+            lo, hi = q_imp.indptr[b0 + j], q_imp.indptr[b0 + j + 1]
+            r = q_imp.indices[lo:hi].astype(np.int64)
+            w = q_imp.data[lo:hi]
+            dense_total += int(plen[r].sum())
+            bnd = w * self._maxw_imp[r]
+            live = bnd > 0.0
+            r, w, bnd = r[live], w[live], bnd[live]
+            ranks.append(r)
+            if r.size == 0:
+                # No query term appears anywhere in the slice: every
+                # row scores exactly 0.0, like the dense path, which
+                # fills ties in ascending index order.
+                _PRUNED.inc(n_docs)
+                indices[b0 + j] = np.arange(kk, dtype=np.int64)
+                values[b0 + j] = 0.0
+                caps_suf.append(None)
+                qsq_suf.append(None)
+                un_suf.append(None)
+                continue
+            alive[j] = True
+            caps_suf.append(np.concatenate(
+                (np.cumsum(bnd[::-1])[::-1], [0.0])))
+            qsq_suf.append(np.concatenate(
+                (np.cumsum((w * w)[::-1])[::-1], [0.0])))
+            un_suf.append(np.concatenate(
+                (np.cumsum(plen[r][::-1].astype(np.float64))[::-1],
+                 [0.0])))
+        _DENSE.inc(dense_total)
+        if not np.any(alive):
+            return
+        acc = np.zeros((nb, n_docs), dtype=np.float64)
+        scanned = 0
+        for si, (p0, p1) in enumerate(self._stages):
+            act = np.flatnonzero(alive)
+            if act.size == 0:
+                break
+            qs = q_imp[b0 + act][:, p0:p1]
+            if qs.nnz:
+                # csc[:, p0:p1].T is CSR over the same posting arrays
+                # (a transpose of a CSC slice costs nothing), so the
+                # whole stage is one C-speed CSR matmat across every
+                # still-active query.
+                part = qs @ self._csc[:, p0:p1].T
+                if part.nnz * 5 < act.size * n_docs:
+                    # Sparse stage: scatter-add only the touched
+                    # (query, row) pairs instead of densifying the
+                    # whole accumulator block.  The matmat output is
+                    # canonical (each pair appears once), so a fancy
+                    # in-place add is exact.
+                    row_rep = np.repeat(act.astype(np.int64),
+                                        np.diff(part.indptr))
+                    flat = row_rep * n_docs + part.indices
+                    acc.ravel()[flat] += part.data
+                else:
+                    acc[act] += part.toarray()
+                scanned += int(plen[p0:p1][qs.indices].sum())
+            # Residual after this stage, per active query: terms with
+            # rank >= p1 are exactly the unscanned ones.  ``rem`` is
+            # the query's *global* residual — what the unscanned terms
+            # can add to the luckiest row in the slice.
+            caps_c = np.empty(act.size, dtype=np.float64)
+            qrest_c = np.empty(act.size, dtype=np.float64)
+            cuts = np.empty(act.size, dtype=np.int64)
+            for jj, j in enumerate(act):
+                c = int(np.searchsorted(ranks[j], p1, side="left"))
+                cuts[jj] = c
+                caps_c[jj] = caps_suf[j][c]
+                qrest_c[jj] = float(np.sqrt(qsq_suf[j][c]))
+            rems = np.minimum(caps_c, qrest_c * self._restmax[si])
+            # Cheap pre-filter: theta can't exceed the row max, so a
+            # global residual at or above rowmax means the band would
+            # span essentially every unscanned-similar row — skip the
+            # partition (a skipped check only delays the exit; it
+            # never affects exactness).
+            rowmax = acc[act].max(axis=1)
+            maybe = np.flatnonzero(rems < rowmax - 2.0 * _EPS)
+            if maybe.size == 0:
+                continue
+            # theta over the dense accumulator *is* the k-th best
+            # partial: untouched rows hold 0.0, and the band keeps
+            # at least the k rows whose partial reaches theta.
+            th = np.partition(acc[act[maybe]], n_docs - kk,
+                              axis=1)[:, n_docs - kk]
+            rest = self._rest_norm[si]
+            for mi, jj in enumerate(maybe):
+                j = int(act[jj])
+                theta = float(th[mi])
+                row = acc[j]
+                # Per-row upper bound on the exact score: the partial
+                # plus what the unscanned terms can still add to THIS
+                # row — min of the MaxScore cap sum and Cauchy-Schwarz
+                # against the row's own unscanned L2 mass.  Rows that
+                # already revealed most of their mass get a far
+                # tighter bound than the global residual allows.
+                ub = row + np.minimum(caps_c[jj], qrest_c[jj] * rest)
+                # Benefit: re-scoring the band must undercut scanning
+                # the remaining posting lists, or the exit would *add*
+                # work (at the first legal exit the band is nearly
+                # the whole candidate pool).
+                n_band = int(np.count_nonzero(ub >= theta - 4.0 * _EPS))
+                if (n_band * mean_nnz
+                        > self.benefit_ratio * un_suf[j][cuts[jj]]):
+                    continue
+                _EARLY_EXIT.inc()
+                # Keep every row that could still reach the k-th
+                # best: ub >= theta, margin-widened (exactness: a row
+                # outside the band has exact <= partial + residual
+                # < theta - 4*_EPS + float error, while the k-th best
+                # exact is >= theta - _EPS — no crossover even through
+                # worst-case rounding).  The k rows at or above theta
+                # are always in the band, so it never runs short of
+                # kk; flatnonzero returns ascending row order, which
+                # the stable sort in the re-score needs for global
+                # tie order.
+                band = np.flatnonzero(ub >= theta - 4.0 * _EPS)
+                idx, val = self._rescore_band(q, b0 + j, band,
+                                              ub[band], kk)
+                indices[b0 + j] = idx
+                values[b0 + j] = val
+                alive[j] = False
+        _VISITED.inc(scanned)
+        # Queries that never exited scanned every live term: their
+        # partials equal the true scores up to float error, so the
+        # same band argument applies with rem = 0 — unless theta is
+        # too close to 0.0 to exclude the untouched rows, whose exact
+        # 0.0 ties must fill in ascending index order.
+        for j in np.flatnonzero(alive):
+            row = acc[j]
+            theta = float(np.partition(row, n_docs - kk)[n_docs - kk])
+            if theta > 2.0 * _EPS:
+                band = np.flatnonzero(row >= theta - 2.0 * _EPS)
+                idx, val = self._rescore_band(q, b0 + j, band,
+                                              row[band], kk)
+            else:
+                # Zero-score ties can reach the top-k: re-score every
+                # touched row and rank through the same dense-row
+                # top_k the blocked path uses, so ties (and the fill
+                # when the pool runs short of k) order by ascending
+                # index bit-identically.
+                cand = np.flatnonzero(row > 0.0)
+                _PRUNED.inc(n_docs - cand.size)
+                idx, val = self._rescore_scatter(q, b0 + j, cand, kk)
+            indices[b0 + j] = idx
+            values[b0 + j] = val
+
+    def _rescore_band(self, q: sparse.csr_matrix, row: int,
+                      band: np.ndarray, ub: np.ndarray, kk: int,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exactly re-score the band under a *rising* exact threshold.
+
+        The band's upper bounds were cut against the k-th best
+        *partial* score — loose while much of the query is unscanned.
+        Re-scoring in descending-``ub`` chunks replaces that cut with
+        the k-th best *exact* score seen so far, which only rises: as
+        soon as k chunked rows are exact, every remaining row whose
+        upper bound falls short of the exact threshold is dropped
+        without ever being read (a dropped row's exact score is at
+        most its ``ub < theta_exact - 2 * _EPS``, so it can neither
+        enter the top-k nor tie the k-th place).  On prunable data the
+        first chunk's scores sit far above the tail's bounds and the
+        band collapses after one round; on flat data the loop just
+        walks the whole band in geometrically growing chunks.
+
+        Ties still order by ascending corpus row: the final fold is a
+        stable ``(-score, row)`` lexsort, which equals the dense
+        path's stable argsort on the full score row.
+        """
+        order = np.argsort(-ub, kind="stable")
+        rows_sorted = band[order]
+        ub_sorted = ub[order]
+        got_rows: List[np.ndarray] = []
+        got_vals: List[np.ndarray] = []
+        got = 0
+        pos = 0
+        limit = rows_sorted.size
+        csz = max(4 * kk, 64)
+        while pos < limit:
+            chunk = rows_sorted[pos:pos + csz]
+            got_rows.append(chunk)
+            got_vals.append(self._exact_band(q, row, chunk))
+            got += chunk.size
+            pos += csz
+            if pos >= limit:
+                break
+            vals = (np.concatenate(got_vals) if len(got_vals) > 1
+                    else got_vals[0])
+            if got >= kk:
+                theta_e = float(np.partition(vals, got - kk)[got - kk])
+                # ub_sorted is descending: keep the prefix of the
+                # remaining rows that can still reach theta_e.
+                cut = int(np.searchsorted(
+                    -ub_sorted[pos:limit], -(theta_e - 2.0 * _EPS),
+                    side="right"))
+                limit = pos + cut
+            csz *= 4
+        rows_all = (np.concatenate(got_rows) if len(got_rows) > 1
+                    else got_rows[0])
+        vals_all = (np.concatenate(got_vals) if len(got_vals) > 1
+                    else got_vals[0])
+        _PRUNED.inc(self.n_docs - rows_all.size)
+        keep = np.lexsort((rows_all, -vals_all))[:kk]
+        return rows_all[keep], vals_all[keep]
+
+    def _rescore_scatter(self, q: sparse.csr_matrix, row: int,
+                         cand: np.ndarray, kk: int,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-score ``cand`` and rank through the dense-row top_k."""
+        exact = self._exact_band(q, row, cand)
+        scores_row = np.zeros((1, self.n_docs), dtype=np.float64)
+        scores_row[0, cand] = exact
+        idx, val = top_k(scores_row, kk)
+        return idx[0].astype(np.int64), val[0]
+
+    def _exact_band(self, q: sparse.csr_matrix, row: int,
+                    local_rows: np.ndarray) -> np.ndarray:
+        lo, hi = q.indptr[row], q.indptr[row + 1]
+        terms = q.indices[lo:hi]
+        scratch = self._qscratch
+        scratch[terms] = q.data[lo:hi]
+        self._qind[terms] = 1.0
+        try:
+            exact, nnz = self._exact_scores(scratch, local_rows)
+        finally:
+            scratch[terms] = 0.0
+            self._qind[terms] = 0.0
+        _VISITED.inc(nnz)
+        return exact
+
+    def _exact_scores(self, q_dense: np.ndarray,
+                      local_rows: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Exact cosine of the query against slice rows, dense-identical.
+
+        ``sub @ q_dense`` accumulates each row's score along the
+        corpus row's stored (ascending) term order; entries outside
+        the query multiply exactly ``0.0``, and adding ``+0.0`` never
+        changes an IEEE float, so the sequence of value-changing
+        additions — the shared terms, in ascending term order — is
+        the same as in the full sparse product the dense path runs.
+        The values are therefore bit-equal to the corresponding
+        entries of ``cosine_similarity(queries, corpus)``.
+        """
+        if local_rows.size == 0:
+            return np.zeros(0, dtype=np.float64), 0
+        sub = self._corpus[self.start + local_rows]
+        # Only entries whose term the query actually carries are
+        # postings of this query — the rest multiply exactly 0.0 —
+        # so that is what the visited counter charges.  Counting them
+        # is itself hot, so it rides the same C matvec kernel as the
+        # scores: an all-ones copy of the submatrix against the 0/1
+        # query-term indicator sums exactly one per restricted entry.
+        if self._ones.size < sub.nnz:
+            self._ones = np.ones(sub.nnz, dtype=np.float64)
+        ind = sparse.csr_matrix(
+            (self._ones[:sub.nnz], sub.indices, sub.indptr),
+            shape=sub.shape, copy=False)
+        visited = int(round(float(ind.dot(self._qind).sum())))
+        return sub.dot(q_dense), visited
+
+
+class ShardedIndex:
+    """K contiguous :class:`InvertedIndex` partitions, exactly merged.
+
+    Parameters
+    ----------
+    corpus:
+        L2-normalized non-negative sparse matrix (shared by all
+        shards — no per-shard row copies).
+    shards:
+        Partition count; ``None`` resolves through ``REPRO_SHARDS``
+        and defaults to 1.  Clamped to the corpus row count.
+    """
+
+    def __init__(self, corpus: sparse.spmatrix,
+                 shards: Optional[int] = None) -> None:
+        corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+        n_docs = corpus.shape[0]
+        if n_docs < 1:
+            raise ConfigurationError("corpus must not be empty")
+        n_shards = min(resolve_shards(shards), n_docs)
+        bounds = [n_docs * i // n_shards for i in range(n_shards + 1)]
+        self.n_docs = n_docs
+        self.bounds = bounds
+        self._shards: List[InvertedIndex] = [
+            InvertedIndex(corpus, start=bounds[i], end=bounds[i + 1])
+            for i in range(n_shards)
+        ]
+
+    @classmethod
+    def from_postings(cls, corpus: sparse.spmatrix,
+                      bounds: Sequence[int],
+                      postings: Sequence[Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray, np.ndarray]],
+                      ) -> "ShardedIndex":
+        """Rebuild from saved posting arrays (snapshot load path).
+
+        The arrays may be read-only mmap-backed views; nothing here
+        (or in the query path) writes to them, so forked restage
+        workers share the pages with the parent for free.
+        """
+        corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+        if len(bounds) != len(postings) + 1:
+            raise ConfigurationError(
+                f"shard bounds/postings mismatch: {len(bounds)} bounds "
+                f"for {len(postings)} shards")
+        index = cls.__new__(cls)
+        index.n_docs = corpus.shape[0]
+        index.bounds = [int(b) for b in bounds]
+        index._shards = [
+            InvertedIndex(corpus, start=index.bounds[i],
+                          end=index.bounds[i + 1], postings=postings[i])
+            for i in range(len(postings))
+        ]
+        return index
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _score_shard(self, item: Tuple[int, sparse.csr_matrix, int],
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        shard_id, queries, k = item
+        shard = self._shards[shard_id]
+        with span("invindex.shard", shard=shard_id, rows=shard.n_docs,
+                  n_queries=queries.shape[0]):
+            idx, val = shard.top_k(queries, k)
+        return idx + shard.start, val
+
+    def top_k(self, queries: sparse.spmatrix, k: int,
+              executor: Optional[object] = None,
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-query top-*k* corpus rows, scored shard by shard.
+
+        Bit-identical to ``blocked_top_k(queries, corpus, k)``: each
+        shard's exact local top-k arrives in ascending row order, so
+        the stable ``(-score, index)`` fold preserves the global tie
+        order (the :func:`~repro.perf.blocked.blocked_top_k` argument).
+
+        *executor* optionally fans the shards over a
+        :class:`~repro.perf.parallel.ParallelExecutor` (the index
+        travels to workers by fork inheritance, results by pickle).
+        """
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        q = sparse.csr_matrix(queries, dtype=np.float64)
+        items = [(i, q, k) for i in range(len(self._shards))]
+        if executor is not None and len(items) > 1:
+            parts = executor.map(self._score_shard, items)
+        else:
+            parts = [self._score_shard(item) for item in items]
+        if len(parts) == 1:
+            return parts[0]
+        merged_idx = np.concatenate([p[0] for p in parts], axis=1)
+        merged_val = np.concatenate([p[1] for p in parts], axis=1)
+        keep, best_val = top_k(merged_val,
+                               min(k, merged_val.shape[1]))
+        best_idx = np.take_along_axis(merged_idx, keep, axis=1)
+        return best_idx, best_val

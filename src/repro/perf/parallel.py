@@ -30,10 +30,25 @@ Worker count resolution, in priority order: explicit argument, the
 ``REPRO_WORKERS`` environment variable, then serial (1).  On platforms
 without ``fork`` (or when already inside a worker) the executor
 degrades to the serial path — same results, no parallelism.
+
+Two pooling disciplines coexist:
+
+* :meth:`ParallelExecutor.map` forks a fresh pool per call — the
+  items travel to workers by fork inheritance, so arbitrary unpicklable
+  state rides along for free, but every call pays the fork again;
+* :meth:`ParallelExecutor.map_shared` keeps one pool *alive across
+  calls*, keyed on ``(identity, version)`` of a caller-provided shared
+  state object that the workers inherited at fork time.  Repeat calls
+  against the same state version skip the fork entirely
+  (``parallel_pool_reuse_total`` counts the skips); bumping the
+  version — e.g. after a refit mutated the shared state — retires the
+  stale pool and forks a fresh one, because forked workers only ever
+  see the memory image from their moment of birth.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
@@ -47,7 +62,7 @@ from repro.obs.metrics import counter, gauge, get_registry
 from repro.obs.spans import Span, get_tracer
 
 __all__ = ["ParallelExecutor", "available_cores", "resolve_workers",
-           "GATE_ENV", "WORKERS_ENV"]
+           "shutdown_pools", "GATE_ENV", "WORKERS_ENV"]
 
 #: Environment variable supplying the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -76,16 +91,40 @@ _MERGE_MS = counter("parallel.merge_ms")
 #: Maps gated onto the serial path because requested workers exceeded
 #: the cores actually available.
 _GATED = counter("parallel_gated_serial_total")
+#: map_shared calls that reused an already-forked persistent pool
+#: instead of paying the fork again.
+_POOL_REUSE = counter("parallel_pool_reuse_total")
 
 #: The in-flight (fn, items) payload, published to forked workers via
 #: inherited memory; also the re-entrancy latch that forces nested
 #: executors (a worker starting its own pool) onto the serial path.
 _PAYLOAD: Optional[Tuple[Callable[[Any], Any], Sequence[Any]]] = None
 
+#: The shared-state object published to *persistent* pool workers at
+#: fork time (see :meth:`ParallelExecutor.map_shared`).
+_SHARED: Any = None
+
+#: Set in every pool worker (per-call and persistent) via the pool
+#: initializer: any executor created inside a worker runs serial.
+_IN_WORKER = False
+
+#: The live persistent pool and the (state id, version, workers) key
+#: it was forked for.  One pool at a time: the restage is the only
+#: map_shared call site, and a second distinct key means the first
+#: state is stale anyway.
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_KEY: Optional[Tuple[int, int, int]] = None
+
 
 def _probe() -> int:
     """No-op task used to force (and time) worker spawn-up."""
     return os.getpid()
+
+
+def _mark_worker() -> None:
+    """Pool initializer: latch this process as a worker forever."""
+    global _IN_WORKER
+    _IN_WORKER = True
 
 
 def _run_task(index: int) -> Tuple[Any, dict, List[dict]]:
@@ -113,6 +152,44 @@ def _run_task(index: int) -> Tuple[Any, dict, List[dict]]:
     _PICKLE_BYTES.inc(len(pickle.dumps((result, span_dicts),
                                        pickle.HIGHEST_PROTOCOL)))
     return result, registry.snapshot(), span_dicts
+
+
+def _run_shared(payload: Tuple[Callable[[Any, Any], Any], Any],
+                ) -> Tuple[Any, dict, List[dict]]:
+    """Persistent-pool worker entry: ``fn(shared_state, item)``.
+
+    Unlike :func:`_run_task`, the item arrives by pickle (the pool
+    outlives any single call, so fork inheritance cannot carry it);
+    only the heavyweight shared state — published to :data:`_SHARED`
+    before the fork — rides the copy-on-write pages.  Telemetry
+    discipline is identical: reset, run, ship the delta.
+    """
+    fn, item = payload
+    registry = get_registry()
+    registry.reset()
+    tracer = get_tracer()
+    tracer.clear_thread_state()
+    result = fn(_SHARED, item)
+    span_dicts = [s.to_dict() for s in tracer.roots()] \
+        if tracer.enabled else []
+    _PICKLE_BYTES.inc(len(pickle.dumps((result, span_dicts),
+                                       pickle.HIGHEST_PROTOCOL)))
+    return result, registry.snapshot(), span_dicts
+
+
+def shutdown_pools() -> None:
+    """Retire the persistent worker pool (if any) and its shared state.
+
+    Called automatically at interpreter exit; safe to call any time —
+    the next :meth:`ParallelExecutor.map_shared` simply forks afresh.
+    """
+    global _POOL, _POOL_KEY, _SHARED
+    pool, _POOL, _POOL_KEY, _SHARED = _POOL, None, None, None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
 
 
 def available_cores() -> int:
@@ -200,7 +277,7 @@ class ParallelExecutor:
                      cores=cores, n_items=len(items))
             return [fn(item) for item in items]
         global _PAYLOAD
-        if _PAYLOAD is not None:
+        if _PAYLOAD is not None or _IN_WORKER:
             # Nested use from inside a worker: stay serial.
             log.debug("parallel.nested_serial", n_items=len(items))
             return [fn(item) for item in items]
@@ -218,7 +295,8 @@ class ParallelExecutor:
         try:
             fork_start = time.perf_counter()
             with ProcessPoolExecutor(max_workers=n_workers,
-                                     mp_context=context) as pool:
+                                     mp_context=context,
+                                     initializer=_mark_worker) as pool:
                 # The first submit forks every worker; timing a no-op
                 # round-trip isolates spawn-up cost from task cost.
                 pool.submit(_probe).result()
@@ -228,23 +306,110 @@ class ParallelExecutor:
                                          chunksize=chunksize))
         finally:
             _PAYLOAD = None
-        merge_start = time.perf_counter()
-        registry = get_registry()
-        tracer = get_tracer()
-        results: List[Any] = []
-        for result, snapshot, span_dicts in outcomes:
-            # Gauges are instantaneous values of a dead worker; merging
-            # them would clobber live parent values (last-write-wins).
-            registry.merge({name: data for name, data in snapshot.items()
-                            if data.get("type") != "gauge"})
-            if tracer.enabled:
-                for span_dict in span_dicts:
-                    # Worker spans keep their own pid/tid, so the
-                    # Chrome-trace export renders one lane per worker.
-                    tracer.attach(Span.from_dict(span_dict))
-            results.append(result)
-        merge_ms = (time.perf_counter() - merge_start) * 1000.0
-        _MERGE_MS.inc(merge_ms)
+        results = _merge_outcomes(outcomes)
         log.debug("parallel.merged", n_items=len(items),
-                  fork_ms=round(fork_ms, 2), merge_ms=round(merge_ms, 2))
+                  fork_ms=round(fork_ms, 2))
         return results
+
+    def map_shared(self, fn: Callable[[Any, Any], Any],
+                   items: Iterable[Any], state: Any,
+                   version: int = 0) -> List[Any]:
+        """Like :meth:`map`, but over a pool that *persists* between
+        calls, with *state* shipped to workers once, at fork time.
+
+        Parameters
+        ----------
+        fn:
+            Called as ``fn(state, item)``.  Must be picklable (a
+            module-level function) — unlike :meth:`map`, the pool may
+            outlive this call, so the task payload travels by pickle;
+            only *state* rides the fork.
+        items:
+            Task items, also pickled per call.  Results return in
+            submission order, exceptions propagate.
+        state:
+            The heavyweight shared object (e.g. a fitted linker).  The
+            pool is keyed on ``(id(state), version, workers)``; a call
+            with the same key reuses the live workers without forking
+            (``parallel_pool_reuse_total``), any other key retires the
+            old pool first — a forked worker's memory image is frozen
+            at birth, so a mutated or different state *must* re-fork.
+        version:
+            Caller-maintained state version; bump it after mutating
+            *state* (refit, incremental growth) to invalidate the pool.
+        """
+        global _POOL, _POOL_KEY, _SHARED
+        items = list(items)
+        _WORKERS_GAUGE.set(self.workers)
+        _TASKS.inc(len(items))
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(state, item) for item in items]
+        cores = available_cores()
+        if _gate_enabled() and self.workers > cores:
+            _GATED.inc()
+            log.info("parallel.gated_serial", workers=self.workers,
+                     cores=cores, n_items=len(items))
+            return [fn(state, item) for item in items]
+        if _PAYLOAD is not None or _IN_WORKER:
+            log.debug("parallel.nested_serial", n_items=len(items))
+            return [fn(state, item) for item in items]
+        if "fork" not in multiprocessing.get_all_start_methods():
+            log.warning("parallel.no_fork", n_items=len(items),
+                        workers=self.workers)
+            return [fn(state, item) for item in items]
+        key = (id(state), int(version), self.workers)
+        if _POOL is not None and _POOL_KEY == key:
+            _POOL_REUSE.inc()
+            pool = _POOL
+        else:
+            shutdown_pools()
+            _SHARED = state
+            context = multiprocessing.get_context("fork")
+            _POOLS.inc()
+            fork_start = time.perf_counter()
+            pool = ProcessPoolExecutor(max_workers=self.workers,
+                                       mp_context=context,
+                                       initializer=_mark_worker)
+            try:
+                pool.submit(_probe).result()
+            except Exception:
+                pool.shutdown(wait=False, cancel_futures=True)
+                _SHARED = None
+                raise
+            _FORK_MS.inc((time.perf_counter() - fork_start) * 1000.0)
+            _POOL, _POOL_KEY = pool, key
+            log.debug("parallel.pool_forked", workers=self.workers,
+                      version=int(version))
+        chunksize = max(1, len(items) // (self.workers * 4))
+        try:
+            outcomes = list(pool.map(_run_shared,
+                                     [(fn, item) for item in items],
+                                     chunksize=chunksize))
+        except Exception:
+            # A broken pool (killed worker, unpicklable payload) must
+            # not poison the *next* call with dead processes.
+            shutdown_pools()
+            raise
+        return _merge_outcomes(outcomes)
+
+
+def _merge_outcomes(outcomes: Sequence[Tuple[Any, dict, List[dict]]],
+                    ) -> List[Any]:
+    """Fold worker results, metric deltas and spans into the parent."""
+    merge_start = time.perf_counter()
+    registry = get_registry()
+    tracer = get_tracer()
+    results: List[Any] = []
+    for result, snapshot, span_dicts in outcomes:
+        # Gauges are instantaneous values of a dead worker; merging
+        # them would clobber live parent values (last-write-wins).
+        registry.merge({name: data for name, data in snapshot.items()
+                        if data.get("type") != "gauge"})
+        if tracer.enabled:
+            for span_dict in span_dicts:
+                # Worker spans keep their own pid/tid, so the
+                # Chrome-trace export renders one lane per worker.
+                tracer.attach(Span.from_dict(span_dict))
+        results.append(result)
+    _MERGE_MS.inc((time.perf_counter() - merge_start) * 1000.0)
+    return results

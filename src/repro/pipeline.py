@@ -34,6 +34,8 @@ from repro.errors import ConfigurationError, InsufficientDataError
 from repro.forums.models import Forum
 from repro.obs.logging import get_logger
 from repro.obs.spans import span
+from repro.perf.blocked import resolve_block_size
+from repro.perf.invindex import resolve_shards
 from repro.resilience.degrade import DeadlineBudget
 from repro.resilience.faults import GUARD_POLICY_DELAYS, get_fault_plan
 from repro.resilience.policy import RetryPolicy
@@ -83,6 +85,10 @@ class LinkingPipeline:
         Profile-caching policy and stage-1 scoring block size,
         forwarded to the linker (see
         :class:`~repro.core.linker.AliasLinker`).
+    stage1 / shards:
+        Stage-1 scoring strategy (``"dense"``, ``"blocked"`` or
+        ``"invindex"``) and inverted-index shard count, forwarded to
+        the linker.  Every strategy produces bit-identical links.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
@@ -92,7 +98,9 @@ class LinkingPipeline:
                  retry_policy: Optional[RetryPolicy] = None,
                  workers: Optional[int] = None,
                  cache: bool = True,
-                 block_size: Optional[int] = None) -> None:
+                 block_size: Optional[int] = None,
+                 stage1: str = "blocked",
+                 shards: Optional[int] = None) -> None:
         self.config = config or PipelineConfig()
         self.cleaning = cleaning or CleaningConfig()
         self.weights = weights or FeatureWeights()
@@ -101,6 +109,8 @@ class LinkingPipeline:
         self.workers = workers
         self.cache = cache
         self.block_size = block_size
+        self.stage1 = stage1
+        self.shards = shards
         self.report = PipelineReport()
 
     def manifest_config(self) -> Dict[str, object]:
@@ -123,7 +133,12 @@ class LinkingPipeline:
             "batch_size": self.batch_size,
             "workers": self.workers,
             "cache": self.cache,
-            "block_size": self.block_size,
+            # Perf knobs are recorded *resolved* (argument > env >
+            # default), so the manifest states the concrete values the
+            # run actually used, not "None, ask the environment".
+            "block_size": resolve_block_size(self.block_size),
+            "stage1": self.stage1,
+            "shards": resolve_shards(self.shards),
         }
 
     def _guard(self, site: str, fn, *args, **kwargs):
@@ -205,6 +220,8 @@ class LinkingPipeline:
                 workers=self.workers,
                 cache=self.cache,
                 block_size=self.block_size,
+                stage1=self.stage1,
+                shards=self.shards,
             )
         return AliasLinker(
             k=self.config.k,
@@ -217,6 +234,8 @@ class LinkingPipeline:
             workers=self.workers,
             cache=self.cache,
             block_size=self.block_size,
+            stage1=self.stage1,
+            shards=self.shards,
         )
 
     def link_documents(self, known: List[AliasDocument],

@@ -7,8 +7,11 @@ serializes a fitted :class:`~repro.core.linker.AliasLinker` or
 :class:`~repro.core.batch.BatchedLinker` — documents, shared
 :class:`~repro.core.ngrams.WordVocab`, warm
 :class:`~repro.perf.cache.ProfileCache` profiles, and (for the alias
-linker) the fitted reduction feature space and known-corpus matrix —
-into one versioned snapshot file with an integrity manifest.
+linker) the fitted reduction feature space, known-corpus matrix and —
+when stage 1 runs the sharded inverted index — the per-shard posting
+arrays — into one versioned snapshot file with an integrity manifest.
+Saved shards load as zero-copy (mmap-backed) views, so a service
+restart skips the index build entirely.
 
 **Format** (all integers little-endian)::
 
@@ -294,6 +297,25 @@ def _collect_state(linker: Any) -> Tuple[str, Dict[str, Any],
             ("reduction.matrix.indices", "ndarray", matrix.indices),
             ("reduction.matrix.indptr", "ndarray", matrix.indptr),
         ])
+        # The inverted index is derived state, but rebuilding it on a
+        # big corpus costs a full pass + sorts — save the posting
+        # arrays so loads can adopt them as zero-copy views.  stage1
+        # stays out of the semantic config (every strategy scores
+        # bit-identically); the sections' presence records the build.
+        index = linker.reducer._index
+        if getattr(linker, "stage1", "blocked") == "invindex" \
+                and index is not None:
+            sections.append(("invindex.meta", "json",
+                             {"bounds": [int(b) for b in index.bounds],
+                              "n_shards": index.n_shards}))
+            for i, shard in enumerate(index._shards):
+                data, rows, indptr, maxw = shard.postings
+                sections.extend([
+                    (f"invindex.shard{i}.data", "ndarray", data),
+                    (f"invindex.shard{i}.rows", "ndarray", rows),
+                    (f"invindex.shard{i}.indptr", "ndarray", indptr),
+                    (f"invindex.shard{i}.maxw", "ndarray", maxw),
+                ])
     return algo, config, sections
 
 
@@ -702,14 +724,22 @@ def _rebuild_cache(sections: Dict[str, Any], enabled: bool) -> Any:
 def _rebuild_linker(header: Dict[str, Any],
                     sections: Dict[str, Any],
                     workers: Optional[int], cache: bool,
-                    block_size: Optional[int]) -> Any:
+                    block_size: Optional[int],
+                    stage1: Optional[str] = None,
+                    shards: Optional[int] = None) -> Any:
     from repro.core.batch import BatchedLinker
     from repro.core.features import FeatureWeights
     from repro.core.linker import AliasLinker
     from repro.core.tfidf import TfidfModel
+    from repro.perf.invindex import ShardedIndex
 
     config = header["config"]
     algo = header["algo"]
+    if stage1 is None:
+        # Auto-detect: a snapshot carrying posting sections was built
+        # by an invindex linker — resume in the same mode.
+        stage1 = "invindex" if "invindex.meta" in sections \
+            else "blocked"
     documents = [_restore_document(r) for r in sections["documents"]]
     if len(documents) != config["n_known"]:
         raise SnapshotError(
@@ -733,6 +763,8 @@ def _rebuild_linker(header: Dict[str, Any],
             workers=workers,
             cache=profile_cache,
             block_size=block_size,
+            stage1=stage1,
+            shards=shards,
         )
         linker._known = documents
         return linker
@@ -749,6 +781,8 @@ def _rebuild_linker(header: Dict[str, Any],
         workers=workers,
         cache=profile_cache,
         block_size=block_size,
+        stage1=stage1,
+        shards=shards,
     )
     linker._known = documents
     reducer = linker.reducer
@@ -772,12 +806,39 @@ def _rebuild_linker(header: Dict[str, Any],
     matrix.has_sorted_indices = True
     matrix.has_canonical_format = True
     reducer._known_matrix = matrix
+    if stage1 == "invindex":
+        meta = sections.get("invindex.meta")
+        saved = None
+        if meta is not None and (
+                shards is None
+                or int(shards) == int(meta["n_shards"])):
+            try:
+                postings = [
+                    (sections[f"invindex.shard{i}.data"],
+                     sections[f"invindex.shard{i}.rows"],
+                     sections[f"invindex.shard{i}.indptr"],
+                     sections[f"invindex.shard{i}.maxw"])
+                    for i in range(int(meta["n_shards"]))
+                ]
+                saved = ShardedIndex.from_postings(
+                    matrix, meta["bounds"], postings)
+            except KeyError:
+                saved = None  # partial save: fall through to a build
+        if saved is not None:
+            reducer.attach_index(saved)
+        else:
+            # No usable saved shards (snapshot written by a blocked
+            # run, or the caller asked for a different shard count):
+            # build from the restored matrix.
+            reducer.rebuild_index()
+        linker.shards = reducer.shards
     return linker
 
 
 def load_index(path: Union[str, Path], workers: Optional[int] = None,
                cache: bool = True, block_size: Optional[int] = None,
-               mmap: bool = True) -> Any:
+               mmap: bool = True, stage1: Optional[str] = None,
+               shards: Optional[int] = None) -> Any:
     """Load a verified snapshot into a ready-to-link linker.
 
     Every section checksum, the header checksum, the format version
@@ -786,8 +847,13 @@ def load_index(path: Union[str, Path], workers: Optional[int] = None,
     first damaged section.  With *mmap* (default, plain loads only)
     the numpy sections stay memory-mapped views of the file.
 
-    *workers*, *cache* and *block_size* are load-time perf knobs —
-    they never change the scores a loaded linker produces.
+    *workers*, *cache*, *block_size*, *stage1* and *shards* are
+    load-time perf knobs — they never change the scores a loaded
+    linker produces.  ``stage1=None`` resumes whatever strategy the
+    snapshot was built with (``"invindex"`` when posting sections are
+    present, else ``"blocked"``); a saved index is adopted as
+    zero-copy views unless *shards* asks for a different partition
+    count, in which case it is rebuilt from the restored matrix.
     """
     path = Path(path)
     with span("snapshot.load", path=str(path)):
@@ -819,7 +885,8 @@ def load_index(path: Union[str, Path], workers: Optional[int] = None,
             for entry in header["sections"]
         }
         linker = _rebuild_linker(header, sections, workers=workers,
-                                 cache=cache, block_size=block_size)
+                                 cache=cache, block_size=block_size,
+                                 stage1=stage1, shards=shards)
     _LOADED.inc()
     log.info("snapshot.load", path=str(path), algo=header["algo"],
              n_known=header["config"]["n_known"],

@@ -1,9 +1,10 @@
 """Bit-identity of linking output across every perf configuration.
 
-The perf subsystem's contract is that caching, parallelism and blocked
-scoring are pure mechanics: ``link()`` output is **identical** — not
-approximately equal — whether the cache is on or off, at any worker
-count, at any block size, and under checkpoint/resume.  Everything here
+The perf subsystem's contract is that caching, parallelism, blocked
+scoring and the inverted-index stage 1 are pure mechanics: ``link()``
+output is **identical** — not approximately equal — whether the cache
+is on or off, at any worker count, at any block size, under any stage-1
+strategy and shard count, and under checkpoint/resume.  Everything here
 compares full ``LinkResult.to_dict()`` payloads for exact equality.
 """
 
@@ -11,6 +12,8 @@ import pytest
 
 from repro.core.batch import BatchedLinker
 from repro.core.linker import AliasLinker
+from repro.obs.metrics import get_registry
+from repro.perf.parallel import GATE_ENV, shutdown_pools
 
 
 def _run(dataset, **kwargs):
@@ -51,6 +54,81 @@ class TestAliasLinkerEquivalence:
                                                  baseline):
         assert _run(reddit_alter_egos, workers=4, cache=False,
                     block_size=5).to_dict() == baseline
+
+
+class TestStage1Equivalence:
+    """Every stage-1 strategy produces the same bits end to end."""
+
+    def test_dense_is_bit_identical(self, reddit_alter_egos, baseline):
+        assert _run(reddit_alter_egos,
+                    stage1="dense").to_dict() == baseline
+
+    @pytest.mark.parametrize("shards", [1, 3, 7])
+    def test_invindex_is_bit_identical(self, reddit_alter_egos,
+                                       baseline, shards):
+        assert _run(reddit_alter_egos, stage1="invindex",
+                    shards=shards).to_dict() == baseline
+
+    def test_invindex_with_workers_is_bit_identical(
+            self, reddit_alter_egos, baseline):
+        assert _run(reddit_alter_egos, stage1="invindex", shards=3,
+                    workers=2).to_dict() == baseline
+
+    def test_invindex_everything_at_once(self, reddit_alter_egos,
+                                         baseline):
+        assert _run(reddit_alter_egos, stage1="invindex", shards=2,
+                    workers=4, cache=False,
+                    block_size=5).to_dict() == baseline
+
+    def test_rescore_batch_matches_rescore(self, reddit_alter_egos):
+        linker = AliasLinker(threshold=0.4)
+        linker.fit(reddit_alter_egos.originals)
+        reduced = linker.reducer.reduce(reddit_alter_egos.alter_egos)
+        pairs = [(c.unknown, c.documents) for c in reduced]
+        batched = linker.rescore_batch(pairs)
+        for (unknown, docs), scored in zip(pairs, batched):
+            assert scored == linker.rescore(unknown, docs)
+
+
+class TestPersistentPool:
+    """The restage pool survives across link() calls and refits."""
+
+    @pytest.fixture(autouse=True)
+    def gate_off(self, monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "0")
+        shutdown_pools()
+        yield
+        shutdown_pools()
+
+    @staticmethod
+    def _counter(name):
+        return get_registry().snapshot().get(name, {}).get("value", 0)
+
+    def test_pool_reused_across_links(self, reddit_alter_egos,
+                                      baseline):
+        linker = AliasLinker(threshold=0.4, workers=2)
+        linker.fit(reddit_alter_egos.originals)
+        first = linker.link(reddit_alter_egos.alter_egos)
+        reuses_before = self._counter("parallel_pool_reuse_total")
+        pools_before = self._counter("parallel_pools_total")
+        second = linker.link(reddit_alter_egos.alter_egos)
+        # Second link forked nothing new: the warm pool served it.
+        assert self._counter("parallel_pools_total") == pools_before
+        assert self._counter("parallel_pool_reuse_total") \
+            > reuses_before
+        assert first.to_dict() == baseline
+        assert second.to_dict() == baseline
+
+    def test_refit_invalidates_pool(self, reddit_alter_egos):
+        linker = AliasLinker(threshold=0.4, workers=2)
+        linker.fit(reddit_alter_egos.originals)
+        linker.link(reddit_alter_egos.alter_egos)
+        pools_before = self._counter("parallel_pools_total")
+        # Refit bumps the state version: stale forked images of the
+        # old corpus must never serve the new one.
+        linker.fit(reddit_alter_egos.originals[:-1])
+        linker.link(reddit_alter_egos.alter_egos)
+        assert self._counter("parallel_pools_total") > pools_before
 
 
 class TestResumeEquivalence:

@@ -1,0 +1,288 @@
+"""Inverted-index stage-1 (repro.perf.invindex): exactness & pruning.
+
+The contract under test is strict: :class:`InvertedIndex` and
+:class:`ShardedIndex` are *exact* top-k engines — indices AND values
+bit-match ``blocked_top_k`` (itself bit-identical to the dense
+one-shot scorer), including the stable tie order, for every corpus,
+shard count and k.  Pruning only changes how many postings get
+visited, never what comes out.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.core.similarity import cosine_similarity, top_k
+from repro.core.tfidf import l2_normalize_rows
+from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.perf.blocked import blocked_top_k
+from repro.perf.invindex import (
+    DEFAULT_SHARDS,
+    SHARDS_ENV,
+    InvertedIndex,
+    ShardedIndex,
+    resolve_shards,
+)
+
+
+def _random_matrix(rng, rows, cols, density=0.3):
+    dense = rng.random((rows, cols)) * (rng.random((rows, cols)) < density)
+    return l2_normalize_rows(sparse.csr_matrix(dense))
+
+
+def _counter(name):
+    return get_registry().snapshot().get(name, {}).get("value", 0)
+
+
+class TestResolveShards:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shards() == DEFAULT_SHARDS
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shards() == 8
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "8")
+        assert resolve_shards(2) == 2
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_shards()
+
+    @pytest.mark.parametrize("shards", [0, -3])
+    def test_non_positive_rejected(self, shards):
+        with pytest.raises(ConfigurationError):
+            resolve_shards(shards)
+
+
+class TestInvertedIndexEquivalence:
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_matches_dense_exactly(self, k):
+        rng = np.random.default_rng(k)
+        queries = _random_matrix(rng, 9, 40)
+        corpus = _random_matrix(rng, 37, 40)
+        expected_idx, expected_val = top_k(
+            cosine_similarity(queries, corpus), min(k, 37))
+        got_idx, got_val = InvertedIndex(corpus).top_k(queries, k)
+        np.testing.assert_array_equal(got_idx, expected_idx)
+        np.testing.assert_array_equal(got_val, expected_val)
+
+    def test_k_at_least_corpus_returns_everything(self):
+        rng = np.random.default_rng(7)
+        queries = _random_matrix(rng, 4, 30)
+        corpus = _random_matrix(rng, 12, 30)
+        idx, val = InvertedIndex(corpus).top_k(queries, 500)
+        assert idx.shape == (4, 12)
+        eidx, eval_ = top_k(cosine_similarity(queries, corpus), 12)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+    def test_ties_resolve_to_lowest_index(self):
+        # Duplicate corpus rows: every duplicate scores identically,
+        # so the winner must be the lowest row index (the dense
+        # top_k tie rule).
+        rng = np.random.default_rng(3)
+        base = _random_matrix(rng, 6, 20)
+        corpus = sparse.vstack([base, base]).tocsr()
+        queries = _random_matrix(rng, 5, 20)
+        eidx, eval_ = top_k(cosine_similarity(queries, corpus), 4)
+        idx, val = InvertedIndex(corpus).top_k(queries, 4)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+    def test_negative_values_rejected(self):
+        dense = np.array([[0.6, -0.8], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(sparse.csr_matrix(dense))
+
+    def test_invalid_slice_rejected(self):
+        rng = np.random.default_rng(0)
+        corpus = _random_matrix(rng, 5, 10)
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(corpus, start=4, end=2)
+
+    def test_k_below_one_rejected(self):
+        rng = np.random.default_rng(0)
+        corpus = _random_matrix(rng, 5, 10)
+        with pytest.raises(ConfigurationError):
+            InvertedIndex(corpus).top_k(_random_matrix(rng, 2, 10), 0)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1e9])
+    def test_benefit_ratio_extremes_stay_exact(self, ratio,
+                                               monkeypatch):
+        # The early-exit heuristic trades scan for re-score cost;
+        # exactness must hold at both degenerate settings (never
+        # exit early / always exit at the first opportunity).
+        monkeypatch.setattr(InvertedIndex, "benefit_ratio", ratio)
+        rng = np.random.default_rng(int(ratio) % 97)
+        queries = _random_matrix(rng, 8, 60)
+        corpus = _random_matrix(rng, 50, 60)
+        eidx, eval_ = top_k(cosine_similarity(queries, corpus), 10)
+        idx, val = InvertedIndex(corpus).top_k(queries, 10)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+
+class TestInvertedIndexCounters:
+    def test_visited_bounded_by_twice_dense(self):
+        # On small uniform-random data pruning barely bites and the
+        # band re-score may revisit postings the stage scan already
+        # touched, so the hard invariant is visited <= 2x dense (each
+        # posting is touched at most once per phase).  Sublinearity on
+        # realistic corpora is the benchmark suite's claim, not a
+        # per-call guarantee.
+        rng = np.random.default_rng(42)
+        queries = _random_matrix(rng, 10, 80, density=0.2)
+        corpus = _random_matrix(rng, 200, 80, density=0.2)
+        before_v = _counter("invindex_postings_visited_total")
+        before_d = _counter("invindex_postings_dense_total")
+        InvertedIndex(corpus).top_k(queries, 5)
+        visited = _counter("invindex_postings_visited_total") - before_v
+        dense = _counter("invindex_postings_dense_total") - before_d
+        assert dense > 0
+        assert 0 < visited <= 2 * dense
+
+    def test_skewed_weights_prune(self):
+        # Zipf-skewed term weights (the realistic Tf-Idf shape): most
+        # of the mass sits in low-bound terms the residual bound lets
+        # the scan skip, so visited lands well below the dense count —
+        # while output stays exact.
+        rng = np.random.default_rng(9)
+        n_docs, n_terms = 400, 2000
+        skew = 1.0 / (1.0 + np.arange(n_terms)) ** 0.8
+
+        def skewed(rows):
+            dense = rng.random((rows, n_terms)) \
+                * (rng.random((rows, n_terms)) < 0.25) * skew
+            return l2_normalize_rows(sparse.csr_matrix(dense))
+
+        corpus, queries = skewed(n_docs), skewed(6)
+        before_v = _counter("invindex_postings_visited_total")
+        before_d = _counter("invindex_postings_dense_total")
+        idx, val = InvertedIndex(corpus).top_k(queries, 5)
+        visited = _counter("invindex_postings_visited_total") - before_v
+        dense = _counter("invindex_postings_dense_total") - before_d
+        assert 0 < visited < 0.5 * dense
+        eidx, eval_ = top_k(cosine_similarity(queries, corpus), 5)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+
+class TestPostingsRoundTrip:
+    def test_prebuilt_postings_bit_identical(self):
+        rng = np.random.default_rng(5)
+        corpus = _random_matrix(rng, 40, 50)
+        queries = _random_matrix(rng, 6, 50)
+        built = InvertedIndex(corpus)
+        # Read-only views model what an mmap-backed snapshot hands
+        # back: the load path must never write to them.
+        arrays = []
+        for arr in built.postings:
+            view = arr.copy()
+            view.setflags(write=False)
+            arrays.append(view)
+        loaded = InvertedIndex(corpus, postings=tuple(arrays))
+        eidx, eval_ = built.top_k(queries, 7)
+        idx, val = loaded.top_k(queries, 7)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+    def test_sharded_from_postings_bit_identical(self):
+        rng = np.random.default_rng(6)
+        corpus = _random_matrix(rng, 45, 50)
+        queries = _random_matrix(rng, 6, 50)
+        built = ShardedIndex(corpus, shards=4)
+        postings = [shard.postings for shard in built._shards]
+        loaded = ShardedIndex.from_postings(corpus, built.bounds,
+                                            postings)
+        assert loaded.n_shards == built.n_shards
+        eidx, eval_ = built.top_k(queries, 9)
+        idx, val = loaded.top_k(queries, 9)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)
+
+    def test_bounds_postings_mismatch_rejected(self):
+        rng = np.random.default_rng(6)
+        corpus = _random_matrix(rng, 20, 30)
+        built = ShardedIndex(corpus, shards=2)
+        postings = [shard.postings for shard in built._shards]
+        with pytest.raises(ConfigurationError):
+            ShardedIndex.from_postings(corpus, built.bounds,
+                                       postings[:1])
+
+
+class TestShardedIndexEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 50])
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_matches_blocked_exactly(self, shards, k):
+        rng = np.random.default_rng(shards * 100 + k)
+        queries = _random_matrix(rng, 9, 40)
+        corpus = _random_matrix(rng, 37, 40)
+        expected_idx, expected_val = blocked_top_k(queries, corpus, k)
+        got_idx, got_val = ShardedIndex(corpus, shards=shards).top_k(
+            queries, k)
+        np.testing.assert_array_equal(got_idx, expected_idx)
+        np.testing.assert_array_equal(got_val, expected_val)
+
+    def test_shards_clamped_to_corpus(self):
+        rng = np.random.default_rng(1)
+        corpus = _random_matrix(rng, 3, 10)
+        assert ShardedIndex(corpus, shards=16).n_shards == 3
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedIndex(sparse.csr_matrix((0, 10)))
+
+    def test_k_below_one_rejected(self):
+        rng = np.random.default_rng(1)
+        corpus = _random_matrix(rng, 5, 10)
+        with pytest.raises(ConfigurationError):
+            ShardedIndex(corpus).top_k(_random_matrix(rng, 2, 10), 0)
+
+
+class TestShardedIndexProperties:
+    """Hypothesis sweep: exactness over random sparse corpora."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           n_docs=st.integers(1, 60),
+           n_queries=st.integers(1, 8),
+           n_terms=st.integers(2, 50),
+           density=st.floats(0.05, 0.9),
+           shards=st.integers(1, 12),
+           k=st.integers(1, 80))
+    def test_bit_matches_blocked(self, seed, n_docs, n_queries,
+                                 n_terms, density, shards, k):
+        rng = np.random.default_rng(seed)
+        corpus = _random_matrix(rng, n_docs, n_terms, density)
+        queries = _random_matrix(rng, n_queries, n_terms, density)
+        expected_idx, expected_val = blocked_top_k(queries, corpus, k)
+        index = ShardedIndex(corpus, shards=shards)
+        got_idx, got_val = index.top_k(queries, k)
+        np.testing.assert_array_equal(got_idx, expected_idx)
+        np.testing.assert_array_equal(got_val, expected_val)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           n_docs=st.integers(2, 40),
+           shards=st.integers(1, 6),
+           k=st.integers(1, 12))
+    def test_postings_round_trip_bit_identical(self, seed, n_docs,
+                                               shards, k):
+        rng = np.random.default_rng(seed)
+        corpus = _random_matrix(rng, n_docs, 30, 0.4)
+        queries = _random_matrix(rng, 3, 30, 0.4)
+        built = ShardedIndex(corpus, shards=shards)
+        loaded = ShardedIndex.from_postings(
+            corpus, built.bounds,
+            [shard.postings for shard in built._shards])
+        eidx, eval_ = built.top_k(queries, k)
+        idx, val = loaded.top_k(queries, k)
+        np.testing.assert_array_equal(idx, eidx)
+        np.testing.assert_array_equal(val, eval_)

@@ -17,7 +17,21 @@ from repro.obs.spans import (
 )
 from repro.perf import parallel
 from repro.perf.parallel import GATE_ENV, WORKERS_ENV, \
-    ParallelExecutor, available_cores, resolve_workers
+    ParallelExecutor, available_cores, resolve_workers, shutdown_pools
+
+
+def _shared_affine(state, item):
+    """Module-level task for map_shared (workers unpickle by name)."""
+    return state["scale"] * item + state["offset"]
+
+
+def _shared_probe(state, item):
+    counter("test_map_shared_probe_total").inc()
+    return state["offset"] + item
+
+
+def _shared_boom(state, item):
+    raise ValueError(f"bad item {item}")
 
 
 @pytest.fixture(autouse=True)
@@ -96,6 +110,106 @@ class TestMap:
 
         result = ParallelExecutor(workers=2).map(outer, [1, 2, 3, 4])
         assert result == [13, 24, 35, 46]
+
+
+class TestMapShared:
+    """map_shared: the persistent-pool path keyed on (state, version)."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_pools(self):
+        shutdown_pools()
+        yield
+        shutdown_pools()
+
+    @staticmethod
+    def _pools():
+        return get_registry().snapshot().get(
+            "parallel_pools_total", {}).get("value", 0)
+
+    @staticmethod
+    def _reuses():
+        return get_registry().snapshot().get(
+            "parallel_pool_reuse_total", {}).get("value", 0)
+
+    def test_serial_preserves_order(self):
+        state = {"scale": 3, "offset": 1}
+        result = ParallelExecutor(workers=1).map_shared(
+            _shared_affine, range(10), state=state)
+        assert result == [3 * x + 1 for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        state = {"scale": 2, "offset": 5}
+        result = ParallelExecutor(workers=3).map_shared(
+            _shared_affine, range(20), state=state)
+        assert result == [2 * x + 5 for x in range(20)]
+
+    def test_pool_reused_across_calls(self):
+        state = {"scale": 1, "offset": 0}
+        executor = ParallelExecutor(workers=2)
+        pools_before = self._pools()
+        reuses_before = self._reuses()
+        first = executor.map_shared(_shared_affine, range(8),
+                                    state=state)
+        second = executor.map_shared(_shared_affine, range(8, 16),
+                                     state=state)
+        assert first == list(range(8))
+        assert second == list(range(8, 16))
+        # One fork serves both calls; the second is a recorded reuse.
+        assert self._pools() == pools_before + 1
+        assert self._reuses() == reuses_before + 1
+
+    def test_version_bump_invalidates_pool(self):
+        state = {"scale": 1, "offset": 0}
+        executor = ParallelExecutor(workers=2)
+        pools_before = self._pools()
+        executor.map_shared(_shared_affine, range(6), state=state,
+                            version=0)
+        executor.map_shared(_shared_affine, range(6), state=state,
+                            version=1)
+        # A stale forked memory image must never serve a new version.
+        assert self._pools() == pools_before + 2
+
+    def test_different_state_invalidates_pool(self):
+        executor = ParallelExecutor(workers=2)
+        pools_before = self._pools()
+        executor.map_shared(_shared_affine, range(6),
+                            state={"scale": 1, "offset": 0})
+        executor.map_shared(_shared_affine, range(6),
+                            state={"scale": 1, "offset": 9})
+        assert self._pools() == pools_before + 2
+
+    def test_gated_serial_same_results(self, monkeypatch):
+        monkeypatch.delenv(GATE_ENV, raising=False)
+        monkeypatch.setattr(parallel, "available_cores", lambda: 1)
+        pools_before = self._pools()
+        result = ParallelExecutor(workers=4).map_shared(
+            _shared_affine, range(8), state={"scale": 4, "offset": 2})
+        assert result == [4 * x + 2 for x in range(8)]
+        assert self._pools() == pools_before
+
+    def test_single_item_stays_serial(self):
+        pools_before = self._pools()
+        result = ParallelExecutor(workers=4).map_shared(
+            _shared_affine, [3], state={"scale": 2, "offset": 0})
+        assert result == [6]
+        assert self._pools() == pools_before
+
+    def test_counters_merged_from_workers(self):
+        probe = counter("test_map_shared_probe_total")
+        before = probe.value
+        ParallelExecutor(workers=2).map_shared(
+            _shared_probe, range(8), state={"offset": 0})
+        assert probe.value == before + 8
+
+    def test_worker_exception_propagates_and_pool_resets(self):
+        executor = ParallelExecutor(workers=2)
+        with pytest.raises(ValueError):
+            executor.map_shared(_shared_boom, range(4), state={})
+        # The pool was torn down: the next call forks a fresh one and
+        # still works.
+        result = executor.map_shared(
+            _shared_affine, range(4), state={"scale": 1, "offset": 0})
+        assert result == list(range(4))
 
 
 class TestWorkerMetrics:

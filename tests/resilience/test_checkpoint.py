@@ -233,10 +233,12 @@ class TestResumeEqualsUninterrupted:
         first = AliasLinker(threshold=0.0).fit(known).link(
             unknowns, checkpoint=path)
 
-        def exploding_rescore(self, unknown, candidates):
+        def exploding_vectors(self, unknown, candidates,
+                              use_activity=None):
             raise AssertionError("stage 2 ran on a completed resume")
 
-        monkeypatch.setattr(AliasLinker, "_rescore", exploding_rescore)
+        monkeypatch.setattr(AliasLinker, "_stage2_vectors",
+                            exploding_vectors)
         resumed = AliasLinker(threshold=0.0).fit(known).link(
             unknowns, checkpoint=path, resume=True)
         assert resumed == first

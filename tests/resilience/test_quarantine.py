@@ -143,14 +143,15 @@ class TestAliasLinkerQuarantine:
         linker = AliasLinker(threshold=0.0).fit(
             reddit_alter_egos.originals)
         victim = unknowns[1].doc_id
-        original = AliasLinker._rescore
+        original = AliasLinker._stage2_vectors
 
-        def flaky_rescore(self, unknown, candidates):
+        def flaky_vectors(self, unknown, candidates, use_activity=None):
             if unknown.doc_id == victim:
                 raise RuntimeError("GPU fell off the bus")
-            return original(self, unknown, candidates)
+            return original(self, unknown, candidates, use_activity)
 
-        monkeypatch.setattr(AliasLinker, "_rescore", flaky_rescore)
+        monkeypatch.setattr(AliasLinker, "_stage2_vectors",
+                            flaky_vectors)
         result = linker.link(unknowns)
         assert [s.unknown_id for s in result.skipped] == [victim]
         assert result.skipped[0].stage == "attribute"

@@ -98,6 +98,76 @@ class TestRoundTrip:
             save_index(AliasLinker(), tmp_path / "nope.snap")
 
 
+class TestInvindexSnapshot:
+    """Invindex snapshots: per-shard posting sections round-trip."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, corpus):
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0).fit(known)
+        return _result_json(linker.link(unknowns))
+
+    @pytest.fixture()
+    def snap(self, corpus, tmp_path):
+        known, _ = corpus
+        linker = AliasLinker(threshold=0.0, stage1="invindex",
+                             shards=3).fit(known)
+        path = tmp_path / "invindex.snap"
+        save_index(linker, path)
+        return path
+
+    def test_load_autodetects_and_attaches(self, corpus, snap,
+                                           baseline):
+        _, unknowns = corpus
+        loaded = load_index(snap)
+        assert loaded.stage1 == "invindex"
+        # The saved shards were adopted, not rebuilt.
+        assert loaded.reducer._index is not None
+        assert loaded.reducer._index.n_shards == 3
+        assert loaded.shards == 3
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_mmap_load_bit_identical(self, corpus, snap, baseline):
+        _, unknowns = corpus
+        loaded = load_index(snap, mmap=True)
+        assert loaded.reducer._index is not None
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_shard_count_mismatch_rebuilds(self, corpus, snap,
+                                           baseline):
+        _, unknowns = corpus
+        loaded = load_index(snap, shards=2)
+        assert loaded.reducer._index.n_shards == 2
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_stage1_override_to_blocked(self, corpus, snap, baseline):
+        _, unknowns = corpus
+        loaded = load_index(snap, stage1="blocked")
+        assert loaded.stage1 == "blocked"
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_blocked_snapshot_loads_as_invindex(self, corpus,
+                                                tmp_path, baseline):
+        # A snapshot written by a blocked linker has no posting
+        # sections; asking for invindex at load time builds the index
+        # from the saved matrix.
+        known, unknowns = corpus
+        path = tmp_path / "blocked.snap"
+        save_index(AliasLinker(threshold=0.0).fit(known), path)
+        loaded = load_index(path, stage1="invindex", shards=2)
+        assert loaded.stage1 == "invindex"
+        assert loaded.reducer._index.n_shards == 2
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_invindex_snapshot_verifies(self, snap):
+        report = verify_index(snap)
+        assert report.ok
+        names = {s["name"] for s in snapshot_info(snap)["sections"]}
+        assert "invindex.meta" in names
+        assert "invindex.shard0.data" in names
+        assert "invindex.shard2.indptr" in names
+
+
 class TestVerify:
     @pytest.fixture(scope="class")
     def snap(self, corpus, tmp_path_factory):
