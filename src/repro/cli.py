@@ -11,8 +11,8 @@ Six subcommands cover the end-to-end workflow of the paper:
   runs crash-safe, ``--max-retries``/``--retry-deadline`` bound
   transient-failure retries (see ``docs/robustness.md``),
   ``--workers N``/``--no-cache``/``--block-size``/
-  ``--stage1 {dense,blocked,invindex}``/``--shards N`` tune the perf
-  subsystem (see ``docs/performance.md``); ``--index SNAP`` links
+  ``--stage1 {dense,blocked,invindex,auto}``/``--shards N`` tune the
+  perf subsystem (see ``docs/performance.md``); ``--index SNAP`` links
   against a prebuilt snapshot instead of refitting, and
   ``--deadline-ms``/``--degraded-ok`` bound the linking wall-clock
   (degraded-mode semantics: ``docs/robustness.md``);
@@ -253,20 +253,30 @@ def _cmd_index(args: argparse.Namespace) -> int:
             block_size=args.block_size,
             stage1=args.stage1 or "blocked",
             shards=args.shards,
+            build_jobs=args.jobs,
         )
-        args.manifest_config = pipeline.manifest_config()
         known = pipeline.prepare_forum(forum, is_known=True)
         if not known:
             print("no known aliases survived refinement",
                   file=sys.stderr)
             return 1
         linker = pipeline._make_linker()
+        build_start = time.perf_counter()
         linker.fit(known)
+        build_wall_s = time.perf_counter() - build_start
+        # Manifest provenance: what parallelism the build actually ran
+        # with and what it cost, so snapshot manifests attribute the
+        # one-off fit separately from the many loads that amortize it.
+        args.manifest_config = dict(
+            pipeline.manifest_config(),
+            build_wall_s=round(build_wall_s, 6))
         info = save_index(linker, args.out)
         print(f"wrote {info['path']} ({info['bytes']} bytes, "
               f"{info['sections']} sections, {info['n_known']} known "
               f"aliases, algo {info['algo']}, "
               f"config {info['config_digest']})")
+        print(f"build: {build_wall_s:.2f}s "
+              f"({args.jobs or 1} build job(s))")
         return 0
     if args.index_command == "verify":
         report = verify_index(args.snapshot)
@@ -555,10 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="known aliases scored per stage-1 block "
                            "(default from REPRO_BLOCK_SIZE, else 4096)")
     link.add_argument("--stage1", default=None,
-                      choices=("dense", "blocked", "invindex"),
+                      choices=("dense", "blocked", "invindex", "auto"),
                       help="stage-1 scoring strategy (default: "
                            "blocked; with --index, whatever the "
-                           "snapshot was built with); every strategy "
+                           "snapshot was built with; auto measures "
+                           "the corpus and picks); every strategy "
                            "links bit-identically")
     link.add_argument("--shards", type=int, default=None, metavar="K",
                       help="inverted-index partitions for "
@@ -586,14 +597,21 @@ def build_parser() -> argparse.ArgumentParser:
     ibuild.add_argument("--block-size", type=int, default=None,
                         metavar="ROWS")
     ibuild.add_argument("--stage1", default=None,
-                        choices=("dense", "blocked", "invindex"),
+                        choices=("dense", "blocked", "invindex",
+                                 "auto"),
                         help="stage-1 strategy baked into the "
                              "snapshot; invindex saves the posting "
-                             "arrays so loads skip the build")
+                             "arrays so loads skip the build; auto "
+                             "measures the corpus and picks")
     ibuild.add_argument("--shards", type=int, default=None,
                         metavar="K",
                         help="inverted-index partitions for "
                              "--stage1 invindex")
+    ibuild.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the inverted-index "
+                             "build (per-shard postings in parallel, "
+                             "bit-identical to serial; recorded in "
+                             "the run manifest as build_jobs)")
     ibuild.set_defaults(func=_cmd_index)
     iverify = isub.add_parser(
         "verify", help="check every section checksum of a snapshot")

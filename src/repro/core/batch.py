@@ -77,12 +77,14 @@ class BatchedLinker:
         re-tokenizing the pool per batch.
     block_size:
         Stage-1 scoring block size forwarded to every reducer.
-    stage1 / shards:
-        Stage-1 scoring strategy and shard count forwarded to every
-        reducer and inner linker (see :class:`AliasLinker`).  Note
-        that ``"invindex"`` rebuilds a small index per batch — at the
-        paper's B=100 the build dwarfs the scan, so ``"blocked"``
-        usually wins here; the knob exists for symmetry and testing.
+    stage1 / shards / build_jobs:
+        Stage-1 scoring strategy, shard count and index-build
+        parallelism forwarded to every reducer and inner linker (see
+        :class:`AliasLinker`).  Note that ``"invindex"`` rebuilds a
+        small index per batch — at the paper's B=100 the build dwarfs
+        the scan, so ``"blocked"`` usually wins here (and ``"auto"``
+        measures each batch and picks dense); the knobs exist for
+        symmetry and testing.
     breaker:
         Optional circuit breaker forwarded to the per-unknown final
         attribution (see :class:`AliasLinker`).
@@ -101,6 +103,7 @@ class BatchedLinker:
                  block_size: Optional[int] = None,
                  stage1: str = "blocked",
                  shards: Optional[int] = None,
+                 build_jobs: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if batch_size < 2:
             raise ConfigurationError(
@@ -130,6 +133,7 @@ class BatchedLinker:
         self.block_size = block_size
         self.stage1 = stage1
         self.shards = shards
+        self.build_jobs = build_jobs
         self.breaker = breaker
         self._known: Optional[List[AliasDocument]] = None
 
@@ -166,6 +170,7 @@ class BatchedLinker:
                     block_size=self.block_size,
                     stage1=self.stage1,
                     shards=self.shards,
+                    build_jobs=self.build_jobs,
                 )
                 reducer.fit(batch)
                 for i, candidates in enumerate(reducer.reduce(unknowns)):
@@ -243,6 +248,7 @@ class BatchedLinker:
                 block_size=self.block_size,
                 stage1=self.stage1,
                 shards=self.shards,
+                build_jobs=self.build_jobs,
                 breaker=self.breaker,
             )
             linker.fit(pool)

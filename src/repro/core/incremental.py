@@ -6,13 +6,22 @@ alias is wasteful — feature *selection* barely moves when one document
 joins a corpus of hundreds — so :class:`IncrementalLinker` freezes the
 selected n-gram space at the first fit and only:
 
-* appends the new documents' rows to the count matrix, and
-* refreshes the Idf (document frequencies are cheap to update).
+* vectorizes the new documents inside the frozen space (frozen
+  selection *and* frozen Idf) and appends their rows to the known
+  matrix, and
+* *extends* the stage-1 inverted index with the new rows (a delta
+  segment on one shard — see :mod:`repro.perf.invindex`) instead of
+  rebuilding it.
 
-This is an approximation: genuinely novel n-grams introduced by new
-aliases are invisible until :meth:`refit` is called.  The approximation
-error is measurable (see ``tests/core/test_incremental.py``) and a
-``staleness`` counter tells callers when a refit is due.
+Freezing the Idf alongside the selection is what makes the append
+cheap: every existing row keeps its exact feature values, so an
+:meth:`add_known` is O(added) transform work plus an O(added) index
+append, never an O(corpus) re-transform or rebuild.  This is an
+approximation twice over: genuinely novel n-grams introduced by new
+aliases are invisible, and document frequencies lag the grown corpus,
+until :meth:`refit` is called.  The approximation error is measurable
+(see ``tests/core/test_incremental.py``) and a ``staleness`` counter
+tells callers when a refit is due.
 """
 
 from __future__ import annotations
@@ -60,9 +69,11 @@ class IncrementalLinker:
         :class:`~repro.core.linker.AliasLinker` (see there); a refit
         builds a fresh cache unless a shared
         :class:`~repro.perf.cache.ProfileCache` instance is supplied.
-        With ``stage1="invindex"`` the sharded inverted index is
-        rebuilt after every :meth:`add_known` so queries always see
-        the grown corpus.
+        With ``stage1="invindex"`` (or ``"auto"`` resolving to it) the
+        sharded inverted index is *extended* by every
+        :meth:`add_known` — new rows land in the last shard's delta
+        segment, compaction amortizes — so queries always see the
+        grown corpus without paying a rebuild.
     """
 
     def __init__(self, k: int = DEFAULT_K,
@@ -78,6 +89,7 @@ class IncrementalLinker:
                  block_size: Optional[int] = None,
                  stage1: str = "blocked",
                  shards: Optional[int] = None,
+                 build_jobs: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if refit_after < 1:
             raise ConfigurationError(
@@ -95,7 +107,7 @@ class IncrementalLinker:
             weights=weights, use_activity=use_activity,
             use_structure=use_structure,
             workers=workers, cache=cache, block_size=block_size,
-            stage1=stage1, shards=shards,
+            stage1=stage1, shards=shards, build_jobs=build_jobs,
             breaker=breaker)
         self.refit_after = refit_after
         self._linker: Optional[AliasLinker] = None
@@ -144,9 +156,12 @@ class IncrementalLinker:
     def add_known(self, documents: Sequence[AliasDocument]) -> None:
         """Append new known aliases inside the frozen feature space.
 
-        The new rows are vectorized with the *existing* selection, the
-        Idf is refreshed over the grown corpus, and the reduction index
-        is extended — no re-selection happens until :meth:`refit`.
+        The new rows are vectorized with the *existing* selection and
+        the *existing* Idf, so every prior row of the known matrix is
+        bit-preserved and the work is O(added): transform the new
+        documents, ``vstack`` their rows, and (when the inverted index
+        is active) append them to the last shard's delta segment.  No
+        re-selection or Idf refresh happens until :meth:`refit`.
         """
         if self._linker is None:
             raise NotFittedError("IncrementalLinker.fit not called")
@@ -165,19 +180,23 @@ class IncrementalLinker:
         with span("incremental.add_known", n_added=len(documents),
                   n_known=len(self._known)):
             reducer = self._linker.reducer
-            # extend the fitted reducer in place: recompute counts for
-            # the grown corpus in the frozen space, refresh the Idf
-            extractor = reducer.extractor
-            counts = extractor._text_counts(self._known)
-            from repro.core.tfidf import TfidfModel
-
-            extractor._tfidf = TfidfModel().fit(counts)
+            # Transform is row-independent, so stacking the new rows
+            # under the fitted matrix equals transforming the grown
+            # corpus in one shot — with the old rows untouched, which
+            # is exactly what the index delta segment requires.
+            new_rows = reducer.extractor.transform(documents)
+            grown = sparse.vstack(
+                [reducer._known_matrix, new_rows], format="csr")
             reducer._known = self._known
-            reducer._known_matrix = extractor.transform(self._known)
-            if reducer.stage1 == "invindex":
-                # The inverted index snapshots the known matrix; a
-                # grown matrix means new postings and new term bounds.
-                reducer.rebuild_index()
+            reducer._known_matrix = grown
+            if reducer.active_stage1 == "invindex":
+                if reducer._index is None:
+                    reducer.rebuild_index()
+                else:
+                    # Append to the last shard's delta segment;
+                    # amortized compaction folds it back in when it
+                    # outgrows delta_ratio of the main segment.
+                    reducer._index.extend(grown)
             self._linker._known = self._known
             # Invalidate any persistent restage pool: forked workers
             # hold the pre-growth memory image.

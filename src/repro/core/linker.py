@@ -413,13 +413,18 @@ class AliasLinker:
         ``None`` resolves through ``REPRO_BLOCK_SIZE``.  Resolved once
         at construction; ``self.block_size`` is always a concrete int.
     stage1:
-        Stage-1 scoring strategy: ``"blocked"`` (default), ``"dense"``
-        or ``"invindex"`` (term-pruned sharded inverted index).  All
-        three return bit-identical candidate sets; see
-        ``docs/performance.md`` for when each wins.
+        Stage-1 scoring strategy: ``"blocked"`` (default), ``"dense"``,
+        ``"invindex"`` (term-pruned sharded inverted index) or
+        ``"auto"`` (cost model measures the fitted corpus and picks
+        one of the three).  Every choice returns bit-identical
+        candidate sets; see ``docs/performance.md`` for when each wins.
     shards:
         Partition count for the ``"invindex"`` index; ``None`` resolves
         through ``REPRO_SHARDS`` (default 1).
+    build_jobs:
+        Worker processes for the inverted-index build (per-shard
+        postings in parallel, bit-identical to serial); ``None``/1
+        builds serially.
     breaker:
         Optional :class:`~repro.resilience.degrade.CircuitBreaker`
         guarding stage 2: after enough consecutive restage failures it
@@ -440,6 +445,7 @@ class AliasLinker:
                  block_size: Optional[int] = None,
                  stage1: str = "blocked",
                  shards: Optional[int] = None,
+                 build_jobs: Optional[int] = None,
                  breaker: Optional[CircuitBreaker] = None) -> None:
         if k < 1:
             raise ConfigurationError(
@@ -472,12 +478,14 @@ class AliasLinker:
             block_size=block_size,
             stage1=stage1,
             shards=shards,
+            build_jobs=build_jobs,
         )
         # The reducer resolves the perf knobs exactly once; mirror the
         # concrete values here so manifests and snapshots read them
         # without re-consulting the environment.
         self.stage1 = self.reducer.stage1
         self.shards = self.reducer.shards
+        self.build_jobs = self.reducer.build_jobs
         self.block_size = self.reducer.block_size
         self._known: Optional[List[AliasDocument]] = None
         #: Bumped on every (re)fit; keys the persistent restage pool so

@@ -37,11 +37,13 @@ from repro.perf.invindex import (
     SHARDS_ENV,
     InvertedIndex,
     ShardedIndex,
+    choose_stage1,
     resolve_shards,
 )
 from repro.perf.parallel import (
     WORKERS_ENV,
     ParallelExecutor,
+    gated_serial,
     resolve_workers,
     shutdown_pools,
 )
@@ -57,6 +59,8 @@ __all__ = [
     "ShardedIndex",
     "WORKERS_ENV",
     "blocked_top_k",
+    "choose_stage1",
+    "gated_serial",
     "resolve_block_size",
     "resolve_shards",
     "resolve_workers",

@@ -76,14 +76,59 @@ with the same stable ``(-score, index)`` fold the blocked path uses —
 shard results arrive in ascending row order, so the stable sort
 preserves the global tie order.
 
+**Delta segment.**  Each :class:`InvertedIndex` carries an
+append-only *delta segment* after its impact-ordered main segment:
+:meth:`InvertedIndex.extend` registers freshly appended corpus rows
+without touching the built posting arrays.  Delta rows are scored
+*exactly* (the same stored-order sparse dot the band re-score uses)
+for every query and merged with the main segment's top-k through the
+stable ``(-score, index)`` lexsort — delta rows carry strictly higher
+indices than every main row, so the merge preserves the dense tie
+order by the same argument the shard merge rests on.  Once the delta
+grows past :attr:`InvertedIndex.delta_ratio` of the main segment the
+index compacts (a full rebuild of the slice), amortizing rebuild cost
+over many appends; :meth:`compact` forces it.  This is what lets
+``IncrementalLinker.add_known`` append to one shard instead of
+rebuilding every partition.
+
+**Parallel build.**  ``ShardedIndex(..., jobs=N)`` constructs the
+per-shard impact-ordered postings in parallel over a
+``ParallelExecutor.map_shared`` fork pool (the corpus travels by fork
+inheritance, the posting arrays come back by pickle) — the arrays are
+a deterministic function of the corpus slice, so the parallel build
+is bit-identical to the serial one.  Under the available-core gate
+the build silently degrades to the serial loop.
+
+**Memory diet.**  ``exact=False`` stores the scanned posting data as
+float32 (and the CSC index arrays as int32 — scipy requires *signed*
+index dtypes, so the "uint32" diet lands as int32), roughly halving
+the resident posting mass and the snapshot sections, which
+self-describe their dtype and round-trip mmap-friendly.  Outputs stay
+bit-identical: every pruning bound is computed from the float64 data
+*before* the downcast (so it still upper-bounds the exact scores),
+the safety margin widens to cover float32 rounding in the partial
+accumulator, and the returned scores always come from the exact
+float64 re-score against the corpus matrix.
+
+**Strategy choice.**  :func:`choose_stage1` is the measured cost
+model behind ``stage1="auto"``: from cheap O(nnz) corpus statistics —
+row count, density, per-term max-weight skew, and k — it predicts
+whether the pruned scan can beat the dense/blocked pass and returns
+``"dense"``, ``"blocked"`` or ``"invindex"`` (see the function
+docstring for the calibrated decision boundary).
+
 Telemetry: ``invindex_postings_visited_total`` (posting entries
-actually multiply-accumulated, including the exact re-score),
-``invindex_postings_dense_total`` (entries a dense pass would score
-for the same queries — the denominator of the pruning win),
-``invindex_candidates_pruned_total`` (corpus rows never exactly
-scored — untouched rows plus candidates cut from the band) and
+actually multiply-accumulated, including the exact re-score and the
+delta segment), ``invindex_postings_dense_total`` (entries a dense
+pass would score for the same queries — the denominator of the
+pruning win), ``invindex_candidates_pruned_total`` (corpus rows never
+exactly scored — untouched rows plus candidates cut from the band),
 ``invindex_early_exit_total`` (queries whose scan hit the upper-bound
-exit), plus one ``invindex.shard`` span per partition scored.
+exit) and ``invindex_fallback_total`` (calls whose scan visited more
+postings than a dense pass would have — the pathological
+visited-fraction > 1.0 case ``stage1="auto"`` reacts to by falling
+back to blocked), plus one ``invindex.shard`` span per partition
+scored.
 
 The shard count comes from the argument, then the ``REPRO_SHARDS``
 environment variable, then 1.
@@ -91,6 +136,7 @@ environment variable, then 1.
 
 from __future__ import annotations
 
+import itertools
 import os
 from typing import List, Optional, Sequence, Tuple
 
@@ -102,8 +148,8 @@ from repro.errors import ConfigurationError
 from repro.obs.metrics import counter
 from repro.obs.spans import span
 
-__all__ = ["InvertedIndex", "ShardedIndex", "resolve_shards",
-           "SHARDS_ENV", "DEFAULT_SHARDS"]
+__all__ = ["InvertedIndex", "ShardedIndex", "choose_stage1",
+           "resolve_shards", "SHARDS_ENV", "DEFAULT_SHARDS"]
 
 #: Environment variable overriding the default shard count.
 SHARDS_ENV = "REPRO_SHARDS"
@@ -118,6 +164,21 @@ DEFAULT_SHARDS = 1
 #: the fast path bit-identical to the dense one.
 _EPS = 1e-9
 
+#: Safety margin when the posting data is stored float32
+#: (``exact=False``): the partial accumulator then sums products of
+#: values rounded to 24-bit mantissas, so its error against the exact
+#: float64 partial is bounded by ~2^-24 of the unit-bounded row mass —
+#: orders of magnitude under this margin.  The pruning *bounds*
+#: (max-weight caps, residual norms) are computed from the float64
+#: data before the downcast, so they upper-bound the exact scores
+#: unconditionally; the margin only has to cover the accumulator.
+_EPS32 = 1e-6
+
+#: Monotonic version tag for parallel-build fork pools: every build
+#: gets a fresh pool key, so a pool never serves a corpus other than
+#: the one it was forked with (``id()`` reuse after gc cannot alias).
+_BUILD_SEQ = itertools.count(1)
+
 #: Posting entries multiply-accumulated (scan + exact re-score).
 _VISITED = counter("invindex_postings_visited_total")
 #: Posting entries a dense pass would have scored for the same queries.
@@ -126,6 +187,22 @@ _DENSE = counter("invindex_postings_dense_total")
 _PRUNED = counter("invindex_candidates_pruned_total")
 #: Queries whose term scan hit the upper-bound early exit.
 _EARLY_EXIT = counter("invindex_early_exit_total")
+#: Calls whose scan visited more postings than a dense pass would have
+#: (visited fraction > 1.0) — the signal ``stage1="auto"`` uses to
+#: fall back to blocked for the remaining queries.
+_FALLBACK = counter("invindex_fallback_total")
+
+
+def _as_float64_csr(matrix: sparse.spmatrix) -> sparse.csr_matrix:
+    """Canonical float64 CSR, without copying when already canonical.
+
+    ``sparse.csr_matrix(m, dtype=...)`` copies unconditionally; the
+    extend path runs on every incremental add and must not duplicate a
+    million-row corpus just to assert its dtype.
+    """
+    if sparse.isspmatrix_csr(matrix) and matrix.dtype == np.float64:
+        return matrix
+    return sparse.csr_matrix(matrix, dtype=np.float64)
 
 
 def resolve_shards(shards: Optional[int] = None) -> int:
@@ -147,6 +224,107 @@ def resolve_shards(shards: Optional[int] = None) -> int:
     return shards
 
 
+#: Below this corpus size the one-shot dense cosine is the cheapest
+#: stage 1 (the whole similarity block fits comfortably in cache and
+#: neither blocking nor pruning has anything to amortize).
+AUTO_DENSE_MAX_DOCS = 2048
+
+#: Below this corpus size the pruned scan never pays for its
+#: accumulator and bound bookkeeping, whatever the weight skew —
+#: measured: 0.34x vs blocked at 300 known, 0.56x at 1200, break-even
+#: in the mid-thousands, 1.2x from 20k up (BENCH_linking.json).
+AUTO_INVINDEX_MIN_DOCS = 8192
+
+#: Maximum posting-mass share of the cap-heavy head (the impact-order
+#: prefix carrying half the summed max-weight * posting-length bound
+#: mass) for the scan to be worth it.  Skewed Tf-Idf corpora measure
+#: ~0.05-0.15 here (rare high-weight terms with short posting lists
+#: decide the top-k early); flat weights measure ~0.5 and the scan
+#: degrades to a dense-equivalent pass plus overhead.
+AUTO_MAX_HEAD_MASS = 0.35
+
+
+def choose_stage1(corpus: sparse.spmatrix, k: int = 10) -> str:
+    """Pick a stage-1 strategy for *corpus* — the ``auto`` cost model.
+
+    All three strategies return bit-identical output, so this is purely
+    a wall-time decision, made from O(nnz) corpus statistics without
+    building anything:
+
+    * ``n_docs <= 2048`` → ``"dense"``: one similarity block, nothing
+      to amortize;
+    * ``n_docs < 8192`` → ``"blocked"``: the pruned scan's per-stage
+      accumulator traffic exceeds the scan it saves (measured 0.34x at
+      300 known, 0.56x at 1200);
+    * otherwise ``"invindex"`` — *if* the per-term max-weight skew says
+      pruning will bite and ``k`` is a small fraction of the corpus.
+      The skew statistic walks terms in impact order (descending max
+      posting weight) and measures the posting-mass share of the
+      *head*: the prefix of terms carrying half the total bound mass
+      (``max_weight * posting_length`` summed).  A small head
+      (realistic Tf-Idf: ~0.05-0.15) means a cheap prefix scan raises
+      ``theta`` enough to prune the long tail; a flat head (~0.5)
+      reproduces the adversarial unprunable case where the scan visits
+      *more* than dense — the 0.34x regression this model exists to
+      avoid.  Large ``k`` (> ~1.5% of the corpus) also forces
+      ``"blocked"``: theta is then the k-th best of a huge pool and
+      the band re-score swamps the scan savings.
+    """
+    matrix = corpus if sparse.isspmatrix_csr(corpus) \
+        else sparse.csr_matrix(corpus)
+    n_docs, n_terms = matrix.shape
+    if n_docs <= AUTO_DENSE_MAX_DOCS:
+        return "dense"
+    if n_docs < AUTO_INVINDEX_MIN_DOCS or matrix.nnz == 0:
+        return "blocked"
+    if k > max(1, n_docs // 64):
+        return "blocked"
+    maxw = np.zeros(n_terms, dtype=np.float64)
+    np.maximum.at(maxw, matrix.indices, np.abs(matrix.data))
+    plen = np.bincount(matrix.indices,
+                       minlength=n_terms).astype(np.float64)
+    cap_mass = maxw * plen
+    total_cap = float(cap_mass.sum())
+    if total_cap <= 0.0:
+        return "blocked"
+    order = np.argsort(-maxw, kind="stable")
+    cum_cap = np.cumsum(cap_mass[order])
+    head = int(np.searchsorted(cum_cap, 0.5 * total_cap)) + 1
+    head_mass = float(plen[order][:head].sum()) / float(matrix.nnz)
+    if head_mass <= AUTO_MAX_HEAD_MASS:
+        return "invindex"
+    return "blocked"
+
+
+def _build_gated(jobs: int) -> bool:
+    """Would a *jobs*-wide parallel build degrade to serial anyway?
+
+    Consulted before forking: the gated ``map_shared`` fallback would
+    build each shard in-process and then construct it a second time
+    from the returned postings, so a gated host takes the plain serial
+    branch instead.
+    """
+    from repro.perf.parallel import gated_serial
+    return gated_serial(jobs)
+
+
+def _build_shard_postings(corpus: sparse.csr_matrix,
+                          item: Tuple[int, int, bool],
+                          ) -> Tuple[np.ndarray, np.ndarray,
+                                     np.ndarray, np.ndarray]:
+    """Fork-pool task: build one shard's posting arrays.
+
+    Module-level so the persistent pool can pickle a reference; the
+    corpus is the pool's shared state (travels by fork inheritance),
+    the arrays come back by pickle.  They are a deterministic function
+    of the corpus slice, so the parallel build is bit-identical to the
+    serial one.
+    """
+    start, end, exact = item
+    return InvertedIndex(corpus, start=start, end=end,
+                         exact=exact).postings
+
+
 class InvertedIndex:
     """Term-pruned exact top-k over one contiguous corpus slice.
 
@@ -166,6 +344,20 @@ class InvertedIndex:
         of descending ``max_weight``, which stays in original term
         order) — i.e. exactly what :attr:`postings` returned when the
         snapshot was written.
+    main_end:
+        Row where the impact-ordered main segment stops (defaults to
+        ``end``).  Rows in ``[main_end, end)`` form the append-only
+        *delta segment*: they carry no postings and are scored exactly
+        for every query (see :meth:`extend`).  When ``postings`` is
+        given it describes ``[start, main_end)`` only.
+    exact:
+        ``True`` (default) stores float64 postings.  ``False`` is the
+        memory diet: posting data downcast to float32 and CSC index
+        arrays to int32 (scipy requires signed index dtypes, so the
+        "uint32" diet lands as int32) after every pruning bound has
+        been computed from the float64 data.  Returned indices and
+        scores stay bit-identical either way — the scan only *prunes*,
+        and the exact re-score always reads the float64 corpus.
     """
 
     #: Early-exit benefit ratio: exit once the estimated band
@@ -176,25 +368,38 @@ class InvertedIndex:
     #: never depends on it.
     benefit_ratio = 0.5
 
+    #: Compact (rebuild the slice's postings) once the delta segment
+    #: exceeds this fraction of the main segment: every query pays the
+    #: delta's exact scan linearly, so a bounded ratio keeps the
+    #: amortized append cost O(rebuild / main) while the common
+    #: trickle of small adds never rebuilds at all.
+    delta_ratio = 0.25
+
     def __init__(self, corpus: sparse.spmatrix, start: int = 0,
                  end: Optional[int] = None,
                  postings: Optional[Tuple[np.ndarray, np.ndarray,
                                           np.ndarray, np.ndarray]] = None,
-                 ) -> None:
-        self._corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+                 main_end: Optional[int] = None,
+                 exact: bool = True) -> None:
+        self._corpus = _as_float64_csr(corpus)
         self.start = int(start)
         self.end = self._corpus.shape[0] if end is None else int(end)
-        if not 0 <= self.start <= self.end <= self._corpus.shape[0]:
+        self._main_end = self.end if main_end is None else int(main_end)
+        if not (0 <= self.start <= self._main_end <= self.end
+                <= self._corpus.shape[0]):
             raise ConfigurationError(
-                f"invalid index slice [{self.start}, {self.end}) over "
-                f"{self._corpus.shape[0]} corpus rows")
-        self.n_docs = self.end - self.start
+                f"invalid index slice [{self.start}, {self._main_end}, "
+                f"{self.end}) over {self._corpus.shape[0]} corpus rows")
+        self._exact = bool(exact)
+        self._delta_plen: Optional[np.ndarray] = None
+        n_main = self._main_end - self.start
         self.n_terms = self._corpus.shape[1]
         if postings is not None:
             self._data, self._rows, self._indptr, self._maxw = postings
         else:
             csc = sparse.csc_matrix(
-                self._corpus[self.start:self.end], dtype=np.float64)
+                self._corpus[self.start:self._main_end],
+                dtype=np.float64)
             self._data = csc.data
             self._rows = csc.indices
             self._indptr = csc.indptr
@@ -216,8 +421,10 @@ class InvertedIndex:
         # residual bound is ||q_rest|| * this (1.0 for the normalized
         # Tf-Idf matrices the linker feeds in).
         if self._data.size:
-            sq = np.bincount(self._rows, weights=self._data * self._data,
-                             minlength=self.n_docs)
+            sq = np.bincount(self._rows,
+                             weights=np.asarray(self._data,
+                                                dtype=np.float64) ** 2,
+                             minlength=n_main)
             self._norm_max = float(np.sqrt(sq.max()))
         else:
             self._norm_max = 0.0
@@ -233,12 +440,27 @@ class InvertedIndex:
         if postings is None:
             csc = sparse.csc_matrix(
                 (self._data, self._rows, self._indptr),
-                shape=(self.n_docs, self.n_terms), copy=False)
+                shape=(n_main, self.n_terms), copy=False)
             csc = csc[:, self._go]
             csc.sort_indices()
             self._data = csc.data
             self._rows = csc.indices
             self._indptr = csc.indptr
+        # Memory diet: every bound below is computed from the data as
+        # float64 (so it stays a true upper bound on the exact
+        # scores); only the *scanned* arrays shrink.  int32 indices
+        # are scipy's native small-index dtype, so the astype is a
+        # no-op copy-guard on corpora under 2^31 postings.
+        if not self._exact and self._data.dtype != np.float32:
+            data64 = self._data
+            self._data = self._data.astype(np.float32)
+            if self._rows.dtype != np.int32 \
+                    and self._rows.size < 2**31 \
+                    and (n_main < 2**31):
+                self._rows = self._rows.astype(np.int32)
+                self._indptr = self._indptr.astype(np.int32)
+        else:
+            data64 = None
         self._maxw_imp = self._maxw[self._go]
         self._plen_imp = np.diff(self._indptr).astype(np.int64)
         # Zero-copy CSC wrapper over the (impact-ordered) posting
@@ -246,7 +468,13 @@ class InvertedIndex:
         # (the arrays may be read-only mmap views; slicing only reads).
         self._csc = sparse.csc_matrix(
             (self._data, self._rows, self._indptr),
-            shape=(self.n_docs, self.n_terms), copy=False)
+            shape=(n_main, self.n_terms), copy=False)
+        # Safety margin for the pruning cuts: float32-loaded postings
+        # accumulate partials with rounded inputs, so their margin is
+        # wider (see _EPS32); bounds stay conservative either way.
+        self._eps = _EPS if self._data.dtype == np.float64 else _EPS32
+        bound_data = data64 if data64 is not None else np.asarray(
+            self._data, dtype=np.float64)
         # Stage boundaries: cut points in the impact order at roughly
         # geometric fractions of the total posting mass.  Early stages
         # are cheap (rare, high-bound terms) and give the exit test
@@ -266,7 +494,7 @@ class InvertedIndex:
             # O(n_docs) accumulator/bookkeeping traffic per active
             # query, so on low-mass (unprunable) corpora a full
             # ladder would cost more in overhead than in scanning.
-            floor = 8.0 * self.n_docs
+            floor = 8.0 * n_main
             ends = []
             last_mass = 0.0
             for f in fracs:
@@ -289,22 +517,22 @@ class InvertedIndex:
         # the band test a per-row Cauchy-Schwarz bound — a row that
         # already revealed most of its mass can barely move, no matter
         # what the worst row in the slice could still do.
-        if self._data.size:
+        if bound_data.size:
             row_sq = np.bincount(self._rows,
-                                 weights=self._data * self._data,
-                                 minlength=self.n_docs)
+                                 weights=bound_data * bound_data,
+                                 minlength=n_main)
         else:
-            row_sq = np.zeros(self.n_docs, dtype=np.float64)
-        self._rest_norm = np.empty((len(self._stages), self.n_docs),
+            row_sq = np.zeros(n_main, dtype=np.float64)
+        self._rest_norm = np.empty((len(self._stages), n_main),
                                    dtype=np.float64)
         self._restmax = np.empty(len(self._stages), dtype=np.float64)
-        cumsq = np.zeros(self.n_docs, dtype=np.float64)
+        cumsq = np.zeros(n_main, dtype=np.float64)
         for si, (p0, p1) in enumerate(self._stages):
             lo, hi = self._indptr[p0], self._indptr[p1]
             if hi > lo:
-                d = self._data[lo:hi]
+                d = bound_data[lo:hi]
                 cumsq += np.bincount(self._rows[lo:hi], weights=d * d,
-                                     minlength=self.n_docs)
+                                     minlength=n_main)
             rest = np.sqrt(np.clip(row_sq - cumsq, 0.0, None))
             self._rest_norm[si] = rest
             self._restmax[si] = float(rest.max()) if rest.size else 0.0
@@ -317,15 +545,90 @@ class InvertedIndex:
         self._ones = np.ones(0, dtype=np.float64)
 
     @property
+    def n_docs(self) -> int:
+        """Total rows covered: main segment plus delta segment."""
+        return self.end - self.start
+
+    @property
+    def n_main(self) -> int:
+        """Rows in the impact-ordered (posting-backed) main segment."""
+        return self._main_end - self.start
+
+    @property
+    def n_delta(self) -> int:
+        """Rows in the append-only delta segment."""
+        return self.end - self._main_end
+
+    @property
+    def main_end(self) -> int:
+        """Absolute corpus row where the main segment stops."""
+        return self._main_end
+
+    @property
     def postings(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
                                 np.ndarray]:
         """``(data, rows, indptr, max_weight)`` — snapshot payload.
 
         The CSC arrays are in impact column order; ``max_weight`` is
         in original term order, and the permutation is rebuilt from it
-        deterministically on load.
+        deterministically on load.  The arrays describe the *main*
+        segment only — delta rows live in the corpus matrix, which the
+        snapshot saves anyway.
         """
         return self._data, self._rows, self._indptr, self._maxw
+
+    def extend(self, corpus: sparse.spmatrix, end: int) -> None:
+        """Grow the delta segment: the slice now ends at *end*.
+
+        *corpus* is the refreshed corpus matrix — its rows in
+        ``[start, end_before)`` must be value-identical to the matrix
+        the index was built over (the incremental linker guarantees
+        this: frozen feature space, old rows ``vstack``-ed unchanged).
+        The appended rows ``[end_before, end)`` join the delta
+        segment; no posting array is touched.  Once the delta exceeds
+        :attr:`delta_ratio` of the main segment the slice compacts
+        (full rebuild) — amortized, appends stay O(new rows).
+        """
+        matrix = _as_float64_csr(corpus)
+        end = int(end)
+        if matrix.shape[1] != self.n_terms:
+            raise ConfigurationError(
+                f"dimension mismatch: extension has {matrix.shape[1]} "
+                f"features, index has {self.n_terms}")
+        if not self.end <= end <= matrix.shape[0]:
+            raise ConfigurationError(
+                f"invalid extension to row {end}: index ends at "
+                f"{self.end}, matrix has {matrix.shape[0]} rows")
+        if matrix.nnz and float(matrix.data.min()) < 0.0:
+            raise ConfigurationError(
+                "inverted-index pruning requires non-negative feature "
+                "values (max-weight upper bounds would not hold)")
+        self._corpus = matrix
+        self.end = end
+        self._delta_plen = None
+        if self.n_delta > self.delta_ratio * max(self.n_main, 1):
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the delta segment into the main one (full rebuild).
+
+        Afterwards the whole slice is impact-ordered and posting-
+        backed again; scoring output is unchanged (a freshly built
+        index over the same rows is exact by construction).
+        """
+        if self.n_delta == 0:
+            return
+        InvertedIndex.__init__(self, self._corpus, start=self.start,
+                               end=self.end, exact=self._exact)
+
+    def _delta_term_counts(self) -> np.ndarray:
+        """Per-term posting counts of the delta segment (cached)."""
+        if self._delta_plen is None:
+            delta = self._corpus[self._main_end:self.end]
+            self._delta_plen = np.bincount(
+                delta.indices, minlength=self.n_terms
+            ).astype(np.int64)
+        return self._delta_plen
 
     def top_k(self, queries: sparse.spmatrix, k: int,
               ) -> Tuple[np.ndarray, np.ndarray]:
@@ -334,7 +637,8 @@ class InvertedIndex:
         Returns ``(indices, values)`` of shape
         ``(n_queries, min(k, n_docs))`` — indices are *local* to the
         slice; :class:`ShardedIndex` re-bases them.  Output is
-        bit-identical to ``top_k(cosine_similarity(queries, slice), k)``.
+        bit-identical to ``top_k(cosine_similarity(queries, slice), k)``,
+        delta segment included.
         """
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
@@ -343,22 +647,59 @@ class InvertedIndex:
             raise ConfigurationError(
                 f"dimension mismatch: queries have {q.shape[1]} "
                 f"features, index has {self.n_terms}")
-        kk = min(k, self.n_docs)
+        n_main = self.n_main
+        kk = min(k, n_main)
         n_queries = q.shape[0]
         indices = np.zeros((n_queries, kk), dtype=np.int64)
         values = np.zeros((n_queries, kk), dtype=np.float64)
-        # One column permutation per call puts the queries in the
-        # index's impact order, so every scan stage is a contiguous
-        # column slice on both sides of the batched partial product.
-        q_imp = q[:, self._go]
-        q_imp.sort_indices()
-        # The dense (batch x n_docs) accumulator caps the query batch:
-        # ~256 MB of partial scores per batch.
-        batch = max(1, int(32_000_000 // max(self.n_docs, 1)))
-        for b0 in range(0, n_queries, batch):
-            b1 = min(b0 + batch, n_queries)
-            self._topk_batch(q, q_imp, b0, b1, kk, indices, values)
-        return indices, values
+        if n_main:
+            # One column permutation per call puts the queries in the
+            # index's impact order, so every scan stage is a contiguous
+            # column slice on both sides of the batched partial product.
+            q_imp = q[:, self._go]
+            q_imp.sort_indices()
+            # The dense (batch x n_main) accumulator caps the query
+            # batch: ~256 MB of partial scores per batch.
+            batch = max(1, int(32_000_000 // max(n_main, 1)))
+            for b0 in range(0, n_queries, batch):
+                b1 = min(b0 + batch, n_queries)
+                self._topk_batch(q, q_imp, b0, b1, kk, indices, values)
+        if self.n_delta == 0:
+            return indices, values
+        return self._merge_delta(q, k, indices, values)
+
+    def _merge_delta(self, q: sparse.csr_matrix, k: int,
+                     indices: np.ndarray, values: np.ndarray,
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold the exactly scored delta segment into the main top-k.
+
+        Every delta row is scored with the same stored-order sparse
+        dot the band re-score uses, so its value is bit-equal to the
+        dense path's.  Exactness of the merge: a main row outside the
+        main top-k is dominated (under the ``(-score, index)`` total
+        order) by ``kk`` main rows already in it — appending rows can
+        push main rows out but never pull excluded ones in — and delta
+        rows carry strictly higher indices than every main row, so the
+        stable lexsort reproduces the dense tie order, zero-score fill
+        included.
+        """
+        n_main = self.n_main
+        kk_all = min(k, self.n_docs)
+        n_queries = q.shape[0]
+        out_idx = np.empty((n_queries, kk_all), dtype=np.int64)
+        out_val = np.empty((n_queries, kk_all), dtype=np.float64)
+        delta_rows = np.arange(n_main, self.n_docs, dtype=np.int64)
+        delta_plen = self._delta_term_counts()
+        for j in range(n_queries):
+            lo, hi = q.indptr[j], q.indptr[j + 1]
+            _DENSE.inc(int(delta_plen[q.indices[lo:hi]].sum()))
+            delta_vals = self._exact_band(q, j, delta_rows)
+            rows_all = np.concatenate((indices[j], delta_rows))
+            vals_all = np.concatenate((values[j], delta_vals))
+            keep = np.lexsort((rows_all, -vals_all))[:kk_all]
+            out_idx[j] = rows_all[keep]
+            out_val[j] = vals_all[keep]
+        return out_idx, out_val
 
     # -- one query batch ----------------------------------------------------
 
@@ -366,7 +707,8 @@ class InvertedIndex:
                     b0: int, b1: int, kk: int, indices: np.ndarray,
                     values: np.ndarray) -> None:
         nb = b1 - b0
-        n_docs = self.n_docs
+        n_docs = self.n_main
+        eps = self._eps
         plen = self._plen_imp
         mean_nnz = float(self._data.size) / max(n_docs, 1)
         # Per-query pruning state, in impact order: the ascending
@@ -458,7 +800,7 @@ class InvertedIndex:
             # partition (a skipped check only delays the exit; it
             # never affects exactness).
             rowmax = acc[act].max(axis=1)
-            maybe = np.flatnonzero(rems < rowmax - 2.0 * _EPS)
+            maybe = np.flatnonzero(rems < rowmax - 2.0 * eps)
             if maybe.size == 0:
                 continue
             # theta over the dense accumulator *is* the k-th best
@@ -482,7 +824,7 @@ class InvertedIndex:
                 # the remaining posting lists, or the exit would *add*
                 # work (at the first legal exit the band is nearly
                 # the whole candidate pool).
-                n_band = int(np.count_nonzero(ub >= theta - 4.0 * _EPS))
+                n_band = int(np.count_nonzero(ub >= theta - 4.0 * eps))
                 if (n_band * mean_nnz
                         > self.benefit_ratio * un_suf[j][cuts[jj]]):
                     continue
@@ -497,7 +839,7 @@ class InvertedIndex:
                 # kk; flatnonzero returns ascending row order, which
                 # the stable sort in the re-score needs for global
                 # tie order.
-                band = np.flatnonzero(ub >= theta - 4.0 * _EPS)
+                band = np.flatnonzero(ub >= theta - 4.0 * eps)
                 idx, val = self._rescore_band(q, b0 + j, band,
                                               ub[band], kk)
                 indices[b0 + j] = idx
@@ -512,8 +854,8 @@ class InvertedIndex:
         for j in np.flatnonzero(alive):
             row = acc[j]
             theta = float(np.partition(row, n_docs - kk)[n_docs - kk])
-            if theta > 2.0 * _EPS:
-                band = np.flatnonzero(row >= theta - 2.0 * _EPS)
+            if theta > 2.0 * eps:
+                band = np.flatnonzero(row >= theta - 2.0 * eps)
                 idx, val = self._rescore_band(q, b0 + j, band,
                                               row[band], kk)
             else:
@@ -574,7 +916,7 @@ class InvertedIndex:
                 # ub_sorted is descending: keep the prefix of the
                 # remaining rows that can still reach theta_e.
                 cut = int(np.searchsorted(
-                    -ub_sorted[pos:limit], -(theta_e - 2.0 * _EPS),
+                    -ub_sorted[pos:limit], -(theta_e - 2.0 * self._eps),
                     side="right"))
                 limit = pos + cut
             csz *= 4
@@ -582,7 +924,7 @@ class InvertedIndex:
                     else got_rows[0])
         vals_all = (np.concatenate(got_vals) if len(got_vals) > 1
                     else got_vals[0])
-        _PRUNED.inc(self.n_docs - rows_all.size)
+        _PRUNED.inc(self.n_main - rows_all.size)
         keep = np.lexsort((rows_all, -vals_all))[:kk]
         return rows_all[keep], vals_all[keep]
 
@@ -591,7 +933,7 @@ class InvertedIndex:
                          ) -> Tuple[np.ndarray, np.ndarray]:
         """Re-score ``cand`` and rank through the dense-row top_k."""
         exact = self._exact_band(q, row, cand)
-        scores_row = np.zeros((1, self.n_docs), dtype=np.float64)
+        scores_row = np.zeros((1, self.n_main), dtype=np.float64)
         scores_row[0, cand] = exact
         idx, val = top_k(scores_row, kk)
         return idx[0].astype(np.int64), val[0]
@@ -653,11 +995,21 @@ class ShardedIndex:
     shards:
         Partition count; ``None`` resolves through ``REPRO_SHARDS``
         and defaults to 1.  Clamped to the corpus row count.
+    jobs:
+        Build parallelism: with ``jobs > 1`` (and more than one
+        shard) the per-shard posting arrays are constructed in
+        parallel over a persistent fork pool — bit-identical to the
+        serial build, serial fallback under the available-core gate.
+    exact:
+        Forwarded to every :class:`InvertedIndex` (the float32/int32
+        memory diet when ``False``; output stays bit-identical).
     """
 
     def __init__(self, corpus: sparse.spmatrix,
-                 shards: Optional[int] = None) -> None:
-        corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+                 shards: Optional[int] = None,
+                 jobs: Optional[int] = None,
+                 exact: bool = True) -> None:
+        corpus = _as_float64_csr(corpus)
         n_docs = corpus.shape[0]
         if n_docs < 1:
             raise ConfigurationError("corpus must not be empty")
@@ -665,41 +1017,112 @@ class ShardedIndex:
         bounds = [n_docs * i // n_shards for i in range(n_shards + 1)]
         self.n_docs = n_docs
         self.bounds = bounds
-        self._shards: List[InvertedIndex] = [
-            InvertedIndex(corpus, start=bounds[i], end=bounds[i + 1])
-            for i in range(n_shards)
-        ]
+        self._exact = bool(exact)
+        jobs = 1 if jobs is None else int(jobs)
+        if jobs > 1 and n_shards > 1 and not _build_gated(jobs):
+            from repro.perf.parallel import ParallelExecutor
+            executor = ParallelExecutor(jobs)
+            built = executor.map_shared(
+                _build_shard_postings,
+                [(bounds[i], bounds[i + 1], exact)
+                 for i in range(n_shards)],
+                state=corpus, version=next(_BUILD_SEQ))
+            self._shards: List[InvertedIndex] = [
+                InvertedIndex(corpus, start=bounds[i],
+                              end=bounds[i + 1],
+                              postings=tuple(built[i]), exact=exact)
+                for i in range(n_shards)
+            ]
+        else:
+            self._shards = [
+                InvertedIndex(corpus, start=bounds[i],
+                              end=bounds[i + 1], exact=exact)
+                for i in range(n_shards)
+            ]
 
     @classmethod
     def from_postings(cls, corpus: sparse.spmatrix,
                       bounds: Sequence[int],
                       postings: Sequence[Tuple[np.ndarray, np.ndarray,
                                                np.ndarray, np.ndarray]],
+                      main_ends: Optional[Sequence[int]] = None,
                       ) -> "ShardedIndex":
         """Rebuild from saved posting arrays (snapshot load path).
 
         The arrays may be read-only mmap-backed views; nothing here
         (or in the query path) writes to them, so forked restage
         workers share the pages with the parent for free.
+
+        *main_ends* (one per shard, defaulting to the shard ends)
+        restores delta segments: each shard's postings describe
+        ``[bounds[i], main_ends[i])`` and the remaining rows up to
+        ``bounds[i + 1]`` rejoin the delta, exactly as saved.
         """
-        corpus = sparse.csr_matrix(corpus, dtype=np.float64)
+        corpus = _as_float64_csr(corpus)
         if len(bounds) != len(postings) + 1:
             raise ConfigurationError(
                 f"shard bounds/postings mismatch: {len(bounds)} bounds "
                 f"for {len(postings)} shards")
+        if main_ends is None:
+            main_ends = bounds[1:]
+        if len(main_ends) != len(postings):
+            raise ConfigurationError(
+                f"shard main_ends/postings mismatch: {len(main_ends)} "
+                f"main ends for {len(postings)} shards")
         index = cls.__new__(cls)
         index.n_docs = corpus.shape[0]
         index.bounds = [int(b) for b in bounds]
         index._shards = [
             InvertedIndex(corpus, start=index.bounds[i],
-                          end=index.bounds[i + 1], postings=postings[i])
+                          end=index.bounds[i + 1],
+                          postings=postings[i],
+                          main_end=int(main_ends[i]))
             for i in range(len(postings))
         ]
+        index._exact = all(
+            shard._data.dtype == np.float64 for shard in index._shards)
         return index
 
     @property
     def n_shards(self) -> int:
         return len(self._shards)
+
+    @property
+    def main_ends(self) -> List[int]:
+        """Per-shard absolute main-segment ends (snapshot payload)."""
+        return [shard.main_end for shard in self._shards]
+
+    @property
+    def n_delta(self) -> int:
+        """Delta-segment rows across all shards."""
+        return sum(shard.n_delta for shard in self._shards)
+
+    def extend(self, corpus: sparse.spmatrix) -> None:
+        """Append the corpus's new tail rows to the last shard's delta.
+
+        *corpus* is the refreshed corpus matrix: rows ``[0, n_docs)``
+        value-identical to the build-time matrix, new rows after.  All
+        shards adopt the new matrix (their slices are unchanged — this
+        just lets the old matrix be collected); only the last shard's
+        delta grows, so an incremental add touches one shard and the
+        compaction amortizes over many appends.
+        """
+        matrix = _as_float64_csr(corpus)
+        new_n = matrix.shape[0]
+        if new_n < self.n_docs:
+            raise ConfigurationError(
+                f"cannot shrink index: corpus has {new_n} rows, index "
+                f"covers {self.n_docs}")
+        for shard in self._shards[:-1]:
+            shard._corpus = matrix
+        self._shards[-1].extend(matrix, new_n)
+        self.bounds[-1] = new_n
+        self.n_docs = new_n
+
+    def compact(self) -> None:
+        """Fold every shard's delta segment back into its postings."""
+        for shard in self._shards:
+            shard.compact()
 
     def _score_shard(self, item: Tuple[int, sparse.csr_matrix, int],
                      ) -> Tuple[np.ndarray, np.ndarray]:

@@ -85,10 +85,11 @@ class LinkingPipeline:
         Profile-caching policy and stage-1 scoring block size,
         forwarded to the linker (see
         :class:`~repro.core.linker.AliasLinker`).
-    stage1 / shards:
-        Stage-1 scoring strategy (``"dense"``, ``"blocked"`` or
-        ``"invindex"``) and inverted-index shard count, forwarded to
-        the linker.  Every strategy produces bit-identical links.
+    stage1 / shards / build_jobs:
+        Stage-1 scoring strategy (``"dense"``, ``"blocked"``,
+        ``"invindex"`` or ``"auto"``), inverted-index shard count and
+        index-build parallelism, forwarded to the linker.  Every
+        strategy produces bit-identical links.
     """
 
     def __init__(self, config: PipelineConfig | None = None,
@@ -100,7 +101,8 @@ class LinkingPipeline:
                  cache: bool = True,
                  block_size: Optional[int] = None,
                  stage1: str = "blocked",
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 build_jobs: Optional[int] = None) -> None:
         self.config = config or PipelineConfig()
         self.cleaning = cleaning or CleaningConfig()
         self.weights = weights or FeatureWeights()
@@ -111,6 +113,7 @@ class LinkingPipeline:
         self.block_size = block_size
         self.stage1 = stage1
         self.shards = shards
+        self.build_jobs = build_jobs
         self.report = PipelineReport()
 
     def manifest_config(self) -> Dict[str, object]:
@@ -139,6 +142,7 @@ class LinkingPipeline:
             "block_size": resolve_block_size(self.block_size),
             "stage1": self.stage1,
             "shards": resolve_shards(self.shards),
+            "build_jobs": self.build_jobs or 1,
         }
 
     def _guard(self, site: str, fn, *args, **kwargs):
@@ -222,6 +226,7 @@ class LinkingPipeline:
                 block_size=self.block_size,
                 stage1=self.stage1,
                 shards=self.shards,
+                build_jobs=self.build_jobs,
             )
         return AliasLinker(
             k=self.config.k,
@@ -236,6 +241,7 @@ class LinkingPipeline:
             block_size=self.block_size,
             stage1=self.stage1,
             shards=self.shards,
+            build_jobs=self.build_jobs,
         )
 
     def link_documents(self, known: List[AliasDocument],

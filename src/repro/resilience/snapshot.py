@@ -250,6 +250,11 @@ def _collect_state(linker: Any) -> Tuple[str, Dict[str, Any],
         "reduction_budget": asdict(reduction_budget),
         "final_budget": asdict(linker.final_budget),
         "n_known": len(linker._known),
+        # Stage-1 strategy is not semantic (every choice scores
+        # bit-identically) but "auto" must survive a round trip so the
+        # cost model re-resolves on the restored corpus instead of
+        # silently pinning whatever the save-time pick was.
+        "stage1": linker.stage1,
     }
     if algo == "alias-linker":
         config["use_reduction"] = linker.use_reduction
@@ -302,12 +307,17 @@ def _collect_state(linker: Any) -> Tuple[str, Dict[str, Any],
         # arrays so loads can adopt them as zero-copy views.  stage1
         # stays out of the semantic config (every strategy scores
         # bit-identically); the sections' presence records the build.
+        # Saved whenever an index exists — including stage1="auto"
+        # runs whose cost model picked invindex.  main_ends restores
+        # live delta segments: rows past a shard's main end carry no
+        # postings and are re-scored exactly on load, bit-identically.
         index = linker.reducer._index
-        if getattr(linker, "stage1", "blocked") == "invindex" \
-                and index is not None:
-            sections.append(("invindex.meta", "json",
-                             {"bounds": [int(b) for b in index.bounds],
-                              "n_shards": index.n_shards}))
+        if index is not None:
+            sections.append((
+                "invindex.meta", "json",
+                {"bounds": [int(b) for b in index.bounds],
+                 "n_shards": index.n_shards,
+                 "main_ends": [int(m) for m in index.main_ends]}))
             for i, shard in enumerate(index._shards):
                 data, rows, indptr, maxw = shard.postings
                 sections.extend([
@@ -736,10 +746,12 @@ def _rebuild_linker(header: Dict[str, Any],
     config = header["config"]
     algo = header["algo"]
     if stage1 is None:
-        # Auto-detect: a snapshot carrying posting sections was built
-        # by an invindex linker — resume in the same mode.
-        stage1 = "invindex" if "invindex.meta" in sections \
-            else "blocked"
+        # Resume the saved strategy when the snapshot records one
+        # (notably "auto", which re-resolves below); older snapshots
+        # fall back to section sniffing — posting sections mean the
+        # index was built by an invindex linker.
+        stage1 = config.get("stage1") or (
+            "invindex" if "invindex.meta" in sections else "blocked")
     documents = [_restore_document(r) for r in sections["documents"]]
     if len(documents) != config["n_known"]:
         raise SnapshotError(
@@ -806,7 +818,13 @@ def _rebuild_linker(header: Dict[str, Any],
     matrix.has_sorted_indices = True
     matrix.has_canonical_format = True
     reducer._known_matrix = matrix
-    if stage1 == "invindex":
+    if stage1 == "auto":
+        # The cost model needs a corpus to measure; now that the
+        # matrix is restored, resolve the choice exactly as fit would.
+        from repro.perf.invindex import choose_stage1
+
+        reducer._stage1_active = choose_stage1(matrix, reducer.k)
+    if reducer.active_stage1 == "invindex":
         meta = sections.get("invindex.meta")
         saved = None
         if meta is not None and (
@@ -821,7 +839,10 @@ def _rebuild_linker(header: Dict[str, Any],
                     for i in range(int(meta["n_shards"]))
                 ]
                 saved = ShardedIndex.from_postings(
-                    matrix, meta["bounds"], postings)
+                    matrix, meta["bounds"], postings,
+                    # Older snapshots predate delta segments; their
+                    # postings always cover whole shards.
+                    main_ends=meta.get("main_ends"))
             except KeyError:
                 saved = None  # partial save: fall through to a build
         if saved is not None:

@@ -1,0 +1,368 @@
+"""Delta segments, parallel builds, the memory diet and stage1=auto.
+
+The million-alias additions to :mod:`repro.perf.invindex` keep the
+module's original contract — exact top-k, bit-identical to the dense
+scorer — while changing how the index is *built* and *grown*:
+
+* appends land in a delta segment and are scored exactly, so any
+  interleaving of extend / query / compact matches a fresh full
+  rebuild bit for bit (property-tested below);
+* the parallel shard build is a pure reordering of the same work and
+  must produce byte-identical posting arrays;
+* the float32/int32 memory diet halves the posting bytes without
+  changing a single output bit (bounds stay float64, scores are
+  re-derived exactly);
+* :func:`choose_stage1` turns the measured corpus shape into a
+  dense/blocked/invindex pick.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.core.similarity import cosine_similarity, top_k
+from repro.core.tfidf import l2_normalize_rows
+from repro.errors import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.perf.invindex import (
+    AUTO_DENSE_MAX_DOCS,
+    AUTO_INVINDEX_MIN_DOCS,
+    InvertedIndex,
+    ShardedIndex,
+    choose_stage1,
+)
+from repro.perf.parallel import GATE_ENV, shutdown_pools
+
+
+def _random_matrix(rng, rows, cols, density=0.3):
+    dense = rng.random((rows, cols)) * (rng.random((rows, cols)) < density)
+    return l2_normalize_rows(sparse.csr_matrix(dense))
+
+
+def _counter(name):
+    return get_registry().snapshot().get(name, {}).get("value", 0)
+
+
+def _expected(queries, corpus, k):
+    return top_k(cosine_similarity(queries, corpus),
+                 min(k, corpus.shape[0]))
+
+
+class TestDeltaSegment:
+    def test_extend_matches_fresh_build(self):
+        rng = np.random.default_rng(0)
+        full = _random_matrix(rng, 60, 40)
+        queries = _random_matrix(rng, 7, 40)
+        index = InvertedIndex(full[:50])
+        index.extend(full, 60)
+        assert index.n_delta == 10
+        assert index.n_main == 50 and index.n_docs == 60
+        exp_idx, exp_val = _expected(queries, full, 5)
+        got_idx, got_val = index.top_k(queries, 5)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_repeated_appends_then_compact(self):
+        rng = np.random.default_rng(1)
+        full = _random_matrix(rng, 80, 30)
+        queries = _random_matrix(rng, 5, 30)
+        index = InvertedIndex(full[:72])
+        for end in (74, 76, 78, 80):
+            index.extend(full, end)
+        exp_idx, exp_val = _expected(queries, full, 6)
+        got_idx, got_val = index.top_k(queries, 6)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+        index.compact()
+        assert index.n_delta == 0
+        got_idx, got_val = index.top_k(queries, 6)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_auto_compaction_at_delta_ratio(self):
+        rng = np.random.default_rng(2)
+        full = _random_matrix(rng, 100, 30)
+        index = InvertedIndex(full[:40])
+        # 10 delta rows on 40 main (25%) stays within the ratio ...
+        index.extend(full, 50)
+        assert index.n_delta == 10
+        # ... and one more append crosses it, folding everything in.
+        index.extend(full, 51)
+        assert index.n_delta == 0
+        assert index.n_main == 51
+
+    def test_k_larger_than_main_segment(self):
+        rng = np.random.default_rng(3)
+        full = _random_matrix(rng, 8, 25)
+        queries = _random_matrix(rng, 4, 25)
+        index = InvertedIndex(full[:6])
+        index.extend(full, 8)
+        exp_idx, exp_val = _expected(queries, full, 20)
+        got_idx, got_val = index.top_k(queries, 20)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_extend_cannot_shrink(self):
+        rng = np.random.default_rng(4)
+        matrix = _random_matrix(rng, 20, 15)
+        index = InvertedIndex(matrix)
+        with pytest.raises(ConfigurationError):
+            index.extend(matrix, 10)
+
+    def test_extend_rejects_term_mismatch(self):
+        rng = np.random.default_rng(5)
+        index = InvertedIndex(_random_matrix(rng, 20, 15))
+        with pytest.raises(ConfigurationError):
+            index.extend(_random_matrix(rng, 25, 16), 25)
+
+    def test_compact_without_delta_is_noop(self):
+        rng = np.random.default_rng(6)
+        matrix = _random_matrix(rng, 20, 15)
+        index = InvertedIndex(matrix)
+        postings_before = index.postings
+        index.compact()
+        for before, after in zip(postings_before, index.postings):
+            np.testing.assert_array_equal(before, after)
+
+    def test_sharded_extend_grows_last_shard_only(self):
+        rng = np.random.default_rng(7)
+        full = _random_matrix(rng, 90, 30)
+        queries = _random_matrix(rng, 6, 30)
+        index = ShardedIndex(full[:84], shards=3)
+        main_ends_before = index.main_ends
+        index.extend(full)
+        assert index.n_docs == 90
+        assert index.bounds[-1] == 90
+        assert index.main_ends == main_ends_before
+        assert index.n_delta == 6
+        exp_idx, exp_val = _expected(queries, full, 5)
+        got_idx, got_val = index.top_k(queries, 5)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_sharded_round_trip_preserves_delta(self):
+        rng = np.random.default_rng(8)
+        full = _random_matrix(rng, 90, 30)
+        queries = _random_matrix(rng, 6, 30)
+        index = ShardedIndex(full[:84], shards=3)
+        index.extend(full)
+        postings = [shard.postings for shard in index._shards]
+        restored = ShardedIndex.from_postings(
+            full, index.bounds, postings, main_ends=index.main_ends)
+        assert restored.n_delta == index.n_delta
+        exp_idx, exp_val = index.top_k(queries, 5)
+        got_idx, got_val = restored.top_k(queries, 5)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_from_postings_validates_main_ends(self):
+        rng = np.random.default_rng(9)
+        matrix = _random_matrix(rng, 30, 20)
+        index = ShardedIndex(matrix, shards=2)
+        postings = [shard.postings for shard in index._shards]
+        with pytest.raises(ConfigurationError):
+            ShardedIndex.from_postings(matrix, index.bounds, postings,
+                                       main_ends=[15])
+
+
+class TestIncrementalInterleavings:
+    """Any interleaving of extend / query / compact is bit-identical
+    to a fresh full rebuild, across shard counts and the exact flag.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        shards=st.integers(1, 4),
+        exact=st.booleans(),
+        # Each step appends 0-6 rows (0 = query-only step) and then
+        # decides whether to force a compaction.
+        steps=st.lists(
+            st.tuples(st.integers(0, 6), st.booleans()),
+            min_size=1, max_size=5),
+    )
+    def test_interleaving_matches_full_rebuild(self, seed, shards,
+                                               exact, steps):
+        rng = np.random.default_rng(seed)
+        base_rows = int(rng.integers(8, 30))
+        total = base_rows + sum(n for n, _ in steps)
+        full = _random_matrix(rng, total, 25, density=0.4)
+        queries = _random_matrix(rng, 4, 25, density=0.4)
+        k = int(rng.integers(1, 12))
+
+        grown = ShardedIndex(full[:base_rows],
+                             shards=min(shards, base_rows),
+                             exact=exact)
+        end = base_rows
+        for n_add, do_compact in steps:
+            if n_add:
+                end += n_add
+                grown.extend(full[:end])
+            if do_compact:
+                grown.compact()
+            fresh = ShardedIndex(full[:end],
+                                 shards=min(shards, base_rows))
+            exp_idx, exp_val = fresh.top_k(queries, k)
+            got_idx, got_val = grown.top_k(queries, k)
+            np.testing.assert_array_equal(got_idx, exp_idx)
+            np.testing.assert_array_equal(got_val, exp_val)
+
+
+class TestParallelBuild:
+    def test_parallel_build_bit_identical(self, monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "off")
+        rng = np.random.default_rng(11)
+        matrix = _random_matrix(rng, 60, 40)
+        queries = _random_matrix(rng, 6, 40)
+        serial = ShardedIndex(matrix, shards=3)
+        try:
+            parallel = ShardedIndex(matrix, shards=3, jobs=2)
+        finally:
+            shutdown_pools()
+        assert parallel.n_shards == serial.n_shards
+        for ser, par in zip(serial._shards, parallel._shards):
+            for a, b in zip(ser.postings, par.postings):
+                np.testing.assert_array_equal(a, b)
+        exp_idx, exp_val = serial.top_k(queries, 5)
+        got_idx, got_val = parallel.top_k(queries, 5)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_parallel_build_respects_exact_flag(self, monkeypatch):
+        monkeypatch.setenv(GATE_ENV, "off")
+        rng = np.random.default_rng(12)
+        matrix = _random_matrix(rng, 40, 30)
+        try:
+            index = ShardedIndex(matrix, shards=2, jobs=2, exact=False)
+        finally:
+            shutdown_pools()
+        for shard in index._shards:
+            assert shard._data.dtype == np.float32
+
+    def test_gated_host_builds_serially(self, monkeypatch):
+        # With the gate on and jobs far above the core count, the
+        # build must take the serial branch — same index, no pool.
+        monkeypatch.setenv(GATE_ENV, "1")
+        rng = np.random.default_rng(13)
+        matrix = _random_matrix(rng, 40, 30)
+        pools_before = _counter("parallel_pools_total")
+        index = ShardedIndex(matrix, shards=2, jobs=512)
+        assert _counter("parallel_pools_total") == pools_before
+        serial = ShardedIndex(matrix, shards=2)
+        for ser, par in zip(serial._shards, index._shards):
+            for a, b in zip(ser.postings, par.postings):
+                np.testing.assert_array_equal(a, b)
+
+
+class TestMemoryDiet:
+    def test_float32_outputs_bit_identical(self):
+        rng = np.random.default_rng(20)
+        matrix = _random_matrix(rng, 80, 50)
+        queries = _random_matrix(rng, 9, 50)
+        for k in (1, 5, 40):
+            exp_idx, exp_val = _expected(queries, matrix, k)
+            got_idx, got_val = InvertedIndex(
+                matrix, exact=False).top_k(queries, k)
+            np.testing.assert_array_equal(got_idx, exp_idx)
+            np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_float32_halves_posting_bytes(self):
+        rng = np.random.default_rng(21)
+        matrix = _random_matrix(rng, 80, 50)
+        fat = InvertedIndex(matrix)
+        slim = InvertedIndex(matrix, exact=False)
+        assert slim._data.dtype == np.float32
+        assert slim._rows.dtype == np.int32
+        assert slim._data.nbytes == fat._data.nbytes // 2
+        # The pruning bounds stay float64 (computed pre-downcast).
+        assert fat._maxw.dtype == np.float64
+        assert slim._maxw.dtype == np.float64
+
+    def test_round_trip_redetects_dtype(self):
+        rng = np.random.default_rng(22)
+        matrix = _random_matrix(rng, 60, 40)
+        queries = _random_matrix(rng, 5, 40)
+        slim = ShardedIndex(matrix, shards=2, exact=False)
+        postings = [shard.postings for shard in slim._shards]
+        restored = ShardedIndex.from_postings(matrix, slim.bounds,
+                                              postings)
+        assert restored._exact is False
+        for shard in restored._shards:
+            assert shard._data.dtype == np.float32
+        exp_idx, exp_val = _expected(queries, matrix, 7)
+        got_idx, got_val = restored.top_k(queries, 7)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+    def test_delta_extend_keeps_diet(self):
+        rng = np.random.default_rng(23)
+        full = _random_matrix(rng, 70, 40)
+        queries = _random_matrix(rng, 5, 40)
+        index = InvertedIndex(full[:64], exact=False)
+        index.extend(full, 70)
+        exp_idx, exp_val = _expected(queries, full, 6)
+        got_idx, got_val = index.top_k(queries, 6)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+        index.compact()
+        assert index._data.dtype == np.float32
+        got_idx, got_val = index.top_k(queries, 6)
+        np.testing.assert_array_equal(got_idx, exp_idx)
+        np.testing.assert_array_equal(got_val, exp_val)
+
+
+class TestChooseStage1:
+    def test_small_corpus_dense(self):
+        rng = np.random.default_rng(30)
+        matrix = _random_matrix(rng, 50, 40)
+        assert choose_stage1(matrix) == "dense"
+        assert choose_stage1(
+            _random_matrix(rng, AUTO_DENSE_MAX_DOCS, 40)) == "dense"
+
+    def test_mid_corpus_blocked(self):
+        rng = np.random.default_rng(31)
+        matrix = _random_matrix(rng, AUTO_DENSE_MAX_DOCS + 1, 40)
+        assert choose_stage1(matrix) == "blocked"
+
+    def test_empty_matrix_blocked(self):
+        matrix = sparse.csr_matrix(
+            (AUTO_INVINDEX_MIN_DOCS + 1, 100), dtype=np.float64)
+        assert choose_stage1(matrix) == "blocked"
+
+    def test_huge_k_blocked(self):
+        n = AUTO_INVINDEX_MIN_DOCS + 1
+        rng = np.random.default_rng(32)
+        matrix = _random_matrix(rng, n, 60)
+        assert choose_stage1(matrix, k=n // 2) == "blocked"
+
+    def test_skewed_large_corpus_invindex(self):
+        # Zipf-weighted vocabulary: the impact-ordered prefix carrying
+        # half the cap mass spans few postings — prunable, the regime
+        # the inverted index was built for.
+        rng = np.random.default_rng(33)
+        n, n_terms, per_doc = AUTO_INVINDEX_MIN_DOCS + 1, 5000, 40
+        cols = (rng.zipf(1.3, size=n * per_doc) - 1) % n_terms
+        rows = np.repeat(np.arange(n), per_doc)
+        counts = sparse.coo_matrix(
+            (np.ones(n * per_doc), (rows, cols)),
+            shape=(n, n_terms)).tocsr()
+        counts.sum_duplicates()
+        df = np.asarray((counts > 0).sum(axis=0)).ravel() + 1.0
+        idf = np.log((n + 1.0) / df)
+        tf = counts.copy()
+        tf.data = 1.0 + np.log(tf.data)
+        matrix = l2_normalize_rows(tf.multiply(idf).tocsr())
+        assert choose_stage1(matrix, k=10) == "invindex"
+
+    def test_flat_weights_blocked(self):
+        # Every term equally heavy and equally long: no impact-order
+        # prefix is small, pruning cannot win, stay blocked.
+        n = AUTO_INVINDEX_MIN_DOCS + 64
+        n_terms = 64
+        rows = np.arange(n * 8) // 8
+        cols = (np.arange(n * 8) * 7) % n_terms
+        matrix = l2_normalize_rows(sparse.csr_matrix(
+            (np.ones(n * 8), (rows, cols)), shape=(n, n_terms)))
+        assert choose_stage1(matrix, k=10) == "blocked"

@@ -326,3 +326,44 @@ class TestUnderFsFaults:
             assert _result_json(replay) == _result_json(direct)
         assert fs_chaos.injected > 0, \
             "the chaos run never actually saw a fault"
+
+
+class TestDeltaSnapshot:
+    """Indexes carrying a live delta segment snapshot and restore
+    without folding it — and stay bit-identical."""
+
+    def test_live_delta_round_trips(self, corpus, tmp_path):
+        from repro.core.incremental import IncrementalLinker
+
+        known, unknowns = corpus
+        inc = IncrementalLinker(threshold=0.0, stage1="invindex",
+                                shards=2)
+        inc.fit(known[:-2])
+        inc.add_known(known[-2:])
+        linker = inc._linker
+        index = linker.reducer._index
+        if index.n_delta == 0:
+            pytest.skip("fixture too small to keep a live delta")
+        baseline = _result_json(linker.link(unknowns))
+
+        path = tmp_path / "delta.snap"
+        save_index(linker, path)
+        loaded = load_index(path)
+        restored = loaded.reducer._index
+        assert restored is not None
+        assert restored.n_delta == index.n_delta
+        assert restored.main_ends == index.main_ends
+        assert _result_json(loaded.link(unknowns)) == baseline
+
+    def test_auto_snapshot_resolves_on_load(self, corpus, tmp_path):
+        known, unknowns = corpus
+        linker = AliasLinker(threshold=0.0, stage1="auto").fit(known)
+        baseline = _result_json(linker.link(unknowns))
+        path = tmp_path / "auto.snap"
+        save_index(linker, path)
+        loaded = load_index(path)
+        assert loaded.stage1 == "auto"
+        # The cost model re-resolves on the restored matrix: the
+        # fixture corpus is far below the dense ceiling.
+        assert loaded.reducer.active_stage1 == "dense"
+        assert _result_json(loaded.link(unknowns)) == baseline

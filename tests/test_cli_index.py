@@ -176,3 +176,41 @@ class TestLinkDeadline:
         out_rich = capsys.readouterr().out
         assert plain == rich == 0
         assert out_plain == out_rich
+
+
+class TestBuildJobs:
+    def test_jobs_flag_and_manifest_provenance(self, world_dir,
+                                               snapshot, tmp_path,
+                                               capsys):
+        """--jobs N builds an identical snapshot and records the build
+        parallelism + wall time in the run manifest."""
+        import json
+
+        from repro.obs.manifest import manifest_path_for
+
+        out = tmp_path / "jobs.snap"
+        trace = tmp_path / "trace.json"
+        code = main(["--trace", str(trace), "index", "build",
+                     "--known", str(world_dir / "dm.jsonl"),
+                     "--out", str(out), "--jobs", "2"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "2 build job(s)" in captured
+        # Parallelism only reorders the build; the snapshot bytes
+        # cannot change.
+        assert out.read_bytes() == snapshot.read_bytes()
+
+        manifest = json.loads(
+            manifest_path_for(trace).read_text())
+        config = manifest["config"]
+        assert config["build_jobs"] == 2
+        assert config["build_wall_s"] > 0
+
+    def test_jobs_must_be_positive(self, world_dir, tmp_path,
+                                   capsys):
+        code = main(["index", "build",
+                     "--known", str(world_dir / "dm.jsonl"),
+                     "--out", str(tmp_path / "bad.snap"),
+                     "--jobs", "0"])
+        assert code != 0
+        assert "build_jobs" in capsys.readouterr().err
